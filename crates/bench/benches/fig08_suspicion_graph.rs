@@ -1,0 +1,40 @@
+//! Criterion bench for Fig 8: candidate-set computation (maximum independent
+//! set via Bron-Kerbosch on the inverted graph) for growing suspicion graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optilog::{CandidateSelector, SelectionStrategy, SuspicionGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(n: usize, edge_prob: f64, seed: u64) -> SuspicionGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = SuspicionGraph::new(0..n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen_bool(edge_prob) {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g
+}
+
+fn bench_candidate_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_candidate_set");
+    group.sample_size(10);
+    for &n in &[16usize, 48, 100] {
+        let graph = random_graph(n, 0.15, n as u64);
+        let mis = CandidateSelector::new(SelectionStrategy::MaxIndependentSet { budget: 500_000 });
+        let tree = CandidateSelector::new(SelectionStrategy::TreeExclusion);
+        group.bench_with_input(BenchmarkId::new("max_independent_set", n), &n, |b, _| {
+            b.iter(|| mis.select(&graph))
+        });
+        group.bench_with_input(BenchmarkId::new("tree_exclusion", n), &n, |b, _| {
+            b.iter(|| tree.select(&graph))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_selection);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for Fig 12: simulated-annealing tree search cost per
+//! iteration budget and configuration size.
+
+use bench::Deployment;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optilog::AnnealingParams;
+use optitree::{search_tree, TreeSearchSpace};
+use rsm::SystemConfig;
+
+fn space(n: usize) -> TreeSearchSpace {
+    let system = SystemConfig::new(n);
+    TreeSearchSpace {
+        n,
+        branch: system.tree_branch_factor(),
+        matrix_rtt_ms: Deployment::WorldRandom.rtt_matrix(n, 0),
+        candidates: (0..n).collect(),
+        k: system.quorum(),
+    }
+}
+
+fn bench_tree_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_tree_search");
+    group.sample_size(10);
+    for &n in &[57usize, 111, 211] {
+        let sp = space(n);
+        group.bench_with_input(BenchmarkId::new("sa_1000_iters", n), &n, |b, _| {
+            b.iter(|| {
+                search_tree(
+                    &sp,
+                    AnnealingParams {
+                        iterations: 1_000,
+                        ..Default::default()
+                    },
+                    1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_search);
+criterion_main!(benches);

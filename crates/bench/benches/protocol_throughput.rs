@@ -1,0 +1,55 @@
+//! Criterion bench comparing one second of simulated consensus for the three
+//! protocol substrates (supports the Fig 9 shape at micro scale).
+
+use bench::Deployment;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotstuff::{run_hotstuff, HotStuffConfig, Pacemaker};
+use kauri::{run_kauri, KauriBinsPolicy, KauriConfig, TreePolicy};
+use netsim::{Duration, FaultPlan, MatrixLatency};
+use optitree::OptiTreePolicy;
+use rsm::SystemConfig;
+
+fn bench_protocols(c: &mut Criterion) {
+    let n = 21;
+    let rtt = Deployment::Europe21.rtt_matrix(n, 0);
+    let system = SystemConfig::new(n);
+    let mut group = c.benchmark_group("protocol_1s_europe21");
+    group.sample_size(10);
+
+    group.bench_function("hotstuff_fixed", |b| {
+        b.iter(|| {
+            let mut cfg = HotStuffConfig::new(n, Pacemaker::Fixed { leader: 0 });
+            cfg.run_for = Duration::from_secs(1);
+            run_hotstuff(&cfg, Box::new(MatrixLatency::from_rtt_millis(n, &rtt)))
+        })
+    });
+    group.bench_function("kauri_pipeline", |b| {
+        b.iter(|| {
+            let mut cfg = KauriConfig::new(n);
+            cfg.run_for = Duration::from_secs(1);
+            run_kauri(
+                &cfg,
+                Box::new(MatrixLatency::from_rtt_millis(n, &rtt)),
+                FaultPlan::none(),
+                |_| Box::new(KauriBinsPolicy::new(n, 4, 1)) as Box<dyn TreePolicy>,
+            )
+        })
+    });
+    group.bench_function("optitree_pipeline", |b| {
+        b.iter(|| {
+            let mut cfg = KauriConfig::new(n);
+            cfg.run_for = Duration::from_secs(1);
+            let rtt_clone = rtt.clone();
+            run_kauri(
+                &cfg,
+                Box::new(MatrixLatency::from_rtt_millis(n, &rtt)),
+                FaultPlan::none(),
+                move |_| Box::new(OptiTreePolicy::new(system, rtt_clone.clone(), 7)) as Box<dyn TreePolicy>,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Fig 15 (Appendix B.2) — throughput timeline while the tree root is
+//! crashed every 10 seconds, triggering a simulated-annealing search and a
+//! reconfiguration (Europe21, 21 replicas).
+//!
+//! Usage: `fig15_reconfiguration [run-seconds]`
+
+use bench::{arg_or, Deployment};
+use kauri::{run_kauri, KauriConfig, TreePolicy};
+use netsim::{Duration, FaultPlan, MatrixLatency, SimTime};
+use optitree::OptiTreePolicy;
+use rsm::SystemConfig;
+
+fn main() {
+    let run_secs = arg_or(1, 90);
+    let n = 21;
+    let system = SystemConfig::new(n);
+    let rtt = Deployment::Europe21.rtt_matrix(n, 0);
+
+    // Determine the sequence of roots OptiTree will choose so each can be
+    // crashed 10 s after it takes over.
+    let mut probe = OptiTreePolicy::new(system, rtt.clone(), 7);
+    let mut faults = FaultPlan::none();
+    let mut crash_at = 10u64;
+    let mut crashed = Vec::new();
+    while crash_at < run_secs {
+        let tree = probe.next_tree(n, system.tree_branch_factor());
+        if crashed.contains(&tree.root) {
+            break;
+        }
+        faults.crash(tree.root, SimTime::from_secs(crash_at));
+        crashed.push(tree.root);
+        probe.on_view_failure(&[tree.root]);
+        crash_at += 10;
+    }
+
+    let mut cfg = KauriConfig::new(n).without_pipelining();
+    cfg.run_for = Duration::from_secs(run_secs);
+    cfg.reconfig_delay = Duration::from_secs(1); // the 1 s simulated-annealing search
+    let rtt_clone = rtt.clone();
+    let report = run_kauri(
+        &cfg,
+        Box::new(MatrixLatency::from_rtt_millis(n, &rtt)),
+        faults,
+        move |_| Box::new(OptiTreePolicy::new(system, rtt_clone.clone(), 7)) as Box<dyn TreePolicy>,
+    );
+
+    println!("# Fig 15: throughput [op/s] per second with the root crashing every 10 s");
+    println!("# reconfigurations observed: {}", report.reconfigurations);
+    println!("{:>6} {:>12}", "t [s]", "throughput");
+    for (sec, ops) in report.throughput_timeline.iter().enumerate() {
+        println!("{sec:>6} {ops:>12}");
+    }
+    println!("# Expected shape: throughput drops to zero after each crash, recovers roughly one");
+    println!("# progress-timeout plus one second of search later, and returns to its previous level.");
+}

@@ -1,0 +1,341 @@
+//! Configuration monitoring (§4.2.4).
+//!
+//! The ConfigSensor searches for a better configuration (typically with
+//! simulated annealing, see [`crate::annealing`]) and proposes the best one
+//! it found via the log. The [`ConfigMonitor`] — identical and deterministic
+//! at every replica — validates proposals against the candidate set, waits
+//! for at least `f + 1` proposals before deciding (so a single faulty replica
+//! cannot force a bad configuration), and only replaces a still-valid
+//! configuration when the improvement is significant.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A configuration proposal as produced by a ConfigSensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigProposal<C> {
+    /// The proposing replica.
+    pub proposer: usize,
+    /// The epoch this proposal targets (must be `current_epoch + 1`).
+    pub epoch: u64,
+    /// The proposed configuration.
+    pub config: C,
+    /// The proposer's claimed score (lower is better). The monitor re-scores
+    /// proposals itself; the claim is only used for diagnostics.
+    pub claimed_score: f64,
+}
+
+/// Outcome of processing a proposal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigDecision<C> {
+    /// A new configuration was adopted; reconfigure the protocol to it.
+    Adopt {
+        /// The adopted configuration.
+        config: C,
+        /// Its epoch.
+        epoch: u64,
+        /// Its (re-computed) score.
+        score: f64,
+    },
+    /// Not enough proposals yet, or no sufficient improvement.
+    Pending {
+        /// Distinct proposers seen for the next epoch.
+        have: usize,
+        /// Proposers required before a decision (`f + 1`).
+        need: usize,
+    },
+    /// The proposal was rejected (invalid configuration or wrong epoch).
+    Rejected(&'static str),
+}
+
+/// Parameters of the ConfigMonitor.
+#[derive(Debug, Clone, Copy)]
+pub struct ConfigMonitorParams {
+    /// Fault threshold `f`: decisions wait for `f + 1` distinct proposers.
+    pub f: usize,
+    /// When the current configuration is still valid, a replacement must
+    /// score below `improvement_factor × current_score` (e.g. `0.8` = at
+    /// least 20 % better) to avoid disruptive reconfigurations.
+    pub improvement_factor: f64,
+}
+
+impl ConfigMonitorParams {
+    /// Default: wait for `f + 1` proposals, require 20 % improvement to
+    /// replace a valid configuration.
+    pub fn new(f: usize) -> Self {
+        ConfigMonitorParams {
+            f,
+            improvement_factor: 0.8,
+        }
+    }
+}
+
+/// The deterministic configuration monitor.
+#[derive(Debug, Clone)]
+pub struct ConfigMonitor<C> {
+    params: ConfigMonitorParams,
+    current: Option<C>,
+    current_score: f64,
+    current_epoch: u64,
+    current_valid: bool,
+    /// Best pending proposal per proposer for epoch `current_epoch + 1`,
+    /// scored by the monitor itself.
+    pending: BTreeMap<usize, (C, f64)>,
+}
+
+impl<C: Clone> ConfigMonitor<C> {
+    /// Create a monitor with no active configuration.
+    pub fn new(params: ConfigMonitorParams) -> Self {
+        ConfigMonitor {
+            params,
+            current: None,
+            current_score: f64::INFINITY,
+            current_epoch: 0,
+            current_valid: false,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Install an initial configuration without going through proposals
+    /// (system bootstrap).
+    pub fn bootstrap(&mut self, config: C, score: f64) {
+        self.current = Some(config);
+        self.current_score = score;
+        self.current_epoch = 1;
+        self.current_valid = true;
+        self.pending.clear();
+    }
+
+    /// The active configuration, if any.
+    pub fn current(&self) -> Option<&C> {
+        self.current.as_ref()
+    }
+
+    /// The active configuration's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.current_epoch
+    }
+
+    /// The active configuration's score.
+    pub fn current_score(&self) -> f64 {
+        self.current_score
+    }
+
+    /// True if the current configuration is still valid w.r.t. the latest
+    /// candidate set.
+    pub fn is_current_valid(&self) -> bool {
+        self.current_valid
+    }
+
+    /// Number of distinct proposers pending for the next epoch.
+    pub fn pending_proposers(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Mark the current configuration invalid (e.g. the candidate set `K`
+    /// changed and a special role is now held by a non-candidate).
+    pub fn invalidate_current(&mut self) {
+        self.current_valid = false;
+    }
+
+    /// Re-mark the current configuration valid (e.g. after suspicions expired).
+    pub fn revalidate_current(&mut self) {
+        if self.current.is_some() {
+            self.current_valid = true;
+        }
+    }
+
+    /// Process a committed proposal.
+    ///
+    /// * `is_valid` checks the configuration against the candidate set
+    ///   (all special roles held by candidates, §4.2.4).
+    /// * `rescore` recomputes the score deterministically from the shared
+    ///   latency matrix and fault estimate — the monitor never trusts the
+    ///   proposer's claimed score.
+    pub fn on_proposal(
+        &mut self,
+        proposal: &ConfigProposal<C>,
+        is_valid: impl Fn(&C) -> bool,
+        rescore: impl Fn(&C) -> f64,
+    ) -> ConfigDecision<C> {
+        if proposal.epoch != self.current_epoch + 1 {
+            return ConfigDecision::Rejected("wrong epoch");
+        }
+        if !is_valid(&proposal.config) {
+            return ConfigDecision::Rejected("invalid configuration");
+        }
+        let score = rescore(&proposal.config);
+        // Keep the proposer's best proposal.
+        match self.pending.get(&proposal.proposer) {
+            Some((_, existing)) if *existing <= score => {}
+            _ => {
+                self.pending
+                    .insert(proposal.proposer, (proposal.config.clone(), score));
+            }
+        }
+        self.decide()
+    }
+
+    /// Attempt a decision with the proposals collected so far. Exposed so a
+    /// caller can also re-evaluate after invalidating the current
+    /// configuration without a new proposal arriving.
+    pub fn decide(&mut self) -> ConfigDecision<C> {
+        let need = self.params.f + 1;
+        let have = self.pending.len();
+        if have < need {
+            return ConfigDecision::Pending { have, need };
+        }
+        let (best_config, best_score) = self
+            .pending
+            .values()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
+            .cloned()
+            .expect("pending non-empty");
+
+        let should_adopt = if !self.current_valid || self.current.is_none() {
+            true
+        } else {
+            best_score < self.current_score * self.params.improvement_factor
+        };
+
+        if !should_adopt {
+            return ConfigDecision::Pending { have, need };
+        }
+
+        self.current = Some(best_config.clone());
+        self.current_score = best_score;
+        self.current_epoch += 1;
+        self.current_valid = true;
+        self.pending.clear();
+        ConfigDecision::Adopt {
+            config: best_config,
+            epoch: self.current_epoch,
+            score: best_score,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Cfg = Vec<usize>; // e.g. list of special-role holders
+
+    fn proposal(proposer: usize, epoch: u64, config: Cfg, score: f64) -> ConfigProposal<Cfg> {
+        ConfigProposal {
+            proposer,
+            epoch,
+            config,
+            claimed_score: score,
+        }
+    }
+
+    fn always_valid(_: &Cfg) -> bool {
+        true
+    }
+
+    #[test]
+    fn waits_for_f_plus_one_proposers() {
+        let mut m: ConfigMonitor<Cfg> = ConfigMonitor::new(ConfigMonitorParams::new(2));
+        let score = |c: &Cfg| c[0] as f64;
+        assert_eq!(
+            m.on_proposal(&proposal(0, 1, vec![50], 50.0), always_valid, score),
+            ConfigDecision::Pending { have: 1, need: 3 }
+        );
+        assert_eq!(
+            m.on_proposal(&proposal(1, 1, vec![40], 40.0), always_valid, score),
+            ConfigDecision::Pending { have: 2, need: 3 }
+        );
+        match m.on_proposal(&proposal(2, 1, vec![60], 60.0), always_valid, score) {
+            ConfigDecision::Adopt { config, epoch, score } => {
+                assert_eq!(config, vec![40], "best-scoring proposal wins");
+                assert_eq!(epoch, 1);
+                assert_eq!(score, 40.0);
+            }
+            other => panic!("expected adoption, got {other:?}"),
+        }
+        assert_eq!(m.epoch(), 1);
+        assert_eq!(m.pending_proposers(), 0);
+    }
+
+    #[test]
+    fn duplicate_proposer_does_not_count_twice() {
+        let mut m: ConfigMonitor<Cfg> = ConfigMonitor::new(ConfigMonitorParams::new(1));
+        let score = |c: &Cfg| c[0] as f64;
+        m.on_proposal(&proposal(0, 1, vec![50], 50.0), always_valid, score);
+        let d = m.on_proposal(&proposal(0, 1, vec![45], 45.0), always_valid, score);
+        assert_eq!(d, ConfigDecision::Pending { have: 1, need: 2 });
+    }
+
+    #[test]
+    fn invalid_and_wrong_epoch_rejected() {
+        let mut m: ConfigMonitor<Cfg> = ConfigMonitor::new(ConfigMonitorParams::new(1));
+        let score = |_: &Cfg| 1.0;
+        assert_eq!(
+            m.on_proposal(&proposal(0, 5, vec![1], 1.0), always_valid, score),
+            ConfigDecision::Rejected("wrong epoch")
+        );
+        assert_eq!(
+            m.on_proposal(&proposal(0, 1, vec![1], 1.0), |_| false, score),
+            ConfigDecision::Rejected("invalid configuration")
+        );
+    }
+
+    #[test]
+    fn valid_current_requires_significant_improvement() {
+        let mut m: ConfigMonitor<Cfg> = ConfigMonitor::new(ConfigMonitorParams::new(1));
+        m.bootstrap(vec![100], 100.0);
+        let score = |c: &Cfg| c[0] as f64;
+
+        // 90 is better but not 20% better than 100 → no reconfiguration.
+        m.on_proposal(&proposal(0, 2, vec![90], 90.0), always_valid, score);
+        let d = m.on_proposal(&proposal(1, 2, vec![95], 95.0), always_valid, score);
+        assert!(matches!(d, ConfigDecision::Pending { .. }));
+        assert_eq!(m.epoch(), 1);
+
+        // A 70-scoring proposal clears the 0.8 threshold.
+        match m.on_proposal(&proposal(2, 2, vec![70], 70.0), always_valid, score) {
+            ConfigDecision::Adopt { config, epoch, .. } => {
+                assert_eq!(config, vec![70]);
+                assert_eq!(epoch, 2);
+            }
+            other => panic!("expected adoption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidation_forces_adoption_of_best_available() {
+        let mut m: ConfigMonitor<Cfg> = ConfigMonitor::new(ConfigMonitorParams::new(1));
+        m.bootstrap(vec![10], 10.0);
+        let score = |c: &Cfg| c[0] as f64;
+
+        // Current config is great, proposals are worse → pending.
+        m.on_proposal(&proposal(0, 2, vec![200], 200.0), always_valid, score);
+        m.on_proposal(&proposal(1, 2, vec![150], 150.0), always_valid, score);
+        assert_eq!(m.epoch(), 1);
+
+        // The candidate set changed and invalidated the current configuration:
+        // the monitor must now reconfigure even to a worse-scoring one.
+        m.invalidate_current();
+        match m.decide() {
+            ConfigDecision::Adopt { config, .. } => assert_eq!(config, vec![150]),
+            other => panic!("expected adoption, got {other:?}"),
+        }
+        assert!(m.is_current_valid());
+    }
+
+    #[test]
+    fn monitor_rescores_rather_than_trusting_claims() {
+        let mut m: ConfigMonitor<Cfg> = ConfigMonitor::new(ConfigMonitorParams::new(0));
+        // Claimed score lies (0.0), real score is 500.
+        let d = m.on_proposal(
+            &proposal(3, 1, vec![500], 0.0),
+            always_valid,
+            |c| c[0] as f64,
+        );
+        match d {
+            ConfigDecision::Adopt { score, .. } => assert_eq!(score, 500.0),
+            other => panic!("expected adoption, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Measurement types appended to the shared log, and their wire-size model.
+//!
+//! Everything OptiLog records — latency vectors, suspicions, misbehavior
+//! complaints, and configuration proposals — is replicated through the same
+//! consensus engine as client commands and appended to an ordered log
+//! (Fig 1). [`Measurement`] is the union of those entry types;
+//! [`MeasurementLog`] is a thin wrapper over [`rsm::AppendLog`] that also
+//! tracks per-sensor byte overhead, which the Fig 13 experiment reports.
+
+use crate::latency::LatencyVector;
+use crate::suspicion::Suspicion;
+use crypto::{Complaint, Digest, Hashable};
+use rsm::AppendLog;
+use serde::{Deserialize, Serialize};
+
+/// A generic, protocol-agnostic configuration proposal recorded in the log.
+/// The payload encodes the protocol-specific configuration (weights, tree
+/// layout, …); the score lets other replicas rank proposals without
+/// re-running the search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoggedConfigProposal {
+    /// The replica proposing the configuration.
+    pub proposer: usize,
+    /// Configuration epoch the proposal targets.
+    pub epoch: u64,
+    /// The proposer's claimed score (lower is better — predicted round latency in ms).
+    pub score: f64,
+    /// Opaque encoding of the configuration.
+    pub payload: Vec<u8>,
+}
+
+impl LoggedConfigProposal {
+    /// Wire size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        8 + 8 + 8 + self.payload.len()
+    }
+}
+
+/// One entry of the OptiLog measurement log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Measurement {
+    /// A latency vector from the LatencySensor.
+    Latency(LatencyVector),
+    /// A suspicion from the SuspicionSensor.
+    Suspicion(Suspicion),
+    /// A misbehavior complaint from the MisbehaviorSensor.
+    Complaint(Complaint),
+    /// A configuration proposal from the ConfigSensor.
+    Config(LoggedConfigProposal),
+}
+
+impl Measurement {
+    /// Wire size of the entry in bytes, following the compact encoding the
+    /// paper uses to keep proposal overhead low (§7.8).
+    pub fn wire_bytes(&self) -> usize {
+        1 + match self {
+            Measurement::Latency(v) => v.wire_bytes(),
+            Measurement::Suspicion(s) => s.wire_bytes(),
+            Measurement::Complaint(c) => c.wire_bytes(),
+            Measurement::Config(p) => p.wire_bytes(),
+        }
+    }
+
+    /// Short label for diagnostics and the overhead harness.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Measurement::Latency(_) => "latency",
+            Measurement::Suspicion(_) => "suspicion",
+            Measurement::Complaint(_) => "complaint",
+            Measurement::Config(_) => "config",
+        }
+    }
+}
+
+impl Hashable for Measurement {
+    fn digest(&self) -> Digest {
+        match self {
+            Measurement::Latency(v) => {
+                let bytes: Vec<u8> = v
+                    .rtt_ms
+                    .iter()
+                    .flat_map(|x| x.to_bits().to_le_bytes())
+                    .collect();
+                Digest::of_parts(&[b"m-latency", &v.reporter.to_le_bytes(), &bytes])
+            }
+            Measurement::Suspicion(s) => Digest::of_parts(&[
+                b"m-suspicion",
+                &s.accuser.to_le_bytes(),
+                &s.accused.to_le_bytes(),
+                &s.round.to_le_bytes(),
+                &s.phase.to_le_bytes(),
+            ]),
+            Measurement::Complaint(c) => {
+                Digest::of_parts(&[b"m-complaint", &c.reporter.to_le_bytes(), &c.proof.digest().0])
+            }
+            Measurement::Config(p) => Digest::of_parts(&[
+                b"m-config",
+                &p.proposer.to_le_bytes(),
+                &p.epoch.to_le_bytes(),
+                &p.score.to_bits().to_le_bytes(),
+                &p.payload,
+            ]),
+        }
+    }
+}
+
+/// The ordered log of committed measurements, with per-kind byte accounting.
+#[derive(Debug, Clone)]
+pub struct MeasurementLog {
+    log: AppendLog<Measurement>,
+    latency_bytes: usize,
+    suspicion_bytes: usize,
+    complaint_bytes: usize,
+    config_bytes: usize,
+}
+
+impl Default for MeasurementLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MeasurementLog {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        MeasurementLog {
+            log: AppendLog::new(),
+            latency_bytes: 0,
+            suspicion_bytes: 0,
+            complaint_bytes: 0,
+            config_bytes: 0,
+        }
+    }
+
+    /// Append a committed measurement; returns its sequence number.
+    pub fn append(&mut self, m: Measurement) -> u64 {
+        let bytes = m.wire_bytes();
+        match &m {
+            Measurement::Latency(_) => self.latency_bytes += bytes,
+            Measurement::Suspicion(_) => self.suspicion_bytes += bytes,
+            Measurement::Complaint(_) => self.complaint_bytes += bytes,
+            Measurement::Config(_) => self.config_bytes += bytes,
+        }
+        self.log.append(m)
+    }
+
+    /// Number of committed measurements.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// True if no measurements have been committed.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Iterate over committed measurements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Measurement> {
+        self.log.iter().map(|e| &e.value)
+    }
+
+    /// Digest of the whole log prefix (cross-replica consistency checks).
+    pub fn prefix_digest(&self) -> Digest {
+        self.log.prefix_digest()
+    }
+
+    /// Total bytes appended for a given measurement kind label.
+    pub fn bytes_for(&self, kind: &str) -> usize {
+        match kind {
+            "latency" => self.latency_bytes,
+            "suspicion" => self.suspicion_bytes,
+            "complaint" => self.complaint_bytes,
+            "config" => self.config_bytes,
+            _ => 0,
+        }
+    }
+
+    /// Total bytes across all measurement kinds.
+    pub fn total_bytes(&self) -> usize {
+        self.latency_bytes + self.suspicion_bytes + self.complaint_bytes + self.config_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suspicion::SuspicionKind;
+    use crypto::{Keyring, MisbehaviorKind, MisbehaviorProof};
+
+    fn sample_suspicion() -> Suspicion {
+        Suspicion {
+            kind: SuspicionKind::Slow,
+            accuser: 1,
+            accused: 2,
+            round: 9,
+            phase: 1,
+            accuser_is_leader: false,
+        }
+    }
+
+    #[test]
+    fn append_tracks_per_kind_bytes() {
+        let mut log = MeasurementLog::new();
+        log.append(Measurement::Latency(LatencyVector::new(0, vec![0.0; 20])));
+        log.append(Measurement::Suspicion(sample_suspicion()));
+        assert_eq!(log.len(), 2);
+        assert!(log.bytes_for("latency") > log.bytes_for("suspicion"));
+        assert_eq!(log.bytes_for("complaint"), 0);
+        assert_eq!(
+            log.total_bytes(),
+            log.bytes_for("latency") + log.bytes_for("suspicion")
+        );
+    }
+
+    #[test]
+    fn wire_sizes_match_paper_relations() {
+        // Latency vectors scale with n; suspicions are tiny and constant;
+        // complaints with embedded proofs are the largest (Fig 13).
+        let lv20 = Measurement::Latency(LatencyVector::new(0, vec![0.0; 20])).wire_bytes();
+        let lv80 = Measurement::Latency(LatencyVector::new(0, vec![0.0; 80])).wire_bytes();
+        assert!(lv80 > lv20);
+
+        let sus = Measurement::Suspicion(sample_suspicion()).wire_bytes();
+        assert!(sus < 32);
+
+        let ring = Keyring::new(1, 4);
+        let d1 = crypto::Digest::of(b"a");
+        let d2 = crypto::Digest::of(b"b");
+        let proof = MisbehaviorProof {
+            accused: 2,
+            kind: MisbehaviorKind::Equivocation {
+                view: 1,
+                first: (d1, ring.key(2).sign(&d1)),
+                second: (d2, ring.key(2).sign(&d2)),
+            },
+        };
+        let complaint = Measurement::Complaint(Complaint::new(0, proof, &ring)).wire_bytes();
+        assert!(complaint > sus);
+        assert!(complaint > lv80 / 2);
+    }
+
+    #[test]
+    fn identical_logs_have_identical_digests() {
+        let build = || {
+            let mut log = MeasurementLog::new();
+            log.append(Measurement::Latency(LatencyVector::new(0, vec![0.0, 5.0])));
+            log.append(Measurement::Suspicion(sample_suspicion()));
+            log
+        };
+        assert_eq!(build().prefix_digest(), build().prefix_digest());
+
+        let mut other = build();
+        other.append(Measurement::Config(LoggedConfigProposal {
+            proposer: 0,
+            epoch: 1,
+            score: 10.0,
+            payload: vec![1, 2, 3],
+        }));
+        assert_ne!(build().prefix_digest(), other.prefix_digest());
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(
+            Measurement::Suspicion(sample_suspicion()).kind_label(),
+            "suspicion"
+        );
+        assert_eq!(
+            Measurement::Latency(LatencyVector::new(0, vec![])).kind_label(),
+            "latency"
+        );
+    }
+}

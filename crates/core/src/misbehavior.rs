@@ -1,0 +1,126 @@
+//! Misbehavior monitoring (§4.2.2).
+//!
+//! The MisbehaviorSensor lives inside the consensus engine (protocol crates
+//! raise [`crypto::Complaint`]s when they observe provable violations); the
+//! [`MisbehaviorMonitor`] here verifies committed complaints and maintains
+//! the set `F` of provably faulty replicas, which the SuspicionMonitor and
+//! the configuration search exclude from special roles.
+
+use crypto::{Complaint, Keyring};
+use std::collections::BTreeSet;
+
+/// The MisbehaviorMonitor: verifies complaints and maintains `F`.
+#[derive(Debug, Clone)]
+pub struct MisbehaviorMonitor {
+    keyring: Keyring,
+    faulty: BTreeSet<usize>,
+    verified_complaints: Vec<Complaint>,
+    rejected: u64,
+}
+
+impl MisbehaviorMonitor {
+    /// Create a monitor that verifies complaints against `keyring`.
+    pub fn new(keyring: Keyring) -> Self {
+        MisbehaviorMonitor {
+            keyring,
+            faulty: BTreeSet::new(),
+            verified_complaints: Vec::new(),
+            rejected: 0,
+        }
+    }
+
+    /// Process a committed complaint: if the proof verifies, the accused is
+    /// added to `F`. Returns `true` if the complaint was accepted.
+    pub fn on_complaint(&mut self, complaint: &Complaint) -> bool {
+        if complaint.verify(&self.keyring) {
+            self.faulty.insert(complaint.proof.accused);
+            self.verified_complaints.push(complaint.clone());
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    /// The provably faulty set `F`.
+    pub fn faulty(&self) -> &BTreeSet<usize> {
+        &self.faulty
+    }
+
+    /// True if `replica` is provably faulty.
+    pub fn is_faulty(&self, replica: usize) -> bool {
+        self.faulty.contains(&replica)
+    }
+
+    /// All verified complaints, retained for forensic analysis (§4.1).
+    pub fn complaints(&self) -> &[Complaint] {
+        &self.verified_complaints
+    }
+
+    /// Number of complaints rejected as unverifiable.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crypto::{Digest, MisbehaviorKind, MisbehaviorProof};
+
+    fn equivocation(ring: &Keyring, accused: usize) -> MisbehaviorProof {
+        let d1 = Digest::of(b"block-a");
+        let d2 = Digest::of(b"block-b");
+        MisbehaviorProof {
+            accused,
+            kind: MisbehaviorKind::Equivocation {
+                view: 3,
+                first: (d1, ring.key(accused).sign(&d1)),
+                second: (d2, ring.key(accused).sign(&d2)),
+            },
+        }
+    }
+
+    #[test]
+    fn valid_complaint_adds_to_faulty_set() {
+        let ring = Keyring::new(5, 7);
+        let mut m = MisbehaviorMonitor::new(ring.clone());
+        let c = Complaint::new(0, equivocation(&ring, 4), &ring);
+        assert!(m.on_complaint(&c));
+        assert!(m.is_faulty(4));
+        assert_eq!(m.faulty().len(), 1);
+        assert_eq!(m.complaints().len(), 1);
+    }
+
+    #[test]
+    fn invalid_complaint_rejected() {
+        let ring = Keyring::new(5, 7);
+        let mut m = MisbehaviorMonitor::new(ring.clone());
+        // Frame attempt: proof accuses 4 but uses signatures from 3.
+        let d1 = Digest::of(b"a");
+        let d2 = Digest::of(b"b");
+        let bogus = MisbehaviorProof {
+            accused: 4,
+            kind: MisbehaviorKind::Equivocation {
+                view: 1,
+                first: (d1, ring.key(3).sign(&d1)),
+                second: (d2, ring.key(3).sign(&d2)),
+            },
+        };
+        let c = Complaint::new(0, bogus, &ring);
+        assert!(!m.on_complaint(&c));
+        assert!(m.faulty().is_empty());
+        assert_eq!(m.rejected(), 1);
+    }
+
+    #[test]
+    fn duplicate_complaints_idempotent() {
+        let ring = Keyring::new(5, 7);
+        let mut m = MisbehaviorMonitor::new(ring.clone());
+        let c = Complaint::new(1, equivocation(&ring, 2), &ring);
+        assert!(m.on_complaint(&c));
+        assert!(m.on_complaint(&c));
+        assert_eq!(m.faulty().len(), 1);
+        assert_eq!(m.complaints().len(), 2, "both retained for forensics");
+    }
+}

@@ -1,0 +1,186 @@
+//! Timeout derivation: round duration `d_rnd` and per-message delays `d_m`.
+//!
+//! The SuspicionSensor needs, for every protocol message `m`, the expected
+//! delay `d_m` from the leader's proposal timestamp until `m` arrives, and
+//! the expected round duration `d_rnd` (§4.2.3). The protocol provides these
+//! based on the latency matrix; Appendix C states the requirements TR1–TR3
+//! they must satisfy. This module holds the shared representation and the
+//! δ-scaled checks; the protocol-specific derivations live in the OptiAware
+//! and OptiTree crates.
+
+use netsim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Expected delay of one message within a round, relative to the leader's
+/// proposal timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MessageTimeout {
+    /// The replica expected to send the message.
+    pub from: usize,
+    /// Protocol-specific message kind tag (e.g. Write/Accept phase, Vote,
+    /// Aggregate). Used by causal filtering to order protocol phases.
+    pub kind: u32,
+    /// Expected delay `d_m` from the proposal timestamp.
+    pub d_m: Duration,
+}
+
+impl MessageTimeout {
+    /// Create a message timeout.
+    pub fn new(from: usize, kind: u32, d_m: Duration) -> Self {
+        MessageTimeout { from, kind, d_m }
+    }
+
+    /// The deadline after which the message is considered late, scaled by δ.
+    pub fn deadline(&self, delta: f64) -> Duration {
+        self.d_m.mul_f64(delta)
+    }
+}
+
+/// The complete timing expectation for one round of a configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RoundTimeouts {
+    /// Expected round duration `d_rnd` (proposal timestamp to commit).
+    pub d_rnd: Duration,
+    /// Expected per-message delays.
+    pub messages: Vec<MessageTimeout>,
+}
+
+impl RoundTimeouts {
+    /// Create round timeouts.
+    pub fn new(d_rnd: Duration, messages: Vec<MessageTimeout>) -> Self {
+        RoundTimeouts { d_rnd, messages }
+    }
+
+    /// The expected delay for a message of `kind` from `from`, if any.
+    pub fn expected(&self, from: usize, kind: u32) -> Option<Duration> {
+        self.messages
+            .iter()
+            .find(|m| m.from == from && m.kind == kind)
+            .map(|m| m.d_m)
+    }
+
+    /// True if two consecutive proposal timestamps `prev` → `next` are within
+    /// the δ-scaled round duration (condition (a) of §4.2.3 is the negation).
+    pub fn proposal_interval_ok(&self, interval: Duration, delta: f64) -> bool {
+        interval <= self.d_rnd.mul_f64(delta)
+    }
+
+    /// True if a message that arrived `elapsed` after the proposal timestamp
+    /// met its δ-scaled deadline.
+    pub fn arrival_ok(&self, from: usize, kind: u32, elapsed: Duration, delta: f64) -> bool {
+        match self.expected(from, kind) {
+            Some(d_m) => elapsed <= d_m.mul_f64(delta),
+            // No expectation registered for this message: cannot be late.
+            None => true,
+        }
+    }
+
+    /// Check the structural timeout requirements of Appendix C against a
+    /// one-way latency matrix (milliseconds):
+    ///
+    /// * TR3 — `d_rnd` equals the delay of some expected message;
+    /// * TR1/TR2 — every message's `d_m` is at least the one-way latency of
+    ///   its final hop towards `to` (the recipient), i.e. timeouts are not
+    ///   tighter than physically possible.
+    ///
+    /// Returns a list of human-readable violations (empty = satisfied).
+    pub fn check_requirements(&self, recipient: usize, one_way_ms: &[f64], n: usize) -> Vec<String> {
+        let mut violations = Vec::new();
+        if !self.messages.is_empty()
+            && !self
+                .messages
+                .iter()
+                .any(|m| m.d_m == self.d_rnd)
+        {
+            violations.push(format!(
+                "TR3: d_rnd {} does not match any message timeout",
+                self.d_rnd
+            ));
+        }
+        for m in &self.messages {
+            if m.from < n && recipient < n {
+                let link = one_way_ms[m.from * n + recipient];
+                if link.is_finite() && m.d_m.as_millis_f64() + 1e-9 < link {
+                    violations.push(format!(
+                        "TR1/TR2: message kind {} from {} has d_m {} below link latency {link} ms",
+                        m.kind, m.from, m.d_m
+                    ));
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeouts() -> RoundTimeouts {
+        RoundTimeouts::new(
+            Duration::from_millis(100),
+            vec![
+                MessageTimeout::new(1, 0, Duration::from_millis(40)),
+                MessageTimeout::new(2, 1, Duration::from_millis(100)),
+            ],
+        )
+    }
+
+    #[test]
+    fn expected_lookup() {
+        let t = timeouts();
+        assert_eq!(t.expected(1, 0), Some(Duration::from_millis(40)));
+        assert_eq!(t.expected(1, 1), None);
+        assert_eq!(t.expected(9, 0), None);
+    }
+
+    #[test]
+    fn proposal_interval_scaled_by_delta() {
+        let t = timeouts();
+        assert!(t.proposal_interval_ok(Duration::from_millis(100), 1.0));
+        assert!(!t.proposal_interval_ok(Duration::from_millis(101), 1.0));
+        assert!(t.proposal_interval_ok(Duration::from_millis(140), 1.5));
+    }
+
+    #[test]
+    fn arrival_deadline_scaled_by_delta() {
+        let t = timeouts();
+        assert!(t.arrival_ok(1, 0, Duration::from_millis(40), 1.0));
+        assert!(!t.arrival_ok(1, 0, Duration::from_millis(41), 1.0));
+        assert!(t.arrival_ok(1, 0, Duration::from_millis(55), 1.4));
+        // Unknown messages are never late.
+        assert!(t.arrival_ok(5, 7, Duration::from_secs(10), 1.0));
+    }
+
+    #[test]
+    fn deadline_helper() {
+        let m = MessageTimeout::new(0, 0, Duration::from_millis(50));
+        assert_eq!(m.deadline(1.2).as_millis(), 60);
+    }
+
+    #[test]
+    fn requirements_satisfied_for_consistent_timeouts() {
+        let t = timeouts();
+        // one-way latencies: from 1 -> 0 is 30ms (below 40), from 2 -> 0 is 80ms (below 100).
+        let n = 3;
+        let mut one_way = vec![0.0; 9];
+        one_way[1 * 3 + 0] = 30.0;
+        one_way[2 * 3 + 0] = 80.0;
+        assert!(t.check_requirements(0, &one_way, n).is_empty());
+    }
+
+    #[test]
+    fn requirements_flag_too_tight_timeout_and_missing_round_anchor() {
+        let t = RoundTimeouts::new(
+            Duration::from_millis(10),
+            vec![MessageTimeout::new(1, 0, Duration::from_millis(5))],
+        );
+        let n = 2;
+        let mut one_way = vec![0.0; 4];
+        one_way[1 * 2 + 0] = 50.0;
+        let violations = t.check_requirements(0, &one_way, n);
+        assert_eq!(violations.len(), 2);
+        assert!(violations.iter().any(|v| v.contains("TR3")));
+        assert!(violations.iter().any(|v| v.contains("TR1/TR2")));
+    }
+}

@@ -1,0 +1,207 @@
+//! Simulated keypairs and signatures.
+//!
+//! A signature is the SHA-256 of `(secret key ‖ message digest)`. Verification
+//! recomputes it using the keyring's copy of the secret, which stands in for
+//! public-key verification in the simulation: the signing equation still binds
+//! the signature to both the signer and the message, so forgery attempts by
+//! other replicas and signature-vs-content mismatches are detected — which is
+//! what BFT safety and proof-of-misbehavior rely on.
+
+use crate::digest::{Digest, Hashable};
+use serde::{Deserialize, Serialize};
+
+/// Wire size (bytes) of one signature, modelled after Ed25519 for the
+/// Fig 13 overhead experiment.
+pub const SIGNATURE_WIRE_BYTES: usize = 64;
+/// Wire size (bytes) of one public key.
+pub const PUBLIC_KEY_WIRE_BYTES: usize = 32;
+
+/// A replica's secret key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecretKey([u8; 32]);
+
+/// A replica's public key (identifier-derived in the simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PublicKey(pub [u8; 32]);
+
+/// A signature over a digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature {
+    /// Index of the signer (replica id) — carried for aggregation and auditing.
+    pub signer: usize,
+    bytes: [u8; 32],
+}
+
+/// A keypair for one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyPair {
+    /// Replica index this keypair belongs to.
+    pub id: usize,
+    secret: SecretKey,
+    /// Public half.
+    pub public: PublicKey,
+}
+
+impl KeyPair {
+    /// Deterministically derive the keypair of replica `id` for a given
+    /// system instance `seed` (all replicas of one simulation share the seed).
+    pub fn derive(seed: u64, id: usize) -> KeyPair {
+        let secret = Digest::of_parts(&[b"optilog-secret", &seed.to_le_bytes(), &id.to_le_bytes()]);
+        let public = Digest::of_parts(&[b"optilog-public", &secret.0]);
+        KeyPair {
+            id,
+            secret: SecretKey(secret.0),
+            public: PublicKey(public.0),
+        }
+    }
+
+    /// Sign a digest.
+    pub fn sign(&self, digest: &Digest) -> Signature {
+        Signature {
+            signer: self.id,
+            bytes: Digest::of_parts(&[b"optilog-sig", &self.secret.0, &digest.0]).0,
+        }
+    }
+
+    /// Sign any hashable value.
+    pub fn sign_value<T: Hashable>(&self, value: &T) -> Signature {
+        self.sign(&value.digest())
+    }
+}
+
+/// A value together with a signature over its digest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signed<T> {
+    /// The signed value.
+    pub value: T,
+    /// The signature over `value.digest()`.
+    pub signature: Signature,
+}
+
+impl<T: Hashable> Signed<T> {
+    /// Sign `value` with `key`.
+    pub fn new(value: T, key: &KeyPair) -> Self {
+        let signature = key.sign_value(&value);
+        Signed { value, signature }
+    }
+
+    /// Verify against a keyring.
+    pub fn verify(&self, keyring: &Keyring) -> bool {
+        keyring.verify(&self.value.digest(), &self.signature)
+    }
+}
+
+/// The set of all replicas' keys for one system instance.
+///
+/// In a real deployment each replica would hold only public keys of the
+/// others; in the simulation the keyring can recompute signatures, which is
+/// equivalent for verification purposes.
+#[derive(Debug, Clone)]
+pub struct Keyring {
+    keys: Vec<KeyPair>,
+}
+
+impl Keyring {
+    /// Create a keyring for `n` replicas of system instance `seed`.
+    pub fn new(seed: u64, n: usize) -> Self {
+        Keyring {
+            keys: (0..n).map(|id| KeyPair::derive(seed, id)).collect(),
+        }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the keyring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The keypair of replica `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn key(&self, id: usize) -> &KeyPair {
+        &self.keys[id]
+    }
+
+    /// Verify that `signature` is a valid signature by its claimed signer
+    /// over `digest`.
+    pub fn verify(&self, digest: &Digest, signature: &Signature) -> bool {
+        match self.keys.get(signature.signer) {
+            Some(key) => key.sign(digest) == *signature,
+            None => false,
+        }
+    }
+
+    /// Verify a signature claimed to be from a specific replica.
+    pub fn verify_from(&self, expected_signer: usize, digest: &Digest, sig: &Signature) -> bool {
+        sig.signer == expected_signer && self.verify(digest, sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_is_deterministic_and_distinct() {
+        let a = KeyPair::derive(7, 0);
+        let b = KeyPair::derive(7, 0);
+        let c = KeyPair::derive(7, 1);
+        let d = KeyPair::derive(8, 0);
+        assert_eq!(a, b);
+        assert_ne!(a.public, c.public);
+        assert_ne!(a.public, d.public);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let ring = Keyring::new(42, 4);
+        let digest = Digest::of(b"proposal");
+        let sig = ring.key(2).sign(&digest);
+        assert!(ring.verify(&digest, &sig));
+        assert!(ring.verify_from(2, &digest, &sig));
+        assert!(!ring.verify_from(1, &digest, &sig));
+    }
+
+    #[test]
+    fn wrong_message_fails_verification() {
+        let ring = Keyring::new(1, 4);
+        let sig = ring.key(0).sign(&Digest::of(b"a"));
+        assert!(!ring.verify(&Digest::of(b"b"), &sig));
+    }
+
+    #[test]
+    fn forged_signer_fails_verification() {
+        let ring = Keyring::new(1, 4);
+        let digest = Digest::of(b"msg");
+        // Replica 3 signs, then claims the signature came from replica 0.
+        let mut sig = ring.key(3).sign(&digest);
+        sig.signer = 0;
+        assert!(!ring.verify(&digest, &sig));
+    }
+
+    #[test]
+    fn out_of_range_signer_rejected() {
+        let ring = Keyring::new(1, 4);
+        let digest = Digest::of(b"msg");
+        let mut sig = ring.key(0).sign(&digest);
+        sig.signer = 99;
+        assert!(!ring.verify(&digest, &sig));
+    }
+
+    #[test]
+    fn signed_wrapper_verifies() {
+        let ring = Keyring::new(3, 4);
+        let signed = Signed::new(b"hello".to_vec(), ring.key(1));
+        assert!(signed.verify(&ring));
+        let tampered = Signed {
+            value: b"hellp".to_vec(),
+            signature: signed.signature,
+        };
+        assert!(!tampered.verify(&ring));
+    }
+}

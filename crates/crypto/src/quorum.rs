@@ -1,0 +1,308 @@
+//! Quorum certificates and vote aggregation.
+//!
+//! HotStuff-family protocols certify a proposal with a quorum certificate
+//! (QC): a collection of `q` partial signatures over the same digest. In
+//! Kauri and OptiTree, intermediate nodes aggregate the votes of their
+//! children before forwarding them towards the root; [`VoteAggregate`] models
+//! such an aggregate, including the OptiTree rule that an aggregate must
+//! carry a vote *or an explicit suspicion* for every child (§6.3).
+
+use crate::digest::Digest;
+use crate::keys::{Keyring, Signature, SIGNATURE_WIRE_BYTES};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One replica's signature share over a proposal digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialSignature {
+    /// The replica that voted.
+    pub signer: usize,
+    /// Digest the vote refers to.
+    pub digest: Digest,
+    /// The signature over the digest.
+    pub signature: Signature,
+}
+
+impl PartialSignature {
+    /// Create a partial signature from an existing signature.
+    pub fn new(signer: usize, digest: Digest, signature: Signature) -> Self {
+        PartialSignature {
+            signer,
+            digest,
+            signature,
+        }
+    }
+
+    /// Verify this share.
+    pub fn verify(&self, keyring: &Keyring) -> bool {
+        self.signature.signer == self.signer && keyring.verify(&self.digest, &self.signature)
+    }
+
+    /// Wire size of one share.
+    pub fn wire_bytes() -> usize {
+        8 + 32 + SIGNATURE_WIRE_BYTES
+    }
+}
+
+/// A quorum certificate: at least `threshold` distinct valid votes over one digest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct QuorumCertificate {
+    /// Digest certified by the quorum.
+    pub digest: Digest,
+    /// View / round in which the certificate was formed.
+    pub view: u64,
+    /// The signature shares.
+    pub shares: Vec<PartialSignature>,
+}
+
+impl QuorumCertificate {
+    /// The genesis certificate (no shares, zero digest) used to bootstrap chains.
+    pub fn genesis() -> Self {
+        QuorumCertificate {
+            digest: Digest::ZERO,
+            view: 0,
+            shares: Vec::new(),
+        }
+    }
+
+    /// Build a certificate from shares that vote for `digest` in `view`.
+    pub fn new(digest: Digest, view: u64, shares: Vec<PartialSignature>) -> Self {
+        QuorumCertificate {
+            digest,
+            view,
+            shares,
+        }
+    }
+
+    /// Number of *distinct* signers among the shares.
+    pub fn distinct_signers(&self) -> usize {
+        self.shares
+            .iter()
+            .map(|s| s.signer)
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// The set of distinct signers.
+    pub fn signers(&self) -> BTreeSet<usize> {
+        self.shares.iter().map(|s| s.signer).collect()
+    }
+
+    /// Verify the certificate: every share is valid, refers to this digest,
+    /// and at least `threshold` distinct replicas signed. The genesis
+    /// certificate verifies trivially.
+    pub fn verify(&self, keyring: &Keyring, threshold: usize) -> bool {
+        if self.digest == Digest::ZERO && self.shares.is_empty() {
+            return true;
+        }
+        if self.distinct_signers() < threshold {
+            return false;
+        }
+        self.shares
+            .iter()
+            .all(|s| s.digest == self.digest && s.verify(keyring))
+    }
+
+    /// Wire size of the certificate.
+    pub fn wire_bytes(&self) -> usize {
+        32 + 8 + self.shares.len() * PartialSignature::wire_bytes()
+    }
+}
+
+/// What an aggregate carries for one child: either its vote or an explicit
+/// suspicion that the child did not respond in time (OptiTree's misbehavior
+/// rule requires one entry per child, §6.3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregateEntry {
+    /// The child voted.
+    Vote(PartialSignature),
+    /// The aggregator suspects the child of not responding.
+    Suspected { child: usize },
+}
+
+/// Votes aggregated by an intermediate tree node on behalf of its subtree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VoteAggregate {
+    /// The aggregating (intermediate) node.
+    pub aggregator: usize,
+    /// Digest being voted on.
+    pub digest: Digest,
+    /// One entry per child, plus the aggregator's own vote.
+    pub entries: Vec<AggregateEntry>,
+}
+
+impl VoteAggregate {
+    /// Create an aggregate.
+    pub fn new(aggregator: usize, digest: Digest, entries: Vec<AggregateEntry>) -> Self {
+        VoteAggregate {
+            aggregator,
+            digest,
+            entries,
+        }
+    }
+
+    /// All valid votes contained in the aggregate.
+    pub fn votes(&self) -> Vec<&PartialSignature> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e {
+                AggregateEntry::Vote(v) => Some(v),
+                AggregateEntry::Suspected { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Children the aggregator explicitly suspected.
+    pub fn suspected(&self) -> Vec<usize> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e {
+                AggregateEntry::Suspected { child } => Some(*child),
+                AggregateEntry::Vote(_) => None,
+            })
+            .collect()
+    }
+
+    /// OptiTree validity rule: the aggregate must account for the aggregator
+    /// and each of its `children`, either with a vote or a suspicion. A
+    /// missing entry is proof of misbehavior against the aggregator.
+    pub fn is_complete(&self, children: &[usize]) -> bool {
+        let mut accounted: BTreeSet<usize> = BTreeSet::new();
+        for e in &self.entries {
+            match e {
+                AggregateEntry::Vote(v) => {
+                    accounted.insert(v.signer);
+                }
+                AggregateEntry::Suspected { child } => {
+                    accounted.insert(*child);
+                }
+            }
+        }
+        accounted.contains(&self.aggregator) && children.iter().all(|c| accounted.contains(c))
+    }
+
+    /// Verify all contained votes against the keyring and digest.
+    pub fn verify_votes(&self, keyring: &Keyring) -> bool {
+        self.votes()
+            .iter()
+            .all(|v| v.digest == self.digest && v.verify(keyring))
+    }
+
+    /// Wire size of the aggregate.
+    pub fn wire_bytes(&self) -> usize {
+        8 + 32
+            + self
+                .entries
+                .iter()
+                .map(|e| match e {
+                    AggregateEntry::Vote(_) => PartialSignature::wire_bytes(),
+                    AggregateEntry::Suspected { .. } => 8,
+                })
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::Keyring;
+
+    fn share(ring: &Keyring, id: usize, digest: Digest) -> PartialSignature {
+        PartialSignature::new(id, digest, ring.key(id).sign(&digest))
+    }
+
+    #[test]
+    fn qc_verifies_with_threshold() {
+        let ring = Keyring::new(1, 7);
+        let d = Digest::of(b"block");
+        let shares: Vec<_> = (0..5).map(|i| share(&ring, i, d)).collect();
+        let qc = QuorumCertificate::new(d, 3, shares);
+        assert!(qc.verify(&ring, 5));
+        assert!(!qc.verify(&ring, 6));
+        assert_eq!(qc.distinct_signers(), 5);
+    }
+
+    #[test]
+    fn qc_rejects_duplicate_signers_towards_threshold() {
+        let ring = Keyring::new(1, 4);
+        let d = Digest::of(b"block");
+        let s = share(&ring, 0, d);
+        let qc = QuorumCertificate::new(d, 1, vec![s, s, s]);
+        assert_eq!(qc.distinct_signers(), 1);
+        assert!(!qc.verify(&ring, 2));
+    }
+
+    #[test]
+    fn qc_rejects_share_for_other_digest() {
+        let ring = Keyring::new(1, 4);
+        let d1 = Digest::of(b"a");
+        let d2 = Digest::of(b"b");
+        let shares = vec![share(&ring, 0, d1), share(&ring, 1, d2)];
+        let qc = QuorumCertificate::new(d1, 1, shares);
+        assert!(!qc.verify(&ring, 2));
+    }
+
+    #[test]
+    fn genesis_qc_verifies() {
+        let ring = Keyring::new(1, 4);
+        assert!(QuorumCertificate::genesis().verify(&ring, 3));
+    }
+
+    #[test]
+    fn qc_wire_size_grows_with_shares() {
+        let ring = Keyring::new(1, 10);
+        let d = Digest::of(b"x");
+        let small = QuorumCertificate::new(d, 0, (0..3).map(|i| share(&ring, i, d)).collect());
+        let large = QuorumCertificate::new(d, 0, (0..9).map(|i| share(&ring, i, d)).collect());
+        assert!(large.wire_bytes() > small.wire_bytes());
+    }
+
+    #[test]
+    fn aggregate_completeness_requires_all_children() {
+        let ring = Keyring::new(1, 6);
+        let d = Digest::of(b"blk");
+        let children = vec![2, 3, 4];
+        let complete = VoteAggregate::new(
+            1,
+            d,
+            vec![
+                AggregateEntry::Vote(share(&ring, 1, d)),
+                AggregateEntry::Vote(share(&ring, 2, d)),
+                AggregateEntry::Suspected { child: 3 },
+                AggregateEntry::Vote(share(&ring, 4, d)),
+            ],
+        );
+        assert!(complete.is_complete(&children));
+        assert_eq!(complete.suspected(), vec![3]);
+        assert_eq!(complete.votes().len(), 3);
+        assert!(complete.verify_votes(&ring));
+
+        let incomplete = VoteAggregate::new(
+            1,
+            d,
+            vec![
+                AggregateEntry::Vote(share(&ring, 1, d)),
+                AggregateEntry::Vote(share(&ring, 2, d)),
+            ],
+        );
+        assert!(!incomplete.is_complete(&children));
+    }
+
+    #[test]
+    fn aggregate_missing_own_vote_is_incomplete() {
+        let ring = Keyring::new(1, 6);
+        let d = Digest::of(b"blk");
+        let agg = VoteAggregate::new(1, d, vec![AggregateEntry::Vote(share(&ring, 2, d))]);
+        assert!(!agg.is_complete(&[2]));
+    }
+
+    #[test]
+    fn aggregate_detects_invalid_vote() {
+        let ring = Keyring::new(1, 6);
+        let d = Digest::of(b"blk");
+        let mut bad = share(&ring, 2, d);
+        bad.signer = 3; // claims to be from 3, signed by 2
+        let agg = VoteAggregate::new(1, d, vec![AggregateEntry::Vote(bad)]);
+        assert!(!agg.verify_votes(&ring));
+    }
+}

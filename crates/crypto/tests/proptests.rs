@@ -1,0 +1,48 @@
+//! Property-based tests for the simulated cryptographic substrate.
+
+use crypto::{sha256, Digest, Keyring, PartialSignature, QuorumCertificate};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SHA-256 streaming equals one-shot for arbitrary chunkings.
+    #[test]
+    fn sha256_chunking_independent(data in prop::collection::vec(any::<u8>(), 0..2048), cut in 0usize..2048) {
+        let oneshot = sha256(&data);
+        let cut = cut.min(data.len());
+        let mut h = crypto::sha256::Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// Signatures verify exactly for the signing replica and message.
+    #[test]
+    fn signature_binding(msg in prop::collection::vec(any::<u8>(), 1..128), signer in 0usize..7, claimed in 0usize..7) {
+        let ring = Keyring::new(42, 7);
+        let digest = Digest::of(&msg);
+        let sig = ring.key(signer).sign(&digest);
+        prop_assert!(ring.verify(&digest, &sig));
+        prop_assert_eq!(ring.verify_from(claimed, &digest, &sig), claimed == signer);
+        // A different message never verifies.
+        let mut other = msg.clone();
+        other.push(0xAB);
+        prop_assert!(!ring.verify(&Digest::of(&other), &sig));
+    }
+
+    /// Quorum certificates verify exactly when they carry >= threshold
+    /// distinct valid shares over the certified digest.
+    #[test]
+    fn quorum_certificate_threshold(signers in prop::collection::vec(0usize..10, 0..15), threshold in 1usize..8) {
+        let ring = Keyring::new(9, 10);
+        let digest = Digest::of(b"block");
+        let shares: Vec<PartialSignature> = signers
+            .iter()
+            .map(|&s| PartialSignature::new(s, digest, ring.key(s).sign(&digest)))
+            .collect();
+        let qc = QuorumCertificate::new(digest, 1, shares);
+        let distinct = qc.distinct_signers();
+        prop_assert_eq!(qc.verify(&ring, threshold), distinct >= threshold);
+    }
+}

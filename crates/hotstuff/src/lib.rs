@@ -1,0 +1,21 @@
+//! # hotstuff — chained HotStuff over a star topology
+//!
+//! The baseline protocol for the tree-overlay experiments (Fig 9): a chained
+//! HotStuff \[63\] replica set where the leader of each view proposes a block
+//! certified by the previous view's quorum certificate, replicas vote
+//! directly to the (next) leader, and a block commits once it heads a
+//! three-chain of consecutive views. Two pacemakers are provided, matching
+//! the paper's baselines:
+//!
+//! * **HotStuff-fixed** — a fixed leader drives every view;
+//! * **HotStuff-rr** — the leader role rotates round-robin each view.
+//!
+//! The implementation exchanges explicit messages through the `netsim`
+//! simulator so that leader placement and replica geography determine
+//! throughput and latency exactly as in the paper's emulation.
+
+pub mod node;
+pub mod pacemaker;
+
+pub use node::{HotStuffConfig, HotStuffMessage, HotStuffNode, HotStuffReport, run_hotstuff};
+pub use pacemaker::Pacemaker;

@@ -1,0 +1,46 @@
+//! Leader-selection pacemakers.
+
+use serde::{Deserialize, Serialize};
+
+/// Decides which replica leads each view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pacemaker {
+    /// One replica leads every view (the paper's HotStuff-fixed baseline and
+    /// the mode used for throughput experiments, §7.3).
+    Fixed {
+        /// The fixed leader.
+        leader: usize,
+    },
+    /// The leader rotates round-robin every view (HotStuff-rr).
+    RoundRobin,
+}
+
+impl Pacemaker {
+    /// Leader of a view in an `n`-replica system.
+    pub fn leader(&self, view: u64, n: usize) -> usize {
+        match self {
+            Pacemaker::Fixed { leader } => *leader,
+            Pacemaker::RoundRobin => (view % n as u64) as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_leader_never_changes() {
+        let p = Pacemaker::Fixed { leader: 3 };
+        assert_eq!(p.leader(0, 7), 3);
+        assert_eq!(p.leader(100, 7), 3);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let p = Pacemaker::RoundRobin;
+        assert_eq!(p.leader(0, 4), 0);
+        assert_eq!(p.leader(1, 4), 1);
+        assert_eq!(p.leader(5, 4), 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! Network-level fault injection.
+//!
+//! The paper's adversary can delay its *own* messages (performance attacks),
+//! crash, or drop messages, but cannot delay traffic between correct
+//! replicas. [`FaultPlan`] captures exactly that: per-node and per-link
+//! modifications that the simulator applies when scheduling deliveries from a
+//! faulty sender. Protocol-level Byzantine behaviour (equivocation, lying
+//! about measurements) is implemented inside the protocol crates; this module
+//! only covers timing and omission faults visible at the network layer.
+
+use crate::sim::NodeId;
+use crate::time::{Duration, SimTime};
+use std::collections::HashMap;
+
+/// A fault applied to every message sent by a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeFault {
+    /// The node crashes at the given time: it stops sending and processing.
+    CrashAt(SimTime),
+    /// All outgoing messages are delayed by an additional fixed duration.
+    OutgoingDelay(Duration),
+    /// All outgoing messages have their link latency multiplied by a factor
+    /// (the paper's δ-inflation attack, §7.6).
+    OutgoingInflation(f64),
+    /// All outgoing messages are dropped after the given time.
+    SilentAfter(SimTime),
+}
+
+/// A fault applied to a single directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkFault {
+    /// Extra delay added to messages on this link.
+    Delay(Duration),
+    /// Latency multiplied by a factor on this link.
+    Inflation(f64),
+    /// Messages on this link are dropped.
+    Drop,
+}
+
+/// A collection of node and link faults applied by the simulator.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    node_faults: HashMap<NodeId, Vec<NodeFault>>,
+    link_faults: HashMap<(NodeId, NodeId), Vec<LinkFault>>,
+}
+
+impl FaultPlan {
+    /// An empty plan: every node behaves correctly at the network level.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a node-level fault.
+    pub fn add_node_fault(&mut self, node: NodeId, fault: NodeFault) -> &mut Self {
+        self.node_faults.entry(node).or_default().push(fault);
+        self
+    }
+
+    /// Add a directed link-level fault.
+    pub fn add_link_fault(&mut self, from: NodeId, to: NodeId, fault: LinkFault) -> &mut Self {
+        self.link_faults.entry((from, to)).or_default().push(fault);
+        self
+    }
+
+    /// Convenience: crash `node` at `at`.
+    pub fn crash(&mut self, node: NodeId, at: SimTime) -> &mut Self {
+        self.add_node_fault(node, NodeFault::CrashAt(at))
+    }
+
+    /// Convenience: inflate all outgoing latency of `node` by `factor`.
+    pub fn inflate_outgoing(&mut self, node: NodeId, factor: f64) -> &mut Self {
+        self.add_node_fault(node, NodeFault::OutgoingInflation(factor))
+    }
+
+    /// Nodes with a scheduled crash, with their crash times.
+    pub fn crash_schedule(&self) -> Vec<(NodeId, SimTime)> {
+        let mut v: Vec<(NodeId, SimTime)> = self
+            .node_faults
+            .iter()
+            .flat_map(|(&n, faults)| {
+                faults.iter().filter_map(move |f| match f {
+                    NodeFault::CrashAt(t) => Some((n, *t)),
+                    _ => None,
+                })
+            })
+            .collect();
+        v.sort_by_key(|&(n, t)| (t, n));
+        v
+    }
+
+    /// Compute the effective delivery delay of a message sent at `now` from
+    /// `from` to `to` whose nominal link latency is `base`. Returns `None` if
+    /// the message is dropped.
+    pub fn effective_delay(
+        &self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        base: Duration,
+    ) -> Option<Duration> {
+        let mut delay = base;
+        if let Some(faults) = self.node_faults.get(&from) {
+            for f in faults {
+                match f {
+                    NodeFault::CrashAt(t) if now >= *t => return None,
+                    NodeFault::SilentAfter(t) if now >= *t => return None,
+                    NodeFault::OutgoingDelay(d) => delay += *d,
+                    NodeFault::OutgoingInflation(factor) => delay = delay.mul_f64(*factor),
+                    _ => {}
+                }
+            }
+        }
+        if let Some(faults) = self.link_faults.get(&(from, to)) {
+            for f in faults {
+                match f {
+                    LinkFault::Drop => return None,
+                    LinkFault::Delay(d) => delay += *d,
+                    LinkFault::Inflation(factor) => delay = delay.mul_f64(*factor),
+                }
+            }
+        }
+        Some(delay)
+    }
+
+    /// True if `node` has crashed (per its crash schedule) at time `now`.
+    pub fn is_crashed(&self, node: NodeId, now: SimTime) -> bool {
+        self.node_faults
+            .get(&node)
+            .map(|faults| {
+                faults
+                    .iter()
+                    .any(|f| matches!(f, NodeFault::CrashAt(t) if now >= *t))
+            })
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_passes_messages_through() {
+        let plan = FaultPlan::none();
+        let d = plan.effective_delay(SimTime::ZERO, 0, 1, Duration::from_millis(10));
+        assert_eq!(d, Some(Duration::from_millis(10)));
+        assert!(!plan.is_crashed(0, SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn crash_drops_messages_after_crash_time() {
+        let mut plan = FaultPlan::none();
+        plan.crash(2, SimTime::from_secs(10));
+        let before = plan.effective_delay(SimTime::from_secs(9), 2, 0, Duration::from_millis(5));
+        let after = plan.effective_delay(SimTime::from_secs(10), 2, 0, Duration::from_millis(5));
+        assert!(before.is_some());
+        assert!(after.is_none());
+        assert!(plan.is_crashed(2, SimTime::from_secs(11)));
+        assert!(!plan.is_crashed(2, SimTime::from_secs(9)));
+    }
+
+    #[test]
+    fn outgoing_inflation_multiplies_latency() {
+        let mut plan = FaultPlan::none();
+        plan.inflate_outgoing(1, 1.4);
+        let d = plan
+            .effective_delay(SimTime::ZERO, 1, 0, Duration::from_millis(100))
+            .unwrap();
+        assert_eq!(d.as_millis(), 140);
+        // Other senders are unaffected.
+        let d2 = plan
+            .effective_delay(SimTime::ZERO, 0, 1, Duration::from_millis(100))
+            .unwrap();
+        assert_eq!(d2.as_millis(), 100);
+    }
+
+    #[test]
+    fn outgoing_delay_adds_latency() {
+        let mut plan = FaultPlan::none();
+        plan.add_node_fault(3, NodeFault::OutgoingDelay(Duration::from_millis(500)));
+        let d = plan
+            .effective_delay(SimTime::ZERO, 3, 1, Duration::from_millis(50))
+            .unwrap();
+        assert_eq!(d.as_millis(), 550);
+    }
+
+    #[test]
+    fn link_faults_apply_to_single_direction() {
+        let mut plan = FaultPlan::none();
+        plan.add_link_fault(0, 1, LinkFault::Drop);
+        plan.add_link_fault(1, 2, LinkFault::Delay(Duration::from_millis(20)));
+        assert!(plan
+            .effective_delay(SimTime::ZERO, 0, 1, Duration::from_millis(1))
+            .is_none());
+        assert!(plan
+            .effective_delay(SimTime::ZERO, 1, 0, Duration::from_millis(1))
+            .is_some());
+        assert_eq!(
+            plan.effective_delay(SimTime::ZERO, 1, 2, Duration::from_millis(10))
+                .unwrap()
+                .as_millis(),
+            30
+        );
+    }
+
+    #[test]
+    fn crash_schedule_sorted_by_time() {
+        let mut plan = FaultPlan::none();
+        plan.crash(5, SimTime::from_secs(30));
+        plan.crash(1, SimTime::from_secs(10));
+        plan.crash(3, SimTime::from_secs(20));
+        let sched = plan.crash_schedule();
+        assert_eq!(
+            sched,
+            vec![
+                (1, SimTime::from_secs(10)),
+                (3, SimTime::from_secs(20)),
+                (5, SimTime::from_secs(30))
+            ]
+        );
+    }
+
+    #[test]
+    fn silent_after_drops_only_after_threshold() {
+        let mut plan = FaultPlan::none();
+        plan.add_node_fault(0, NodeFault::SilentAfter(SimTime::from_secs(5)));
+        assert!(plan
+            .effective_delay(SimTime::from_secs(4), 0, 1, Duration::from_millis(1))
+            .is_some());
+        assert!(plan
+            .effective_delay(SimTime::from_secs(5), 0, 1, Duration::from_millis(1))
+            .is_none());
+    }
+}

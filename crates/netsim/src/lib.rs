@@ -1,0 +1,37 @@
+//! # netsim — deterministic discrete-event network simulator
+//!
+//! This crate provides the network substrate used by every protocol in the
+//! OptiLog reproduction. The paper evaluates OptiLog on a cluster where
+//! messages are artificially delayed according to a city-to-city round-trip
+//! dataset (WonderProxy, 220 locations). We reproduce that environment with a
+//! deterministic discrete-event simulator:
+//!
+//! * [`SimTime`] — microsecond-resolution virtual time.
+//! * [`Simulation`] — the event loop driving a set of [`Node`]s.
+//! * [`LatencyModel`] — pluggable per-link one-way latency (uniform, matrix,
+//!   geographic).
+//! * [`cities`] — a synthetic 220-city dataset calibrated to the paper's
+//!   150–250 ms intercontinental RTT range, with the region subsets used in
+//!   the evaluation (Europe21, NA-EU43, Stellar56, Global73).
+//! * [`faults`] — network-level fault injection (crashes, per-link delay
+//!   inflation, partitions, message drops).
+//!
+//! Determinism: given the same seed and the same node implementations, a
+//! simulation produces byte-identical traces. All randomness flows through a
+//! seeded [`rand::rngs::StdRng`].
+
+pub mod cities;
+pub mod event;
+pub mod faults;
+pub mod latency;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+pub use cities::{City, CityDataset, Region};
+pub use event::{Event, EventKind, EventQueue};
+pub use faults::{FaultPlan, LinkFault, NodeFault};
+pub use latency::{GeoLatency, LatencyModel, MatrixLatency, UniformLatency};
+pub use sim::{Action, Context, Node, NodeId, Simulation, SimulationConfig, TimerId};
+pub use stats::{Histogram, RateCounter, TimeSeries};
+pub use time::{Duration, SimTime};

@@ -1,0 +1,524 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulation`] owns a set of [`Node`]s, a [`LatencyModel`], and a
+//! [`FaultPlan`]. Nodes interact with the world exclusively through the
+//! [`Context`] handed to their callbacks: they can send messages, broadcast,
+//! set timers, and read the current virtual time. The engine delivers
+//! messages after the modelled link latency (possibly modified by the fault
+//! plan) and fires timers, advancing virtual time from event to event.
+
+use crate::event::{EventKind, EventQueue};
+use crate::faults::FaultPlan;
+use crate::latency::LatencyModel;
+use crate::time::{Duration, SimTime};
+use std::collections::HashSet;
+
+/// Identifier of a node in the simulation (index into the node vector).
+pub type NodeId = usize;
+
+/// Identifier of a timer set by a node. Unique per simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub u64);
+
+/// An action a node requests from the engine during a callback.
+#[derive(Debug, Clone)]
+pub enum Action<M> {
+    /// Send `msg` to node `to`.
+    Send { to: NodeId, msg: M },
+    /// Set a timer firing after `delay`, with an opaque `tag` echoed back.
+    SetTimer { delay: Duration, tag: u64 },
+    /// Cancel a previously set timer.
+    CancelTimer { timer: TimerId },
+}
+
+/// The interface nodes use to interact with the simulated world.
+///
+/// A `Context` is created fresh for each callback; actions are buffered and
+/// applied by the engine after the callback returns, in order.
+pub struct Context<M> {
+    /// Identity of the node being called.
+    pub id: NodeId,
+    /// Current virtual time.
+    pub now: SimTime,
+    /// Total number of nodes in the simulation.
+    pub n: usize,
+    actions: Vec<Action<M>>,
+    next_timer: u64,
+    allocated_timers: Vec<TimerId>,
+}
+
+impl<M> Context<M> {
+    fn new(id: NodeId, now: SimTime, n: usize, next_timer: u64) -> Self {
+        Context {
+            id,
+            now,
+            n,
+            actions: Vec::new(),
+            next_timer,
+            allocated_timers: Vec::new(),
+        }
+    }
+
+    /// Send a message to a single node. Sending to self is allowed and is
+    /// delivered with zero latency (next event at the same instant).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Send a message to every node except the sender.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for to in 0..self.n {
+            if to != self.id {
+                self.actions.push(Action::Send {
+                    to,
+                    msg: msg.clone(),
+                });
+            }
+        }
+    }
+
+    /// Send a message to every node in `targets` (skipping self-sends is the
+    /// caller's choice; they are allowed).
+    pub fn multicast(&mut self, targets: &[NodeId], msg: M)
+    where
+        M: Clone,
+    {
+        for &to in targets {
+            self.actions.push(Action::Send {
+                to,
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    /// Set a timer firing `delay` from now. The `tag` is echoed back to
+    /// `on_timer` so a node can multiplex many logical timers.
+    pub fn set_timer(&mut self, delay: Duration, tag: u64) -> TimerId {
+        let timer = TimerId(self.next_timer);
+        self.next_timer += 1;
+        self.allocated_timers.push(timer);
+        self.actions.push(Action::SetTimer { delay, tag });
+        timer
+    }
+
+    /// Cancel a previously set timer. Cancelling an already-fired timer is a no-op.
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.actions.push(Action::CancelTimer { timer });
+    }
+}
+
+/// A protocol participant driven by the simulator.
+pub trait Node {
+    /// Message type exchanged between nodes of this simulation.
+    type Msg: Clone;
+
+    /// Called once at simulation start (time zero).
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg>);
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, ctx: &mut Context<Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set by this node fires.
+    fn on_timer(&mut self, ctx: &mut Context<Self::Msg>, timer: TimerId, tag: u64);
+
+    /// Called when the node is crashed by the fault plan. Default: no-op.
+    fn on_crash(&mut self, _now: SimTime) {}
+}
+
+/// Configuration of a simulation run.
+pub struct SimulationConfig {
+    /// Stop once virtual time reaches this horizon.
+    pub horizon: SimTime,
+    /// Safety valve: stop after this many events even if the horizon has not
+    /// been reached (guards against event storms in buggy protocols).
+    pub max_events: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            horizon: SimTime::from_secs(120),
+            max_events: 200_000_000,
+        }
+    }
+}
+
+/// The discrete-event simulation engine.
+pub struct Simulation<N: Node> {
+    nodes: Vec<N>,
+    latency: Box<dyn LatencyModel>,
+    faults: FaultPlan,
+    queue: EventQueue<N::Msg>,
+    cancelled: HashSet<u64>,
+    timer_seq: HashSet<u64>,
+    crashed: Vec<bool>,
+    now: SimTime,
+    next_timer: u64,
+    events_processed: u64,
+    config: SimulationConfig,
+}
+
+impl<N: Node> Simulation<N> {
+    /// Create a simulation over `nodes` with the given latency model.
+    pub fn new(nodes: Vec<N>, latency: Box<dyn LatencyModel>) -> Self {
+        let n = nodes.len();
+        assert!(
+            latency.len() >= n,
+            "latency model covers {} nodes, need {n}",
+            latency.len()
+        );
+        Simulation {
+            crashed: vec![false; n],
+            nodes,
+            latency,
+            faults: FaultPlan::none(),
+            queue: EventQueue::new(),
+            cancelled: HashSet::new(),
+            timer_seq: HashSet::new(),
+            now: SimTime::ZERO,
+            next_timer: 0,
+            events_processed: 0,
+            config: SimulationConfig::default(),
+        }
+    }
+
+    /// Install a fault plan. Crash faults are scheduled as events.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        for (node, at) in faults.crash_schedule() {
+            self.queue.schedule(at, node, EventKind::Crash);
+        }
+        self.faults = faults;
+        self
+    }
+
+    /// Override the default run configuration.
+    pub fn with_config(mut self, config: SimulationConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to a node (e.g. to read statistics after the run).
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node (e.g. to reconfigure between phases).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id]
+    }
+
+    /// Iterate over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &N> {
+        self.nodes.iter()
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn dispatch_actions(&mut self, from: NodeId, ctx: Context<N::Msg>) {
+        self.next_timer = ctx.next_timer;
+        let mut allocated = ctx.allocated_timers.into_iter();
+        for action in ctx.actions {
+            match action {
+                Action::Send { to, msg } => {
+                    if to >= self.nodes.len() {
+                        continue;
+                    }
+                    let base = self.latency.latency(from, to);
+                    if let Some(delay) = self.faults.effective_delay(self.now, from, to, base) {
+                        self.queue
+                            .schedule(self.now + delay, to, EventKind::Deliver { from, msg });
+                    }
+                }
+                Action::SetTimer { delay, tag } => {
+                    let timer = allocated
+                        .next()
+                        .expect("timer allocation mismatch: SetTimer without allocated id");
+                    self.timer_seq.insert(timer.0);
+                    self.queue
+                        .schedule(self.now + delay, from, EventKind::Timer { timer, tag });
+                }
+                Action::CancelTimer { timer } => {
+                    self.cancelled.insert(timer.0);
+                }
+            }
+        }
+    }
+
+    /// Initialise every node (calls `on_start` at time zero). Called
+    /// automatically by [`Simulation::run`], but exposed for step-wise runs.
+    pub fn start(&mut self) {
+        for id in 0..self.nodes.len() {
+            if self.crashed[id] {
+                continue;
+            }
+            let mut ctx = Context::new(id, self.now, self.nodes.len(), self.next_timer);
+            self.nodes[id].on_start(&mut ctx);
+            self.dispatch_actions(id, ctx);
+        }
+    }
+
+    /// Process a single event. Returns `false` when the queue is exhausted or
+    /// the horizon / event budget is reached.
+    pub fn step(&mut self) -> bool {
+        if self.events_processed >= self.config.max_events {
+            return false;
+        }
+        let event = match self.queue.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        if event.at > self.config.horizon {
+            self.now = self.config.horizon;
+            return false;
+        }
+        self.now = event.at;
+        self.events_processed += 1;
+        let id = event.target;
+        match event.kind {
+            EventKind::Deliver { from, msg } => {
+                if self.crashed[id] {
+                    return true;
+                }
+                let mut ctx = Context::new(id, self.now, self.nodes.len(), self.next_timer);
+                self.nodes[id].on_message(&mut ctx, from, msg);
+                self.dispatch_actions(id, ctx);
+            }
+            EventKind::Timer { timer, tag } => {
+                if self.crashed[id] || self.cancelled.contains(&timer.0) {
+                    return true;
+                }
+                let mut ctx = Context::new(id, self.now, self.nodes.len(), self.next_timer);
+                self.nodes[id].on_timer(&mut ctx, timer, tag);
+                self.dispatch_actions(id, ctx);
+            }
+            EventKind::Crash => {
+                self.crashed[id] = true;
+                self.nodes[id].on_crash(self.now);
+            }
+            EventKind::Recover => {
+                self.crashed[id] = false;
+            }
+        }
+        true
+    }
+
+    /// Run to completion: start all nodes, then process events until the
+    /// queue drains, the horizon is reached, or the event budget is exhausted.
+    pub fn run(&mut self) {
+        self.start();
+        while self.step() {}
+    }
+
+    /// Run until virtual time reaches `until` (starting nodes if needed).
+    pub fn run_until(&mut self, until: SimTime) {
+        if self.events_processed == 0 && self.now == SimTime::ZERO {
+            self.start();
+        }
+        while let Some(t) = self.queue.next_time() {
+            if t > until {
+                self.now = until;
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::UniformLatency;
+
+    /// A node that floods a token around a ring a fixed number of times.
+    struct RingNode {
+        hops_seen: u32,
+        max_hops: u32,
+        deliveries: Vec<(SimTime, u32)>,
+    }
+
+    impl Node for RingNode {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<u32>) {
+            if ctx.id == 0 {
+                ctx.send((ctx.id + 1) % ctx.n, 0);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<u32>, _from: NodeId, hop: u32) {
+            self.hops_seen += 1;
+            self.deliveries.push((ctx.now, hop));
+            if hop < self.max_hops {
+                ctx.send((ctx.id + 1) % ctx.n, hop + 1);
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Context<u32>, _timer: TimerId, _tag: u64) {}
+    }
+
+    fn ring(n: usize, max_hops: u32) -> Vec<RingNode> {
+        (0..n)
+            .map(|_| RingNode {
+                hops_seen: 0,
+                max_hops,
+                deliveries: Vec::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_token_passes_with_latency() {
+        let n = 5;
+        let mut sim = Simulation::new(
+            ring(n, 9),
+            Box::new(UniformLatency::new(n, Duration::from_millis(10))),
+        );
+        sim.run();
+        // Hops 0..=9 delivered, each 10ms apart.
+        let total: u32 = sim.nodes().map(|nd| nd.hops_seen).sum();
+        assert_eq!(total, 10);
+        assert_eq!(sim.now().as_millis(), 100);
+        // First delivery is to node 1 at t=10ms.
+        assert_eq!(sim.node(1).deliveries[0].0.as_millis(), 10);
+    }
+
+    #[test]
+    fn crash_stops_processing() {
+        let n = 3;
+        let mut faults = FaultPlan::none();
+        faults.crash(2, SimTime::from_millis(15));
+        let mut sim = Simulation::new(
+            ring(n, 100),
+            Box::new(UniformLatency::new(n, Duration::from_millis(10))),
+        )
+        .with_faults(faults);
+        sim.run();
+        // Token: 0 ->10ms-> 1 ->20ms-> 2 (crashed at 15ms, never delivers).
+        assert_eq!(sim.node(1).hops_seen, 1);
+        assert_eq!(sim.node(2).hops_seen, 0);
+    }
+
+    struct TimerNode {
+        fired: Vec<(u64, SimTime)>,
+        cancel_second: bool,
+    }
+
+    impl Node for TimerNode {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut Context<()>) {
+            ctx.set_timer(Duration::from_millis(5), 1);
+            let t2 = ctx.set_timer(Duration::from_millis(10), 2);
+            if self.cancel_second {
+                ctx.cancel_timer(t2);
+            }
+        }
+
+        fn on_message(&mut self, _ctx: &mut Context<()>, _from: NodeId, _msg: ()) {}
+
+        fn on_timer(&mut self, ctx: &mut Context<()>, _timer: TimerId, tag: u64) {
+            self.fired.push((tag, ctx.now));
+        }
+    }
+
+    #[test]
+    fn timers_fire_with_tags() {
+        let mut sim = Simulation::new(
+            vec![TimerNode {
+                fired: vec![],
+                cancel_second: false,
+            }],
+            Box::new(UniformLatency::new(1, Duration::ZERO)),
+        );
+        sim.run();
+        assert_eq!(sim.node(0).fired.len(), 2);
+        assert_eq!(sim.node(0).fired[0].0, 1);
+        assert_eq!(sim.node(0).fired[0].1.as_millis(), 5);
+        assert_eq!(sim.node(0).fired[1].0, 2);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mut sim = Simulation::new(
+            vec![TimerNode {
+                fired: vec![],
+                cancel_second: true,
+            }],
+            Box::new(UniformLatency::new(1, Duration::ZERO)),
+        );
+        sim.run();
+        assert_eq!(sim.node(0).fired.len(), 1);
+        assert_eq!(sim.node(0).fired[0].0, 1);
+    }
+
+    #[test]
+    fn horizon_limits_run() {
+        let n = 3;
+        let mut sim = Simulation::new(
+            ring(n, u32::MAX),
+            Box::new(UniformLatency::new(n, Duration::from_millis(10))),
+        )
+        .with_config(SimulationConfig {
+            horizon: SimTime::from_millis(55),
+            max_events: u64::MAX,
+        });
+        sim.run();
+        assert!(sim.now() <= SimTime::from_millis(55));
+        let total: u32 = sim.nodes().map(|nd| nd.hops_seen).sum();
+        assert_eq!(total, 5, "one hop per 10ms until the 55ms horizon");
+    }
+
+    #[test]
+    fn run_until_pauses_and_resumes() {
+        let n = 4;
+        let mut sim = Simulation::new(
+            ring(n, 7),
+            Box::new(UniformLatency::new(n, Duration::from_millis(10))),
+        );
+        sim.run_until(SimTime::from_millis(35));
+        let mid: u32 = sim.nodes().map(|nd| nd.hops_seen).sum();
+        assert_eq!(mid, 3);
+        sim.run_until(SimTime::from_secs(10));
+        let total: u32 = sim.nodes().map(|nd| nd.hops_seen).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn determinism_same_seedless_run() {
+        let n = 5;
+        let mk = || {
+            let mut sim = Simulation::new(
+                ring(n, 20),
+                Box::new(UniformLatency::new(n, Duration::from_millis(3))),
+            );
+            sim.run();
+            sim.nodes()
+                .flat_map(|nd| nd.deliveries.iter().map(|&(t, h)| (t.as_micros(), h)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the simulator substrate.
+
+use netsim::{CityDataset, Duration, EventKind, EventQueue, FaultPlan, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events always come out of the queue in non-decreasing time order, and
+    /// ties preserve insertion order.
+    #[test]
+    fn event_queue_is_time_ordered(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q: EventQueue<()> = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i % 7, EventKind::Crash);
+        }
+        let mut last = SimTime::ZERO;
+        let mut last_seq = None;
+        while let Some(e) = q.pop() {
+            prop_assert!(e.at >= last);
+            if e.at == last {
+                if let Some(s) = last_seq {
+                    prop_assert!(e.seq > s);
+                }
+            }
+            last = e.at;
+            last_seq = Some(e.seq);
+        }
+    }
+
+    /// Duration arithmetic never panics and saturates at zero.
+    #[test]
+    fn duration_arithmetic_is_total(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4, k in 1.0f64..3.0) {
+        let da = Duration::from_micros(a);
+        let db = Duration::from_micros(b);
+        let _ = da + db;
+        prop_assert_eq!((da - db).as_micros(), a.saturating_sub(b));
+        prop_assert!(da.mul_f64(k) >= da);
+    }
+
+    /// City RTTs are symmetric, zero on the diagonal, and intercontinental
+    /// pairs stay within the paper's 150–250 ms envelope.
+    #[test]
+    fn city_rtt_invariants(a in 0usize..220, b in 0usize..220) {
+        let ds = CityDataset::worldwide();
+        let ab = ds.rtt_ms(a, b);
+        let ba = ds.rtt_ms(b, a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        if a == b {
+            prop_assert_eq!(ab, 0.0);
+        } else {
+            prop_assert!(ab > 0.0);
+            if ds.city(a).region != ds.city(b).region {
+                prop_assert!((150.0..=250.0).contains(&ab));
+            }
+        }
+    }
+
+    /// A fault plan without faults never drops or alters a message.
+    #[test]
+    fn empty_fault_plan_is_identity(now in 0u64..1_000_000, base in 0u64..1_000_000) {
+        let plan = FaultPlan::none();
+        let d = plan.effective_delay(
+            SimTime::from_micros(now), 0, 1, Duration::from_micros(base));
+        prop_assert_eq!(d, Some(Duration::from_micros(base)));
+    }
+
+    /// Inflation never reduces delay; delays only add.
+    #[test]
+    fn faults_never_speed_messages_up(factor in 1.0f64..3.0, extra in 0u64..10_000, base in 1u64..100_000) {
+        let mut plan = FaultPlan::none();
+        plan.inflate_outgoing(0, factor);
+        plan.add_node_fault(0, netsim::NodeFault::OutgoingDelay(Duration::from_micros(extra)));
+        let d = plan
+            .effective_delay(SimTime::ZERO, 0, 1, Duration::from_micros(base))
+            .unwrap();
+        prop_assert!(d >= Duration::from_micros(base));
+    }
+}

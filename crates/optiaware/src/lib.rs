@@ -1,0 +1,366 @@
+//! # optiaware — OptiLog applied to the Aware/BFT-SMaRt substrate (§5)
+//!
+//! OptiAware keeps Aware's deterministic latency optimisation and adds what
+//! Aware lacks: accountability for replicas that *behave differently for
+//! protocol messages than for probes*. It wires the OptiLog pipeline into the
+//! PBFT substrate:
+//!
+//! * the LatencySensor output (probe round-trip vectors) is replicated
+//!   through the log and folded into the shared latency matrix;
+//! * a [`optilog::SuspicionSensor`] checks every committed round against the
+//!   per-message timeouts derived from the Aware score function (`d_m`,
+//!   `d_rnd` — the TR1–TR3 construction of Appendix C) and logs `⟨Slow, …⟩`
+//!   suspicions for replicas that miss their deadlines, e.g. a leader running
+//!   the Pre-Prepare delay attack;
+//! * the [`optilog::SuspicionMonitor`] turns committed suspicions into the
+//!   candidate set `K` and fault estimate `u`;
+//! * the configuration search is restricted to candidates, so the attacker
+//!   loses the leader role and its `V_max` weight at the next
+//!   reconfiguration — which is exactly the recovery Fig 7 shows.
+
+use netsim::{Duration, SimTime};
+use optilog::{
+    LatencyMonitor, LatencyVector, MessageTimeout, RoundObservation, RoundTimeouts, Suspicion,
+    SuspicionMonitor, SuspicionMonitorParams, SuspicionSensor,
+};
+use pbft::{predict_message_delays, predict_round_latency, PbftRoundRecord, ReconfigPolicy, WeightConfig};
+use pbft::score::optimize_configuration;
+use serde::{Deserialize, Serialize};
+
+/// Measurement blobs OptiAware replicates through the ordered log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum OptiAwareBlob {
+    /// A probe-derived latency vector.
+    Latency {
+        /// Reporting replica.
+        reporter: usize,
+        /// Round-trip times in ms (∞ encoded as 1e9).
+        rtt_ms: Vec<f64>,
+    },
+    /// A suspicion raised by the SuspicionSensor.
+    Suspicion(Suspicion),
+}
+
+impl OptiAwareBlob {
+    /// Encode for the log.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("blob serializes")
+    }
+
+    /// Decode from the log.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+/// The OptiAware reconfiguration policy: Aware's optimisation plus OptiLog's
+/// suspicion monitoring.
+pub struct OptiAwarePolicy {
+    id: usize,
+    n: usize,
+    f: usize,
+    delta: f64,
+    latency: LatencyMonitor,
+    sensor: SuspicionSensor,
+    monitor: SuspicionMonitor,
+    current_config: WeightConfig,
+    current_score: f64,
+    optimize_after: SimTime,
+    improvement_factor: f64,
+    view: u64,
+}
+
+impl OptiAwarePolicy {
+    /// Create the policy for replica `id` of an `n`-replica system.
+    pub fn new(id: usize, n: usize, f: usize, delta: f64, optimize_after: SimTime) -> Self {
+        OptiAwarePolicy {
+            id,
+            n,
+            f,
+            delta,
+            latency: LatencyMonitor::new(n),
+            sensor: SuspicionSensor::new(id, delta),
+            monitor: SuspicionMonitor::new(SuspicionMonitorParams::new(n, f)),
+            current_config: WeightConfig::initial(n, f),
+            current_score: f64::INFINITY,
+            optimize_after,
+            improvement_factor: 0.9,
+            view: 0,
+        }
+    }
+
+    /// The candidate set currently derived from committed suspicions.
+    pub fn candidates(&mut self) -> Vec<usize> {
+        self.monitor.selection().as_vec()
+    }
+
+    /// True once the latency matrix covers every replica pair.
+    pub fn matrix_complete(&self) -> bool {
+        self.latency.matrix().is_complete()
+    }
+
+    /// Derive the per-message timeouts and round duration for the current
+    /// configuration from the shared latency matrix (TR1–TR3).
+    fn round_timeouts(&self) -> RoundTimeouts {
+        let matrix = self.latency.matrix().to_vec();
+        if matrix.iter().any(|x| !x.is_finite()) {
+            return RoundTimeouts::default();
+        }
+        let d_rnd =
+            predict_round_latency(&matrix, self.n, self.f, &self.current_config, &[]);
+        let messages = predict_message_delays(&matrix, self.n, self.f, &self.current_config, self.id)
+            .into_iter()
+            .map(|(from, kind, ms)| MessageTimeout::new(from, kind, Duration::from_millis_f64(ms)))
+            .collect();
+        RoundTimeouts::new(Duration::from_millis_f64(d_rnd), messages)
+    }
+}
+
+impl ReconfigPolicy for OptiAwarePolicy {
+    fn on_latency_vector(&mut self, reporter: usize, rtt_ms: &[f64]) -> Vec<Vec<u8>> {
+        let safe: Vec<f64> = rtt_ms
+            .iter()
+            .map(|&x| if x.is_finite() { x } else { 1.0e9 })
+            .collect();
+        vec![OptiAwareBlob::Latency {
+            reporter,
+            rtt_ms: safe,
+        }
+        .encode()]
+    }
+
+    fn on_round(&mut self, record: &PbftRoundRecord) -> Vec<Vec<u8>> {
+        let timeouts = self.round_timeouts();
+        if timeouts.messages.is_empty() {
+            return Vec::new();
+        }
+        let obs = RoundObservation {
+            round: record.seq,
+            leader: record.leader,
+            proposal_ts: record.proposal_ts,
+            prev_proposal_ts: record.prev_proposal_ts,
+            timeouts,
+            arrivals: record.arrivals.clone(),
+        };
+        let is_leader = record.leader == self.id;
+        self.sensor
+            .evaluate_round(&obs, is_leader)
+            .into_iter()
+            .map(|s| OptiAwareBlob::Suspicion(s).encode())
+            .collect()
+    }
+
+    fn on_committed_measurement(&mut self, _replica_id: usize, blob: &[u8]) -> Vec<Vec<u8>> {
+        let Some(blob) = OptiAwareBlob::decode(blob) else {
+            return Vec::new();
+        };
+        match blob {
+            OptiAwareBlob::Latency { reporter, rtt_ms } => {
+                self.latency.on_vector(&LatencyVector::new(reporter, rtt_ms));
+                Vec::new()
+            }
+            OptiAwareBlob::Suspicion(s) => {
+                self.monitor.on_suspicion(&s);
+                // Condition (c): reciprocate suspicions raised against us.
+                self.sensor
+                    .reciprocate(&s)
+                    .map(|r| vec![OptiAwareBlob::Suspicion(r).encode()])
+                    .unwrap_or_default()
+            }
+        }
+    }
+
+    fn decide(&mut self, current_epoch: u64, now: SimTime) -> Option<WeightConfig> {
+        self.view += 1;
+        self.monitor.on_view(self.view);
+        if now < self.optimize_after || !self.matrix_complete() {
+            return None;
+        }
+        let selection = self.monitor.selection();
+        let candidates = selection.as_vec();
+        let suspected: Vec<usize> = (0..self.n).filter(|r| !selection.contains(*r)).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let matrix = self.latency.matrix().to_vec();
+        let (config, score) = optimize_configuration(
+            &matrix,
+            self.n,
+            self.f,
+            &candidates,
+            &suspected,
+            current_epoch + 1,
+        );
+
+        // Reconfigure if the current configuration became invalid (a special
+        // role is held by a suspect) or the improvement is significant.
+        let current_invalid = self
+            .current_config
+            .special_roles()
+            .iter()
+            .any(|r| suspected.contains(r));
+        let improves = score < self.current_score * self.improvement_factor;
+        if current_invalid || improves {
+            self.current_config = config.clone();
+            self.current_score = score;
+            Some(config)
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "optiaware"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optilog::SuspicionKind;
+
+    fn uniformish(n: usize, fast: &[usize], fast_ms: f64, slow_ms: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|a| {
+                (0..n)
+                    .map(|b| {
+                        if a == b {
+                            0.0
+                        } else if fast.contains(&a) && fast.contains(&b) {
+                            fast_ms
+                        } else {
+                            slow_ms
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn feed_matrix(p: &mut OptiAwarePolicy, rows: &[Vec<f64>]) {
+        for (r, row) in rows.iter().enumerate() {
+            let blob = OptiAwareBlob::Latency {
+                reporter: r,
+                rtt_ms: row.clone(),
+            }
+            .encode();
+            p.on_committed_measurement(0, &blob);
+        }
+    }
+
+    #[test]
+    fn blob_roundtrip() {
+        let s = Suspicion {
+            kind: SuspicionKind::Slow,
+            accuser: 1,
+            accused: 0,
+            round: 7,
+            phase: 1,
+            accuser_is_leader: false,
+        };
+        let blob = OptiAwareBlob::Suspicion(s).encode();
+        match OptiAwareBlob::decode(&blob) {
+            Some(OptiAwareBlob::Suspicion(d)) => assert_eq!(d, s),
+            other => panic!("unexpected decode: {other:?}"),
+        }
+        assert!(OptiAwareBlob::decode(b"garbage").is_none());
+    }
+
+    #[test]
+    fn optimises_like_aware_without_suspicions() {
+        let n = 4;
+        let mut p = OptiAwarePolicy::new(1, n, 1, 1.0, SimTime::ZERO);
+        feed_matrix(&mut p, &uniformish(n, &[1, 2, 3], 10.0, 200.0));
+        let cfg = p.decide(0, SimTime::from_secs(1)).expect("optimises");
+        assert!([1, 2, 3].contains(&cfg.leader));
+        assert_eq!(cfg.epoch, 1);
+    }
+
+    #[test]
+    fn suspected_leader_is_excluded_from_roles() {
+        let n = 4;
+        let mut p = OptiAwarePolicy::new(1, n, 1, 1.0, SimTime::ZERO);
+        // Replica 0 would normally be the best leader (fastest links).
+        feed_matrix(&mut p, &uniformish(n, &[0, 1], 5.0, 80.0));
+        let first = p.decide(0, SimTime::from_secs(1)).expect("initial optimisation");
+        assert_eq!(first.leader, 0);
+
+        // Two replicas suspect replica 0 (e.g. it delays proposals); replica 0
+        // reciprocates only against one, leaving mutual suspicion pairs.
+        for accuser in [1usize, 2] {
+            let s = Suspicion {
+                kind: SuspicionKind::Slow,
+                accuser,
+                accused: 0,
+                round: 10,
+                phase: 1,
+                accuser_is_leader: false,
+            };
+            p.on_committed_measurement(0, &OptiAwareBlob::Suspicion(s).encode());
+            let rec = Suspicion {
+                kind: SuspicionKind::False,
+                accuser: 0,
+                accused: accuser,
+                round: 10,
+                phase: 1,
+                accuser_is_leader: false,
+            };
+            p.on_committed_measurement(0, &OptiAwareBlob::Suspicion(rec).encode());
+        }
+        let cfg = p
+            .decide(first.epoch, SimTime::from_secs(2))
+            .expect("reconfigures away from the suspect");
+        assert_ne!(cfg.leader, 0, "suspected replica must not lead");
+        assert!(!cfg.special_roles().contains(&0));
+    }
+
+    #[test]
+    fn sensor_raises_suspicion_for_delayed_proposal() {
+        let n = 4;
+        let mut p = OptiAwarePolicy::new(1, n, 1, 1.0, SimTime::ZERO);
+        feed_matrix(&mut p, &uniformish(n, &[0, 1, 2, 3], 20.0, 20.0));
+        // Complete the initial optimisation so timeouts are defined.
+        let cfg = p.decide(0, SimTime::from_secs(1)).expect("optimises");
+
+        // A round whose proposal timestamp is far later than the previous one.
+        let record = PbftRoundRecord {
+            seq: 50,
+            leader: cfg.leader,
+            proposal_ts: SimTime::from_millis(10_000),
+            prev_proposal_ts: Some(SimTime::from_millis(8_000)),
+            commit_time: SimTime::from_millis(10_100),
+            arrivals: (0..n)
+                .flat_map(|r| {
+                    vec![
+                        (r, 2, SimTime::from_millis(10_040)),
+                        (r, 3, SimTime::from_millis(10_080)),
+                    ]
+                })
+                .collect(),
+        };
+        let blobs = p.on_round(&record);
+        let suspicions: Vec<Suspicion> = blobs
+            .iter()
+            .filter_map(|b| match OptiAwareBlob::decode(b) {
+                Some(OptiAwareBlob::Suspicion(s)) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            suspicions.iter().any(|s| s.accused == cfg.leader),
+            "delayed proposal must raise a suspicion against the leader: {suspicions:?}"
+        );
+    }
+
+    #[test]
+    fn identical_logs_identical_decisions() {
+        let n = 4;
+        let rows = uniformish(n, &[2, 3], 15.0, 120.0);
+        let run = |id: usize| {
+            let mut p = OptiAwarePolicy::new(id, n, 1, 1.0, SimTime::ZERO);
+            feed_matrix(&mut p, &rows);
+            p.decide(0, SimTime::from_secs(5))
+        };
+        assert_eq!(run(0), run(3), "decisions depend only on committed data");
+    }
+}

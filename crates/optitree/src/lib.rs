@@ -1,0 +1,27 @@
+//! # optitree — OptiLog applied to Kauri's tree topology (§6)
+//!
+//! OptiTree selects *correct, low-latency* trees for large-scale tree-based
+//! BFT deployments:
+//!
+//! * [`score`] implements Definition 1 — the minimum latency for the root to
+//!   collect votes from `k = q + u` nodes, where `u` is the
+//!   SuspicionMonitor's estimate of misbehaving replicas — and the
+//!   tree-specific timeout derivation.
+//! * [`search`] runs simulated annealing over tree layouts, constraining the
+//!   internal-node positions to OptiLog's candidate set `K`.
+//! * [`policy`] packages the search as a [`kauri::TreePolicy`], together with
+//!   the `Kauri-sa` baseline from §7.5 (SA-optimised trees without the
+//!   candidate set / fault estimate).
+//! * [`attack`] reproduces the targeted-suspicion attack of Fig 10, where
+//!   faulty replicas suspect the correct internal nodes of the optimal tree
+//!   to force reconfigurations.
+
+pub mod attack;
+pub mod policy;
+pub mod score;
+pub mod search;
+
+pub use attack::{simulate_suspicion_attack, AttackOutcome, AttackVariant};
+pub use policy::{KauriSaPolicy, OptiTreePolicy};
+pub use score::{tree_score, tree_timeouts};
+pub use search::{search_tree, TreeSearchSpace};

@@ -1,0 +1,346 @@
+//! Tree policies: OptiTree and the Kauri-sa baseline.
+//!
+//! * [`OptiTreePolicy`] — simulated-annealing tree selection over the shared
+//!   latency matrix, constrained to OptiLog's candidate set. On a view
+//!   failure the replicas missing from the quorum are treated as suspicions:
+//!   the tree-exclusion rule of §6.4 removes the failed internal node
+//!   (possibly paired with one correct replica) from the candidate set and
+//!   raises the fault estimate `u`, so the next tree is both valid and
+//!   provisioned for `q + u` votes.
+//! * [`KauriSaPolicy`] — the §7.5 baseline: SA-optimised trees, but after a
+//!   failure *all* internal nodes of the failed tree are excluded and the
+//!   score keeps provisioning for the worst case `f`.
+
+use crate::score::{tree_score, tree_timeouts};
+use crate::search::{search_tree, TreeSearchSpace};
+use kauri::{Tree, TreePolicy};
+use netsim::Duration;
+use optilog::AnnealingParams;
+use rsm::SystemConfig;
+use std::collections::BTreeSet;
+
+/// OptiTree: candidate-constrained SA tree selection with the `u` estimate.
+pub struct OptiTreePolicy {
+    system: SystemConfig,
+    matrix_rtt_ms: Vec<f64>,
+    candidates: BTreeSet<usize>,
+    estimate_u: usize,
+    annealing: AnnealingParams,
+    seed: u64,
+    delta: f64,
+    last_tree: Option<Tree>,
+    reconfigurations: usize,
+}
+
+impl OptiTreePolicy {
+    /// Create the policy from the shared latency matrix.
+    pub fn new(system: SystemConfig, matrix_rtt_ms: Vec<f64>, seed: u64) -> Self {
+        OptiTreePolicy {
+            candidates: (0..system.n).collect(),
+            estimate_u: 0,
+            annealing: AnnealingParams {
+                iterations: 4_000,
+                ..Default::default()
+            },
+            seed,
+            delta: system.delta,
+            system,
+            matrix_rtt_ms,
+            last_tree: None,
+            reconfigurations: 0,
+        }
+    }
+
+    /// Override the annealing budget (maps the paper's search time).
+    pub fn with_annealing(mut self, params: AnnealingParams) -> Self {
+        self.annealing = params;
+        self
+    }
+
+    /// Current fault estimate `u`.
+    pub fn estimate_u(&self) -> usize {
+        self.estimate_u
+    }
+
+    /// Current candidate set.
+    pub fn candidates(&self) -> &BTreeSet<usize> {
+        &self.candidates
+    }
+
+    /// The number of votes the tree is provisioned for: `k = q + u`.
+    pub fn k(&self) -> usize {
+        (self.system.quorum() + self.estimate_u).min(self.system.n)
+    }
+
+    fn search_space(&self) -> TreeSearchSpace {
+        TreeSearchSpace {
+            n: self.system.n,
+            branch: self.system.tree_branch_factor(),
+            matrix_rtt_ms: self.matrix_rtt_ms.clone(),
+            candidates: self.candidates.iter().copied().collect(),
+            k: self.k(),
+        }
+    }
+}
+
+impl TreePolicy for OptiTreePolicy {
+    fn next_tree(&mut self, n: usize, b: usize) -> Tree {
+        // Ensure enough candidates remain to fill the internal positions;
+        // Theorem D.1 guarantees this, but guard against degenerate configs.
+        if self.candidates.len() < b + 1 {
+            self.candidates = (0..n).collect();
+            self.estimate_u = 0;
+        }
+        let space = self.search_space();
+        let (tree, _) = search_tree(
+            &space,
+            self.annealing,
+            self.seed.wrapping_add(self.reconfigurations as u64),
+        );
+        self.reconfigurations += 1;
+        self.last_tree = Some(tree.clone());
+        tree
+    }
+
+    fn vote_threshold(&self, system: &SystemConfig) -> usize {
+        system.quorum()
+    }
+
+    fn child_timeout(&self) -> Duration {
+        match &self.last_tree {
+            Some(tree) => {
+                tree_timeouts(tree, &self.matrix_rtt_ms, self.system.n, self.k(), self.delta).1
+                    + Duration::from_millis(5)
+            }
+            None => Duration::from_millis(400),
+        }
+    }
+
+    fn view_timeout(&self) -> Duration {
+        match &self.last_tree {
+            Some(tree) => {
+                let (view, _) =
+                    tree_timeouts(tree, &self.matrix_rtt_ms, self.system.n, self.k(), self.delta);
+                // Leave headroom for pipelined views queued behind each other.
+                view * 3 + Duration::from_millis(50)
+            }
+            None => Duration::from_millis(2_000),
+        }
+    }
+
+    fn on_view_failure(&mut self, missing: &[usize]) {
+        // §6.4: a failed tree yields suspicions against its unresponsive
+        // internal nodes; every such node is excluded together with (at most)
+        // one accuser, and u grows by the number of excluded pairs.
+        let Some(tree) = &self.last_tree else {
+            return;
+        };
+        let failed_internals: Vec<usize> = tree
+            .internal_nodes()
+            .into_iter()
+            .filter(|r| missing.contains(r))
+            .collect();
+        if failed_internals.is_empty() {
+            // The tree failed without an identifiable internal culprit
+            // (e.g. too many leaves down): provision for one more fault.
+            self.estimate_u = (self.estimate_u + 1).min(self.system.f);
+            return;
+        }
+        for internal in failed_internals {
+            if self.candidates.remove(&internal) {
+                self.estimate_u = (self.estimate_u + 1).min(self.system.n);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "optitree"
+    }
+}
+
+/// Kauri-sa: SA-optimised trees without OptiLog's candidate set or estimate.
+/// After each failure, every internal node of the failed tree is excluded
+/// (the behaviour described in §7.5), and the score always provisions for
+/// the worst case `k = q + f`.
+pub struct KauriSaPolicy {
+    system: SystemConfig,
+    matrix_rtt_ms: Vec<f64>,
+    excluded: BTreeSet<usize>,
+    annealing: AnnealingParams,
+    seed: u64,
+    last_tree: Option<Tree>,
+    reconfigurations: usize,
+}
+
+impl KauriSaPolicy {
+    /// Create the baseline policy.
+    pub fn new(system: SystemConfig, matrix_rtt_ms: Vec<f64>, seed: u64) -> Self {
+        KauriSaPolicy {
+            system,
+            matrix_rtt_ms,
+            excluded: BTreeSet::new(),
+            annealing: AnnealingParams {
+                iterations: 4_000,
+                ..Default::default()
+            },
+            seed,
+            last_tree: None,
+            reconfigurations: 0,
+        }
+    }
+
+    /// Replicas currently excluded from internal positions.
+    pub fn excluded(&self) -> &BTreeSet<usize> {
+        &self.excluded
+    }
+}
+
+impl TreePolicy for KauriSaPolicy {
+    fn next_tree(&mut self, n: usize, b: usize) -> Tree {
+        let mut candidates: Vec<usize> = (0..n).filter(|r| !self.excluded.contains(r)).collect();
+        if candidates.len() < b + 1 {
+            self.excluded.clear();
+            candidates = (0..n).collect();
+        }
+        let space = TreeSearchSpace {
+            n,
+            branch: b,
+            matrix_rtt_ms: self.matrix_rtt_ms.clone(),
+            candidates,
+            k: (self.system.quorum() + self.system.f).min(n),
+        };
+        let (tree, _) = search_tree(
+            &space,
+            self.annealing,
+            self.seed.wrapping_add(self.reconfigurations as u64),
+        );
+        self.reconfigurations += 1;
+        self.last_tree = Some(tree.clone());
+        tree
+    }
+
+    fn on_view_failure(&mut self, _missing: &[usize]) {
+        if let Some(tree) = &self.last_tree {
+            self.excluded.extend(tree.internal_nodes());
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "kauri-sa"
+    }
+}
+
+/// Score a policy-produced tree with Definition 1 (helper for harnesses).
+pub fn score_tree(tree: &Tree, matrix_rtt_ms: &[f64], n: usize, k: usize) -> f64 {
+    tree_score(tree, matrix_rtt_ms, n, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered(n: usize, cluster: usize) -> Vec<f64> {
+        let mut m = vec![0.0; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    m[a * n + b] = if a < cluster && b < cluster { 10.0 } else { 200.0 };
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn optitree_picks_better_trees_than_random() {
+        let n = 21;
+        let system = SystemConfig::new(n);
+        let m = clustered(n, 10);
+        let mut policy = OptiTreePolicy::new(system, m.clone(), 3);
+        let tree = policy.next_tree(n, system.tree_branch_factor());
+        let k = policy.k();
+        let opt_score = tree_score(&tree, &m, n, k);
+        // Average random tree score.
+        let rand_score: f64 = (0..20)
+            .map(|s| tree_score(&Tree::random(n, system.tree_branch_factor(), s), &m, n, k))
+            .sum::<f64>()
+            / 20.0;
+        assert!(
+            opt_score < rand_score,
+            "OptiTree {opt_score} should beat random {rand_score}"
+        );
+    }
+
+    #[test]
+    fn view_failure_excludes_internal_and_raises_u() {
+        let n = 21;
+        let system = SystemConfig::new(n);
+        let mut policy = OptiTreePolicy::new(system, clustered(n, 21), 1);
+        let tree = policy.next_tree(n, system.tree_branch_factor());
+        let victim = tree.intermediates[0];
+        assert_eq!(policy.estimate_u(), 0);
+        policy.on_view_failure(&[victim]);
+        assert_eq!(policy.estimate_u(), 1);
+        assert!(!policy.candidates().contains(&victim));
+        let next = policy.next_tree(n, system.tree_branch_factor());
+        assert!(
+            !next.internal_nodes().contains(&victim),
+            "excluded replica must not be internal again"
+        );
+    }
+
+    #[test]
+    fn failure_without_internal_culprit_still_raises_u() {
+        let n = 13;
+        let system = SystemConfig::new(n);
+        let mut policy = OptiTreePolicy::new(system, clustered(n, 13), 1);
+        let tree = policy.next_tree(n, 3);
+        let some_leaf = *tree.leaves_of(tree.intermediates[0]).first().expect("leaf");
+        policy.on_view_failure(&[some_leaf]);
+        assert_eq!(policy.estimate_u(), 1);
+        assert_eq!(policy.candidates().len(), n, "leaves are not excluded");
+    }
+
+    #[test]
+    fn kauri_sa_excludes_all_internals_after_failure() {
+        let n = 21;
+        let system = SystemConfig::new(n);
+        let mut policy = KauriSaPolicy::new(system, clustered(n, 21), 9);
+        let t1 = policy.next_tree(n, 4);
+        policy.on_view_failure(&[t1.root]);
+        assert_eq!(policy.excluded().len(), 5, "root + 4 intermediates excluded");
+        let t2 = policy.next_tree(n, 4);
+        for r in t1.internal_nodes() {
+            assert!(!t2.internal_nodes().contains(&r));
+        }
+    }
+
+    #[test]
+    fn optitree_timeouts_reflect_tree_latency() {
+        let n = 21;
+        let system = SystemConfig::new(n);
+        let mut policy = OptiTreePolicy::new(system, clustered(n, 21), 2);
+        assert_eq!(policy.view_timeout(), Duration::from_millis(2_000), "default before a tree exists");
+        let _ = policy.next_tree(n, 4);
+        let view = policy.view_timeout();
+        // All links are 10 ms RTT, so the view timeout must be tight (well
+        // below the 2 s default) once derived from the tree.
+        assert!(view < Duration::from_millis(500), "got {view}");
+        assert!(policy.child_timeout() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn candidate_exhaustion_resets_instead_of_panicking() {
+        let n = 13;
+        let system = SystemConfig::new(n);
+        let mut policy = OptiTreePolicy::new(system, clustered(n, 13), 4);
+        // Fail enough internal nodes to exhaust the candidate pool.
+        for _ in 0..12 {
+            let tree = policy.next_tree(n, 3);
+            let internals = tree.internal_nodes();
+            policy.on_view_failure(&internals);
+        }
+        let tree = policy.next_tree(n, 3);
+        assert_eq!(tree.size(), n);
+    }
+}

@@ -1,0 +1,249 @@
+//! A ready-made experiment harness for the PBFT family: builds a simulation
+//! of `n` replicas plus co-located clients over a city RTT matrix, runs it
+//! for a configured virtual duration, and reports client-observed latency
+//! timelines (Fig 7) and replica-side throughput/latency.
+
+use crate::policy::ReconfigPolicy;
+use crate::replica::{ClientState, PbftNode, ReplicaBehavior, ReplicaState};
+use netsim::{Duration, MatrixLatency, SimTime, Simulation, SimulationConfig, TimeSeries};
+use rsm::RunSummary;
+
+/// Configuration of one PBFT simulation run.
+pub struct PbftHarnessConfig {
+    /// Number of replicas.
+    pub n: usize,
+    /// Fault threshold.
+    pub f: usize,
+    /// Number of clients (client `i` is co-located with replica `i % n`).
+    pub clients: usize,
+    /// Virtual run duration.
+    pub run_for: Duration,
+    /// Symmetric replica-to-replica RTT matrix in milliseconds (n × n).
+    pub rtt_matrix_ms: Vec<f64>,
+    /// Per-replica behavior (length `n`).
+    pub behaviors: Vec<ReplicaBehavior>,
+}
+
+impl PbftHarnessConfig {
+    /// A correct-replica configuration over the given RTT matrix.
+    pub fn new(n: usize, f: usize, clients: usize, rtt_matrix_ms: Vec<f64>) -> Self {
+        assert_eq!(rtt_matrix_ms.len(), n * n, "RTT matrix must be n*n");
+        PbftHarnessConfig {
+            n,
+            f,
+            clients,
+            run_for: Duration::from_secs(180),
+            rtt_matrix_ms,
+            behaviors: vec![ReplicaBehavior::Correct; n],
+        }
+    }
+
+    /// Make one replica perform the Pre-Prepare delay attack.
+    pub fn with_delay_attacker(mut self, replica: usize, delay: Duration, after: SimTime) -> Self {
+        self.behaviors[replica] = ReplicaBehavior::DelayPropose { delay, after };
+        self
+    }
+
+    /// Override the run duration.
+    pub fn run_for(mut self, d: Duration) -> Self {
+        self.run_for = d;
+        self
+    }
+}
+
+/// Results of one run.
+pub struct PbftRunReport {
+    /// End-to-end latency timeline per client (seconds, ms).
+    pub client_latency: Vec<TimeSeries>,
+    /// Requests completed per client.
+    pub client_completed: Vec<u64>,
+    /// Consensus-side summary from the first correct replica.
+    pub replica_summary: RunSummary,
+    /// Times (in seconds) at which replica 1 reconfigured, with the new leader.
+    pub reconfigurations: Vec<(f64, usize)>,
+    /// Name of the policy that produced the run.
+    pub policy_name: &'static str,
+}
+
+impl PbftRunReport {
+    /// Mean client latency (ms) over a virtual-time window `[from, to)` seconds.
+    pub fn mean_client_latency(&self, from: f64, to: f64) -> f64 {
+        let vals: Vec<f64> = self
+            .client_latency
+            .iter()
+            .map(|ts| ts.mean_in_window(from, to))
+            .filter(|&v| v > 0.0)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+}
+
+/// The harness itself.
+pub struct PbftHarness;
+
+impl PbftHarness {
+    /// Build the (n + clients)-node one-way latency matrix: clients share the
+    /// city of the replica they are co-located with.
+    fn build_latency(config: &PbftHarnessConfig) -> MatrixLatency {
+        let n = config.n;
+        let total = n + config.clients;
+        let city_of = |node: usize| if node < n { node } else { (node - n) % n };
+        let mut rtt = vec![0.0; total * total];
+        for a in 0..total {
+            for b in 0..total {
+                if a == b {
+                    continue;
+                }
+                let (ca, cb) = (city_of(a), city_of(b));
+                // Same city: 2 ms local RTT; otherwise city RTT.
+                rtt[a * total + b] = if ca == cb {
+                    2.0
+                } else {
+                    config.rtt_matrix_ms[ca * n + cb]
+                };
+            }
+        }
+        MatrixLatency::from_rtt_millis(total, &rtt)
+    }
+
+    /// Run the protocol with the given per-replica policy factory.
+    pub fn run(
+        config: &PbftHarnessConfig,
+        policy_name: &'static str,
+        mut policy_factory: impl FnMut(usize) -> Box<dyn ReconfigPolicy>,
+    ) -> PbftRunReport {
+        let n = config.n;
+        let mut nodes: Vec<PbftNode> = Vec::with_capacity(n + config.clients);
+        for id in 0..n {
+            nodes.push(PbftNode::Replica(ReplicaState::new(
+                id,
+                n,
+                config.f,
+                policy_factory(id),
+                config.behaviors[id],
+            )));
+        }
+        for c in 0..config.clients {
+            nodes.push(PbftNode::Client(ClientState::new(c as u64, n, config.f)));
+        }
+
+        let latency = Self::build_latency(config);
+        let mut sim = Simulation::new(nodes, Box::new(latency)).with_config(SimulationConfig {
+            horizon: SimTime::ZERO + config.run_for,
+            max_events: 500_000_000,
+        });
+        sim.run();
+
+        // Collect results.
+        let mut client_latency = Vec::new();
+        let mut client_completed = Vec::new();
+        let mut replica_summary = None;
+        let mut reconfigurations = Vec::new();
+        for id in 0..sim.len() {
+            match sim.node_mut(id) {
+                PbftNode::Replica(r) => {
+                    if id == 1 {
+                        reconfigurations = r
+                            .reconfigs
+                            .iter()
+                            .map(|e| (e.at.as_secs_f64(), e.config.leader))
+                            .collect();
+                    }
+                    if replica_summary.is_none() && config.behaviors[id] == ReplicaBehavior::Correct
+                    {
+                        replica_summary = Some(r.stats.summary(config.run_for.as_micros() / 1_000_000));
+                    }
+                }
+                PbftNode::Client(c) => {
+                    client_latency.push(c.latency.clone());
+                    client_completed.push(c.completed);
+                }
+            }
+        }
+
+        PbftRunReport {
+            client_latency,
+            client_completed,
+            replica_summary: replica_summary.expect("at least one correct replica"),
+            reconfigurations,
+            policy_name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AwarePolicy, StaticPolicy};
+
+    /// A 4-replica matrix with a fast cluster {1,2,3} and a slow replica 0.
+    fn skewed_matrix(n: usize) -> Vec<f64> {
+        let mut m = vec![0.0; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let slow = a == 0 || b == 0;
+                m[a * n + b] = if slow { 120.0 } else { 20.0 };
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn static_run_commits_requests() {
+        let config = PbftHarnessConfig::new(4, 1, 2, skewed_matrix(4))
+            .run_for(Duration::from_secs(20));
+        let report = PbftHarness::run(&config, "bft-smart", |_| Box::new(StaticPolicy));
+        assert!(report.replica_summary.committed_blocks > 10);
+        assert!(report.client_completed.iter().all(|&c| c > 5));
+        assert!(report.reconfigurations.is_empty());
+        assert!(report.mean_client_latency(1.0, 20.0) > 0.0);
+    }
+
+    #[test]
+    fn aware_reconfigures_away_from_slow_leader() {
+        let config = PbftHarnessConfig::new(4, 1, 2, skewed_matrix(4))
+            .run_for(Duration::from_secs(60));
+        let report = PbftHarness::run(&config, "aware", |_| {
+            Box::new(AwarePolicy::new(4, 1, SimTime::from_secs(15)))
+        });
+        assert!(
+            !report.reconfigurations.is_empty(),
+            "Aware should optimise once the matrix is complete"
+        );
+        let (_, new_leader) = report.reconfigurations[0];
+        assert_ne!(new_leader, 0, "slow replica should lose the leader role");
+        // Latency after optimisation should beat latency before it.
+        let before = report.mean_client_latency(2.0, 14.0);
+        let after = report.mean_client_latency(30.0, 60.0);
+        assert!(
+            after < before,
+            "expected improvement, before={before:.1}ms after={after:.1}ms"
+        );
+    }
+
+    #[test]
+    fn delay_attack_inflates_latency_for_static_policy() {
+        let base = PbftHarnessConfig::new(4, 1, 2, skewed_matrix(4))
+            .run_for(Duration::from_secs(40));
+        let clean = PbftHarness::run(&base, "bft-smart", |_| Box::new(StaticPolicy));
+
+        let attacked_cfg = PbftHarnessConfig::new(4, 1, 2, skewed_matrix(4))
+            .run_for(Duration::from_secs(40))
+            .with_delay_attacker(0, Duration::from_millis(500), SimTime::from_secs(10));
+        let attacked = PbftHarness::run(&attacked_cfg, "bft-smart", |_| Box::new(StaticPolicy));
+
+        let clean_late = clean.mean_client_latency(15.0, 40.0);
+        let attacked_late = attacked.mean_client_latency(15.0, 40.0);
+        assert!(
+            attacked_late > clean_late * 1.5,
+            "attack should inflate latency: clean={clean_late:.1}ms attacked={attacked_late:.1}ms"
+        );
+    }
+}

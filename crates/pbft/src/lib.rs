@@ -1,0 +1,36 @@
+//! # pbft — BFT-SMaRt-style replication with Wheat weights and Aware optimisation
+//!
+//! This crate implements the PBFT-family substrate the paper applies OptiLog
+//! to in §5: a three-phase (Propose / Write / Accept) protocol in the style
+//! of BFT-SMaRt, extended with
+//!
+//! * **Wheat weighted voting** — some replicas carry a higher voting weight,
+//!   so quorums form as soon as the *weighted* threshold is reached, letting
+//!   well-placed replicas dominate latency;
+//! * **probe-based latency measurement** — replicas periodically measure
+//!   round-trip times and disseminate latency vectors through the ordered
+//!   log (the sensor app of Fig 1);
+//! * **Aware self-optimisation** — a deterministic `score(·)` that predicts
+//!   a configuration's round latency from the latency matrix and picks the
+//!   leader and weight assignment minimising it;
+//! * a pluggable [`ReconfigPolicy`] so OptiAware (in the `optiaware` crate)
+//!   can add suspicion monitoring and attack mitigation without forking the
+//!   protocol.
+//!
+//! The protocol runs inside the `netsim` discrete-event simulator; clients
+//! are simulated nodes issuing requests in a closed loop and measuring
+//! end-to-end latency, which is what Fig 7 plots.
+
+pub mod harness;
+pub mod messages;
+pub mod policy;
+pub mod replica;
+pub mod score;
+pub mod weights;
+
+pub use harness::{PbftHarness, PbftHarnessConfig, PbftRunReport};
+pub use messages::{PbftMessage, Phase};
+pub use policy::{AwarePolicy, PbftRoundRecord, ReconfigPolicy, StaticPolicy};
+pub use replica::{ClientState, PbftNode, ReplicaBehavior, ReplicaState};
+pub use score::{predict_round_latency, predict_message_delays, weighted_quorum_time};
+pub use weights::WeightConfig;

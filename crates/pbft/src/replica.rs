@@ -1,0 +1,608 @@
+//! The PBFT/BFT-SMaRt replica and client state machines, driven by the
+//! discrete-event simulator.
+//!
+//! A [`PbftNode`] is either a replica or a client. Replicas run the
+//! three-phase protocol with weighted quorums; the leader piggybacks pending
+//! measurement blobs on its proposals (the "sensor app" path of Fig 1), and
+//! every replica feeds committed blobs to its [`ReconfigPolicy`] in log
+//! order, so configuration decisions are identical everywhere. Clients issue
+//! requests in a closed loop and record end-to-end latency, which is what
+//! Fig 7 plots.
+
+use crate::messages::{PbftMessage, Phase};
+use crate::policy::{PbftRoundRecord, ReconfigPolicy};
+use crate::weights::WeightConfig;
+use crypto::{Digest, Hashable};
+use netsim::{Context, Duration, Node, NodeId, SimTime, TimerId, TimeSeries};
+use rsm::{Block, Command, CommitStats};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Timer tags used by replicas and clients.
+const TIMER_PROBE_START: u64 = 1;
+const TIMER_PROBE_COLLECT: u64 = 2;
+const TIMER_PROPOSE_RETRY: u64 = 3;
+const TIMER_DELAYED_PROPOSE: u64 = 4;
+
+/// How a replica behaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplicaBehavior {
+    /// Follows the protocol.
+    Correct,
+    /// Performs the Pre-Prepare delay attack: once it is leader and the
+    /// attack has started, it delays sending each proposal by `delay`
+    /// (keeping its proposal timestamp honest, so the delay is visible as a
+    /// widened inter-proposal gap — exactly what suspicion condition (a)
+    /// detects).
+    DelayPropose {
+        /// Extra delay added to every proposal.
+        delay: Duration,
+        /// Attack start time.
+        after: SimTime,
+    },
+}
+
+/// One in-flight consensus instance at a replica.
+#[derive(Debug, Clone)]
+struct Instance {
+    block: Block,
+    digest: Digest,
+    proposal_ts: SimTime,
+    measurements: Vec<Vec<u8>>,
+    write_voters: BTreeSet<usize>,
+    accept_voters: BTreeSet<usize>,
+    sent_accept: bool,
+    committed: bool,
+    arrivals: Vec<(usize, u32, SimTime)>,
+}
+
+/// A record of one reconfiguration, for run reports.
+#[derive(Debug, Clone)]
+pub struct ReconfigEvent {
+    /// When the replica switched.
+    pub at: SimTime,
+    /// The new configuration.
+    pub config: WeightConfig,
+}
+
+/// Protocol state of one replica.
+pub struct ReplicaState {
+    /// Replica id (0-based, below `n`).
+    pub id: usize,
+    n: usize,
+    f: usize,
+    batch_cap: usize,
+    probe_interval: Duration,
+    probe_timeout: Duration,
+    behavior: ReplicaBehavior,
+    policy: Box<dyn ReconfigPolicy>,
+    config: WeightConfig,
+    pending_requests: Vec<Command>,
+    committed_requests: BTreeSet<(u64, u64)>,
+    pending_measurements: Vec<Vec<u8>>,
+    instances: BTreeMap<u64, Instance>,
+    next_seq: u64,
+    last_committed_seq: u64,
+    prev_proposal_ts: Option<SimTime>,
+    delayed_block: Option<(u64, Block, Vec<Vec<u8>>)>,
+    /// Committed rounds whose observations are still accumulating late
+    /// arrivals; they are handed to the policy two commits later so that
+    /// messages from replicas outside the fastest quorum are not mistaken
+    /// for omissions.
+    pending_records: Vec<PbftRoundRecord>,
+    probe_nonce: u64,
+    probe_rtts: Vec<f64>,
+    /// Statistics: consensus latency and throughput.
+    pub stats: CommitStats,
+    /// Reconfigurations this replica performed.
+    pub reconfigs: Vec<ReconfigEvent>,
+}
+
+impl ReplicaState {
+    /// Create a replica.
+    pub fn new(
+        id: usize,
+        n: usize,
+        f: usize,
+        policy: Box<dyn ReconfigPolicy>,
+        behavior: ReplicaBehavior,
+    ) -> Self {
+        ReplicaState {
+            id,
+            n,
+            f,
+            batch_cap: 1000,
+            probe_interval: Duration::from_secs(5),
+            probe_timeout: Duration::from_millis(800),
+            behavior,
+            policy,
+            config: WeightConfig::initial(n, f),
+            pending_requests: Vec::new(),
+            committed_requests: BTreeSet::new(),
+            pending_measurements: Vec::new(),
+            instances: BTreeMap::new(),
+            next_seq: 1,
+            last_committed_seq: 0,
+            prev_proposal_ts: None,
+            delayed_block: None,
+            pending_records: Vec::new(),
+            probe_nonce: 0,
+            probe_rtts: vec![f64::INFINITY; n],
+            stats: CommitStats::new(),
+            reconfigs: Vec::new(),
+        }
+    }
+
+    /// The currently active configuration.
+    pub fn config(&self) -> &WeightConfig {
+        &self.config
+    }
+
+    fn is_leader(&self) -> bool {
+        self.config.leader == self.id
+    }
+
+    fn client_node(&self, client: u64) -> NodeId {
+        self.n + client as usize
+    }
+
+    fn try_propose(&mut self, ctx: &mut Context<PbftMessage>) {
+        if !self.is_leader() || self.delayed_block.is_some() {
+            return;
+        }
+        // Only one instance in flight (BFT-SMaRt's consensus-per-batch).
+        if self.next_seq != self.last_committed_seq + 1 {
+            return;
+        }
+        // Leaders propose continuously: when no client requests or
+        // measurements are pending, an empty heartbeat block keeps rounds
+        // back-to-back, which is what the round-duration estimate `d_rnd`
+        // (and therefore suspicion condition (a)) assumes.
+        let take = self.pending_requests.len().min(self.batch_cap);
+        let commands: Vec<Command> = self.pending_requests.drain(..take).collect();
+        let block = Block::new(Digest::ZERO, self.next_seq, self.next_seq, self.id, commands);
+        let measurements = std::mem::take(&mut self.pending_measurements);
+
+        if let ReplicaBehavior::DelayPropose { delay, after } = self.behavior {
+            if ctx.now >= after {
+                self.delayed_block = Some((self.next_seq, block, measurements));
+                ctx.set_timer(delay, TIMER_DELAYED_PROPOSE);
+                return;
+            }
+        }
+        self.send_propose(ctx, self.next_seq, block, measurements);
+    }
+
+    fn send_propose(
+        &mut self,
+        ctx: &mut Context<PbftMessage>,
+        seq: u64,
+        block: Block,
+        measurements: Vec<Vec<u8>>,
+    ) {
+        self.next_seq = seq + 1;
+        let msg = PbftMessage::Propose {
+            seq,
+            epoch: self.config.epoch,
+            block: block.clone(),
+            timestamp_us: ctx.now.as_micros(),
+            measurements: measurements.clone(),
+        };
+        let replicas: Vec<NodeId> = (0..self.n).filter(|&r| r != self.id).collect();
+        ctx.multicast(&replicas, msg);
+        // Process our own proposal locally.
+        self.handle_propose(ctx, self.id, seq, block, ctx.now.as_micros(), measurements);
+    }
+
+    fn handle_propose(
+        &mut self,
+        ctx: &mut Context<PbftMessage>,
+        from: usize,
+        seq: u64,
+        block: Block,
+        timestamp_us: u64,
+        measurements: Vec<Vec<u8>>,
+    ) {
+        if seq <= self.last_committed_seq {
+            return;
+        }
+        let digest = block.digest();
+        let entry = self.instances.entry(seq).or_insert_with(|| Instance {
+            block: block.clone(),
+            digest,
+            proposal_ts: SimTime::from_micros(timestamp_us),
+            measurements: measurements.clone(),
+            write_voters: BTreeSet::new(),
+            accept_voters: BTreeSet::new(),
+            sent_accept: false,
+            committed: false,
+            arrivals: Vec::new(),
+        });
+        entry.block = block;
+        entry.digest = digest;
+        entry.proposal_ts = SimTime::from_micros(timestamp_us);
+        entry.measurements = measurements;
+        entry.arrivals.push((from, Phase::Propose.tag(), ctx.now));
+
+        // Vote Write.
+        let write = PbftMessage::Write {
+            seq,
+            digest,
+            voter: self.id,
+        };
+        let replicas: Vec<NodeId> = (0..self.n).filter(|&r| r != self.id).collect();
+        ctx.multicast(&replicas, write);
+        self.handle_write(ctx, self.id, seq, digest);
+    }
+
+    /// Record a late arrival for a round that already committed but whose
+    /// observation has not been evaluated yet.
+    fn record_late_arrival(&mut self, seq: u64, from: usize, phase: u32, at: SimTime) {
+        if let Some(record) = self.pending_records.iter_mut().find(|r| r.seq == seq) {
+            record.arrivals.push((from, phase, at));
+        }
+    }
+
+    fn handle_write(
+        &mut self,
+        ctx: &mut Context<PbftMessage>,
+        voter: usize,
+        seq: u64,
+        digest: Digest,
+    ) {
+        if seq <= self.last_committed_seq {
+            self.record_late_arrival(seq, voter, Phase::Write.tag(), ctx.now);
+            return;
+        }
+        let config = self.config.clone();
+        let entry = match self.instances.get_mut(&seq) {
+            Some(e) if e.digest == digest => e,
+            // Write may arrive before the proposal; buffer a placeholder.
+            Some(_) => return,
+            None => {
+                self.instances.insert(
+                    seq,
+                    Instance {
+                        block: Block::genesis(),
+                        digest,
+                        proposal_ts: ctx.now,
+                        measurements: Vec::new(),
+                        write_voters: BTreeSet::new(),
+                        accept_voters: BTreeSet::new(),
+                        sent_accept: false,
+                        committed: false,
+                        arrivals: Vec::new(),
+                    },
+                );
+                self.instances.get_mut(&seq).expect("just inserted")
+            }
+        };
+        if voter != self.id {
+            entry.arrivals.push((voter, Phase::Write.tag(), ctx.now));
+        }
+        entry.write_voters.insert(voter);
+        let voters: Vec<usize> = entry.write_voters.iter().copied().collect();
+        if !entry.sent_accept && config.is_quorum(&voters, self.f) {
+            entry.sent_accept = true;
+            let accept = PbftMessage::Accept {
+                seq,
+                digest,
+                voter: self.id,
+            };
+            let replicas: Vec<NodeId> = (0..self.n).filter(|&r| r != self.id).collect();
+            ctx.multicast(&replicas, accept);
+            self.handle_accept(ctx, self.id, seq, digest);
+        }
+    }
+
+    fn handle_accept(
+        &mut self,
+        ctx: &mut Context<PbftMessage>,
+        voter: usize,
+        seq: u64,
+        digest: Digest,
+    ) {
+        if seq <= self.last_committed_seq {
+            self.record_late_arrival(seq, voter, Phase::Accept.tag(), ctx.now);
+            return;
+        }
+        let config = self.config.clone();
+        let entry = match self.instances.get_mut(&seq) {
+            Some(e) if e.digest == digest => e,
+            _ => return,
+        };
+        if voter != self.id {
+            entry.arrivals.push((voter, Phase::Accept.tag(), ctx.now));
+        }
+        entry.accept_voters.insert(voter);
+        let voters: Vec<usize> = entry.accept_voters.iter().copied().collect();
+        if entry.committed || !config.is_quorum(&voters, self.f) {
+            return;
+        }
+        entry.committed = true;
+        self.commit(ctx, seq);
+    }
+
+    fn commit(&mut self, ctx: &mut Context<PbftMessage>, seq: u64) {
+        let instance = self.instances.remove(&seq).expect("instance exists");
+        self.last_committed_seq = seq;
+        // Keep the proposal counter in sync even at replicas that never led,
+        // so a replica that later gains the leader role proposes the right
+        // sequence number.
+        self.next_seq = self.next_seq.max(seq + 1);
+        if !instance.block.is_empty() {
+            self.stats
+                .record_commit(instance.proposal_ts, ctx.now, instance.block.len());
+        }
+
+        // Reply to clients and remember executed requests.
+        for cmd in &instance.block.commands {
+            self.committed_requests.insert((cmd.client, cmd.seq));
+            ctx.send(
+                self.client_node(cmd.client),
+                PbftMessage::Reply {
+                    client_seq: cmd.seq,
+                    replica: self.id,
+                },
+            );
+        }
+        self.pending_requests
+            .retain(|c| !self.committed_requests.contains(&(c.client, c.seq)));
+
+        // Feed committed measurements to the policy (log order).
+        let mut follow_ups = Vec::new();
+        for blob in &instance.measurements {
+            follow_ups.extend(self.policy.on_committed_measurement(self.id, blob));
+        }
+
+        // Sensor-side round observation: buffer it and evaluate it two
+        // commits later (three, to cover the slowest per-message deadlines), so
+        // messages from replicas outside the fastest
+        // quorum can still be recorded as on-time arrivals.
+        let record = PbftRoundRecord {
+            seq,
+            leader: self.config.leader,
+            proposal_ts: instance.proposal_ts,
+            prev_proposal_ts: self.prev_proposal_ts,
+            commit_time: ctx.now,
+            arrivals: instance.arrivals.clone(),
+        };
+        self.pending_records.push(record);
+        self.prev_proposal_ts = Some(instance.proposal_ts);
+        while self
+            .pending_records
+            .first()
+            .map(|r| r.seq + 3 <= seq)
+            .unwrap_or(false)
+        {
+            let ready = self.pending_records.remove(0);
+            follow_ups.extend(self.policy.on_round(&ready));
+        }
+        self.forward_sensor_data(ctx, follow_ups);
+
+        // Deterministic reconfiguration decision.
+        if let Some(new_config) = self.policy.decide(self.config.epoch, ctx.now) {
+            if new_config.epoch == self.config.epoch + 1 {
+                self.config = new_config.clone();
+                self.reconfigs.push(ReconfigEvent {
+                    at: ctx.now,
+                    config: new_config,
+                });
+            }
+        }
+
+        if self.is_leader() {
+            self.try_propose(ctx);
+        }
+    }
+
+    fn forward_sensor_data(&mut self, ctx: &mut Context<PbftMessage>, blobs: Vec<Vec<u8>>) {
+        if blobs.is_empty() {
+            return;
+        }
+        if self.is_leader() {
+            self.pending_measurements.extend(blobs);
+        } else {
+            ctx.send(self.config.leader, PbftMessage::SensorData { blobs });
+        }
+    }
+
+    fn start_probe_round(&mut self, ctx: &mut Context<PbftMessage>) {
+        self.probe_nonce += 1;
+        self.probe_rtts = vec![f64::INFINITY; self.n];
+        self.probe_rtts[self.id] = 0.0;
+        let msg = PbftMessage::Probe {
+            nonce: self.probe_nonce,
+            sent_at_us: ctx.now.as_micros(),
+        };
+        let replicas: Vec<NodeId> = (0..self.n).filter(|&r| r != self.id).collect();
+        ctx.multicast(&replicas, msg);
+        ctx.set_timer(self.probe_timeout, TIMER_PROBE_COLLECT);
+        ctx.set_timer(self.probe_interval, TIMER_PROBE_START);
+    }
+
+    fn finish_probe_round(&mut self, ctx: &mut Context<PbftMessage>) {
+        let rtts = self.probe_rtts.clone();
+        let blobs = self.policy.on_latency_vector(self.id, &rtts);
+        self.forward_sensor_data(ctx, blobs);
+    }
+}
+
+/// Client state: a closed-loop request issuer measuring end-to-end latency.
+pub struct ClientState {
+    /// Client id (its node id is `n + id`).
+    pub id: u64,
+    n: usize,
+    f: usize,
+    next_seq: u64,
+    sent_at: SimTime,
+    repliers: BTreeSet<usize>,
+    /// End-to-end latency timeline: (reply time in s, latency in ms).
+    pub latency: TimeSeries,
+    /// Total completed requests.
+    pub completed: u64,
+}
+
+impl ClientState {
+    /// Create a client.
+    pub fn new(id: u64, n: usize, f: usize) -> Self {
+        ClientState {
+            id,
+            n,
+            f,
+            next_seq: 0,
+            sent_at: SimTime::ZERO,
+            repliers: BTreeSet::new(),
+            latency: TimeSeries::new(),
+            completed: 0,
+        }
+    }
+
+    fn send_next(&mut self, ctx: &mut Context<PbftMessage>) {
+        let cmd = Command::empty(self.id, self.next_seq);
+        self.sent_at = ctx.now;
+        self.repliers.clear();
+        let replicas: Vec<NodeId> = (0..self.n).collect();
+        ctx.multicast(&replicas, PbftMessage::Request { cmd });
+    }
+
+    fn on_reply(&mut self, ctx: &mut Context<PbftMessage>, client_seq: u64, replica: usize) {
+        if client_seq != self.next_seq {
+            return;
+        }
+        self.repliers.insert(replica);
+        if self.repliers.len() >= self.f + 1 {
+            let latency = ctx.now.since(self.sent_at);
+            self.latency.push(ctx.now, latency.as_millis_f64());
+            self.completed += 1;
+            self.next_seq += 1;
+            self.send_next(ctx);
+        }
+    }
+}
+
+/// A node in the PBFT simulation: replica or client.
+pub enum PbftNode {
+    /// A consensus replica.
+    Replica(ReplicaState),
+    /// A request-issuing client.
+    Client(ClientState),
+}
+
+impl Node for PbftNode {
+    type Msg = PbftMessage;
+
+    fn on_start(&mut self, ctx: &mut Context<PbftMessage>) {
+        match self {
+            PbftNode::Replica(r) => {
+                // Stagger probe rounds slightly so they do not all collide.
+                let offset = Duration::from_millis(50 * (r.id as u64 + 1));
+                ctx.set_timer(offset, TIMER_PROBE_START);
+                if r.is_leader() {
+                    r.try_propose(ctx);
+                }
+            }
+            PbftNode::Client(c) => c.send_next(ctx),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<PbftMessage>, from: NodeId, msg: PbftMessage) {
+        match self {
+            PbftNode::Replica(r) => match msg {
+                PbftMessage::Request { cmd } => {
+                    if !r.committed_requests.contains(&(cmd.client, cmd.seq))
+                        && !r.pending_requests.iter().any(|c| c.client == cmd.client && c.seq == cmd.seq)
+                    {
+                        r.pending_requests.push(cmd);
+                        if r.is_leader() {
+                            r.try_propose(ctx);
+                        }
+                    }
+                }
+                PbftMessage::Propose {
+                    seq,
+                    epoch: _,
+                    block,
+                    timestamp_us,
+                    measurements,
+                } => r.handle_propose(ctx, from, seq, block, timestamp_us, measurements),
+                PbftMessage::Write { seq, digest, voter } => r.handle_write(ctx, voter, seq, digest),
+                PbftMessage::Accept { seq, digest, voter } => {
+                    r.handle_accept(ctx, voter, seq, digest)
+                }
+                PbftMessage::Probe { nonce, sent_at_us } => {
+                    ctx.send(
+                        from,
+                        PbftMessage::ProbeReply {
+                            nonce,
+                            sent_at_us,
+                            replica: r.id,
+                        },
+                    );
+                }
+                PbftMessage::ProbeReply {
+                    nonce,
+                    sent_at_us,
+                    replica,
+                } => {
+                    if nonce == r.probe_nonce && replica < r.n {
+                        let rtt = ctx.now.since(SimTime::from_micros(sent_at_us));
+                        r.probe_rtts[replica] = rtt.as_millis_f64();
+                    }
+                }
+                PbftMessage::SensorData { blobs } => {
+                    if r.is_leader() {
+                        r.pending_measurements.extend(blobs);
+                        r.try_propose(ctx);
+                    }
+                }
+                PbftMessage::Reply { .. } => {}
+            },
+            PbftNode::Client(c) => {
+                if let PbftMessage::Reply { client_seq, replica } = msg {
+                    c.on_reply(ctx, client_seq, replica);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<PbftMessage>, _timer: TimerId, tag: u64) {
+        match self {
+            PbftNode::Replica(r) => match tag {
+                TIMER_PROBE_START => r.start_probe_round(ctx),
+                TIMER_PROBE_COLLECT => r.finish_probe_round(ctx),
+                TIMER_PROPOSE_RETRY => r.try_propose(ctx),
+                TIMER_DELAYED_PROPOSE => {
+                    if let Some((seq, block, measurements)) = r.delayed_block.take() {
+                        r.send_propose(ctx, seq, block, measurements);
+                    }
+                }
+                _ => {}
+            },
+            PbftNode::Client(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::StaticPolicy;
+
+    #[test]
+    fn replica_initial_state() {
+        let r = ReplicaState::new(2, 7, 2, Box::new(StaticPolicy), ReplicaBehavior::Correct);
+        assert_eq!(r.config().leader, 0);
+        assert!(!r.is_leader());
+        assert_eq!(r.last_committed_seq, 0);
+    }
+
+    #[test]
+    fn client_counts_distinct_repliers() {
+        let mut c = ClientState::new(0, 4, 1);
+        // Simulate context plumbing minimally by checking internal bookkeeping.
+        c.next_seq = 0;
+        c.repliers.insert(1);
+        c.repliers.insert(1);
+        assert_eq!(c.repliers.len(), 1);
+    }
+}

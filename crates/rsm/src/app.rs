@@ -1,0 +1,301 @@
+//! Applications executed on top of the replicated log.
+//!
+//! The consensus layer is application-agnostic: once a block commits, every
+//! replica feeds its commands to an [`Application`] in log order. Three
+//! applications are provided: [`NullApp`] (benchmarks), [`CounterApp`]
+//! (simple consistency checks), and [`KvApp`] (the quickstart example).
+
+use crate::block::Command;
+use crypto::Digest;
+use std::collections::BTreeMap;
+
+/// A deterministic state machine executing committed commands.
+pub trait Application {
+    /// Execute one committed command and return its reply payload.
+    fn execute(&mut self, cmd: &Command) -> Vec<u8>;
+
+    /// A digest of the current application state, used to check that
+    /// replicas stay in sync.
+    fn state_digest(&self) -> Digest;
+}
+
+/// An application that ignores commands; used by throughput benchmarks where
+/// command payloads are empty.
+#[derive(Debug, Default, Clone)]
+pub struct NullApp {
+    executed: u64,
+}
+
+impl NullApp {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        NullApp::default()
+    }
+
+    /// Number of commands executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+}
+
+impl Application for NullApp {
+    fn execute(&mut self, _cmd: &Command) -> Vec<u8> {
+        self.executed += 1;
+        Vec::new()
+    }
+
+    fn state_digest(&self) -> Digest {
+        Digest::of_parts(&[b"null-app", &self.executed.to_le_bytes()])
+    }
+}
+
+/// A counter: each command adds the little-endian u64 in its payload
+/// (or 1 if the payload is empty).
+#[derive(Debug, Default, Clone)]
+pub struct CounterApp {
+    value: u64,
+}
+
+impl CounterApp {
+    /// Create a counter at zero.
+    pub fn new() -> Self {
+        CounterApp::default()
+    }
+
+    /// Current counter value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+impl Application for CounterApp {
+    fn execute(&mut self, cmd: &Command) -> Vec<u8> {
+        let add = if cmd.payload.len() >= 8 {
+            u64::from_le_bytes(cmd.payload[..8].try_into().expect("checked length"))
+        } else {
+            1
+        };
+        self.value = self.value.wrapping_add(add);
+        self.value.to_le_bytes().to_vec()
+    }
+
+    fn state_digest(&self) -> Digest {
+        Digest::of_parts(&[b"counter-app", &self.value.to_le_bytes()])
+    }
+}
+
+/// Operations understood by [`KvApp`], encoded in command payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOp {
+    /// Store `value` under `key`.
+    Put { key: String, value: String },
+    /// Read the value under `key`.
+    Get { key: String },
+    /// Remove `key`.
+    Delete { key: String },
+}
+
+impl KvOp {
+    /// Encode the operation into a command payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            KvOp::Put { key, value } => {
+                let mut v = vec![b'P'];
+                v.extend((key.len() as u32).to_le_bytes());
+                v.extend(key.as_bytes());
+                v.extend(value.as_bytes());
+                v
+            }
+            KvOp::Get { key } => {
+                let mut v = vec![b'G'];
+                v.extend(key.as_bytes());
+                v
+            }
+            KvOp::Delete { key } => {
+                let mut v = vec![b'D'];
+                v.extend(key.as_bytes());
+                v
+            }
+        }
+    }
+
+    /// Decode an operation from a command payload.
+    pub fn decode(payload: &[u8]) -> Option<KvOp> {
+        let (&tag, rest) = payload.split_first()?;
+        match tag {
+            b'P' => {
+                if rest.len() < 4 {
+                    return None;
+                }
+                let klen = u32::from_le_bytes(rest[..4].try_into().ok()?) as usize;
+                let rest = &rest[4..];
+                if rest.len() < klen {
+                    return None;
+                }
+                Some(KvOp::Put {
+                    key: String::from_utf8(rest[..klen].to_vec()).ok()?,
+                    value: String::from_utf8(rest[klen..].to_vec()).ok()?,
+                })
+            }
+            b'G' => Some(KvOp::Get {
+                key: String::from_utf8(rest.to_vec()).ok()?,
+            }),
+            b'D' => Some(KvOp::Delete {
+                key: String::from_utf8(rest.to_vec()).ok()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A replicated key-value store.
+#[derive(Debug, Default, Clone)]
+pub struct KvApp {
+    store: BTreeMap<String, String>,
+}
+
+impl KvApp {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        KvApp::default()
+    }
+
+    /// Read a key directly (bypassing consensus) — used by examples to
+    /// inspect replica state after a run.
+    pub fn get(&self, key: &str) -> Option<&String> {
+        self.store.get(key)
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+}
+
+impl Application for KvApp {
+    fn execute(&mut self, cmd: &Command) -> Vec<u8> {
+        match KvOp::decode(&cmd.payload) {
+            Some(KvOp::Put { key, value }) => {
+                self.store.insert(key, value);
+                b"ok".to_vec()
+            }
+            Some(KvOp::Get { key }) => self
+                .store
+                .get(&key)
+                .map(|v| v.as_bytes().to_vec())
+                .unwrap_or_default(),
+            Some(KvOp::Delete { key }) => {
+                self.store.remove(&key);
+                b"ok".to_vec()
+            }
+            None => b"error: malformed op".to_vec(),
+        }
+    }
+
+    fn state_digest(&self) -> Digest {
+        let mut acc = Digest::of(b"kv-app");
+        for (k, v) in &self.store {
+            acc = Digest::of_parts(&[&acc.0, k.as_bytes(), v.as_bytes()]);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_app_counts_executions() {
+        let mut app = NullApp::new();
+        app.execute(&Command::empty(0, 0));
+        app.execute(&Command::empty(0, 1));
+        assert_eq!(app.executed(), 2);
+    }
+
+    #[test]
+    fn counter_app_adds_payload() {
+        let mut app = CounterApp::new();
+        app.execute(&Command::new(0, 0, 5u64.to_le_bytes().to_vec()));
+        app.execute(&Command::empty(0, 1));
+        assert_eq!(app.value(), 6);
+    }
+
+    #[test]
+    fn state_digest_tracks_state() {
+        let mut a = CounterApp::new();
+        let mut b = CounterApp::new();
+        assert_eq!(a.state_digest(), b.state_digest());
+        a.execute(&Command::empty(0, 0));
+        assert_ne!(a.state_digest(), b.state_digest());
+        b.execute(&Command::empty(1, 0));
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn kv_ops_roundtrip_encoding() {
+        for op in [
+            KvOp::Put {
+                key: "k".into(),
+                value: "v".into(),
+            },
+            KvOp::Get { key: "key".into() },
+            KvOp::Delete { key: "key".into() },
+        ] {
+            assert_eq!(KvOp::decode(&op.encode()), Some(op));
+        }
+        assert_eq!(KvOp::decode(&[]), None);
+        assert_eq!(KvOp::decode(b"Zjunk"), None);
+    }
+
+    #[test]
+    fn kv_app_executes_operations() {
+        let mut app = KvApp::new();
+        let put = Command::new(
+            0,
+            0,
+            KvOp::Put {
+                key: "city".into(),
+                value: "stavanger".into(),
+            }
+            .encode(),
+        );
+        let get = Command::new(0, 1, KvOp::Get { key: "city".into() }.encode());
+        let del = Command::new(0, 2, KvOp::Delete { key: "city".into() }.encode());
+
+        assert_eq!(app.execute(&put), b"ok");
+        assert_eq!(app.execute(&get), b"stavanger");
+        assert_eq!(app.execute(&del), b"ok");
+        assert_eq!(app.execute(&get), b"");
+        assert!(app.is_empty());
+    }
+
+    #[test]
+    fn kv_replicas_converge_to_same_digest() {
+        let cmds: Vec<Command> = (0..20)
+            .map(|i| {
+                Command::new(
+                    0,
+                    i,
+                    KvOp::Put {
+                        key: format!("k{}", i % 5),
+                        value: format!("v{i}"),
+                    }
+                    .encode(),
+                )
+            })
+            .collect();
+        let mut a = KvApp::new();
+        let mut b = KvApp::new();
+        for c in &cmds {
+            a.execute(c);
+            b.execute(c);
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+}

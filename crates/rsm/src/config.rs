@@ -1,0 +1,207 @@
+//! System-wide configuration: replica counts, quorum sizes, and role
+//! assignments (the paper's "configuration" — an assignment of roles to
+//! replicas, §2).
+
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of a replicated system: `n` replicas of which up to `f`
+/// may be Byzantine, with quorums of size `q = n - f`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Total number of replicas.
+    pub n: usize,
+    /// Maximum number of Byzantine replicas tolerated.
+    pub f: usize,
+    /// The paper's δ multiplier: after GST, observed latencies lie within
+    /// `[L, δ·L]` of the actual latency. Stored here because protocol timers
+    /// and the SuspicionSensor both need it. Defaults to 1.0 (the value used
+    /// in the baseline experiments, §7.4).
+    pub delta: f64,
+}
+
+impl SystemConfig {
+    /// Create a configuration for `n` replicas, tolerating the maximum
+    /// `f = ⌊(n-1)/3⌋` faults.
+    ///
+    /// # Panics
+    /// Panics if `n < 4` (BFT requires `n ≥ 3f + 1 ≥ 4`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 4, "BFT requires at least 4 replicas, got {n}");
+        SystemConfig {
+            n,
+            f: (n - 1) / 3,
+            delta: 1.0,
+        }
+    }
+
+    /// Create a configuration with an explicit fault threshold.
+    ///
+    /// # Panics
+    /// Panics unless `n ≥ 3f + 1`.
+    pub fn with_f(n: usize, f: usize) -> Self {
+        assert!(n >= 3 * f + 1, "n={n} must be at least 3f+1 for f={f}");
+        SystemConfig { n, f, delta: 1.0 }
+    }
+
+    /// Set the δ timer multiplier.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        assert!(delta >= 1.0, "delta must be >= 1.0, got {delta}");
+        self.delta = delta;
+        self
+    }
+
+    /// Quorum size `q = n - f`.
+    pub fn quorum(&self) -> usize {
+        self.n - self.f
+    }
+
+    /// The `2f + 1` quorum used by PBFT-style protocols when `n = 3f + 1`.
+    /// For larger `n` this still returns `n - f`, the intersection-safe size.
+    pub fn byzantine_quorum(&self) -> usize {
+        self.quorum()
+    }
+
+    /// Number of matching replies a client must collect (`f + 1`).
+    pub fn reply_quorum(&self) -> usize {
+        self.f + 1
+    }
+
+    /// All replica ids.
+    pub fn replicas(&self) -> impl Iterator<Item = usize> {
+        0..self.n
+    }
+
+    /// Round-robin leader for a view.
+    pub fn round_robin_leader(&self, view: u64) -> usize {
+        (view % self.n as u64) as usize
+    }
+
+    /// Branch factor used for height-3 trees, `b = (sqrt(4n-3) - 1) / 2`
+    /// (§7.3). This makes `1 + b + b²` just cover `n`.
+    pub fn tree_branch_factor(&self) -> usize {
+        let b = (((4 * self.n - 3) as f64).sqrt() - 1.0) / 2.0;
+        b.ceil() as usize
+    }
+}
+
+/// An assignment of special roles to replicas — the generic notion of
+/// "configuration" from §2. Protocol crates attach their own meaning to the
+/// entries (leader + voting weights for Aware, tree positions for Kauri).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoleAssignment {
+    /// The replica holding the leader (or tree-root) role.
+    pub leader: usize,
+    /// Replicas holding other special roles, in protocol-defined order
+    /// (e.g. Aware's max-weight replicas, Kauri's intermediate nodes).
+    pub special: Vec<usize>,
+    /// Monotonically increasing configuration epoch.
+    pub epoch: u64,
+}
+
+impl RoleAssignment {
+    /// The initial assignment: replica 0 leads, no other special roles.
+    pub fn initial() -> Self {
+        RoleAssignment {
+            leader: 0,
+            special: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// All replicas holding special roles, including the leader.
+    pub fn special_roles(&self) -> Vec<usize> {
+        let mut v = vec![self.leader];
+        v.extend(&self.special);
+        v.dedup();
+        v
+    }
+
+    /// True if every special role is held by a replica in `candidates`
+    /// (the paper's validity condition for configurations, §4.2.4).
+    pub fn is_valid(&self, candidates: &[usize]) -> bool {
+        self.special_roles()
+            .iter()
+            .all(|r| candidates.contains(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_sizes() {
+        let c = SystemConfig::new(4);
+        assert_eq!(c.f, 1);
+        assert_eq!(c.quorum(), 3);
+        assert_eq!(c.reply_quorum(), 2);
+
+        let c = SystemConfig::new(21);
+        assert_eq!(c.f, 6);
+        assert_eq!(c.quorum(), 15);
+
+        let c = SystemConfig::new(73);
+        assert_eq!(c.f, 24);
+        assert_eq!(c.quorum(), 49);
+    }
+
+    #[test]
+    fn explicit_f_allows_overprovisioning() {
+        let c = SystemConfig::with_f(10, 2);
+        assert_eq!(c.quorum(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "3f+1")]
+    fn with_f_rejects_too_many_faults() {
+        SystemConfig::with_f(6, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn too_small_system_rejected() {
+        SystemConfig::new(3);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let c = SystemConfig::new(4);
+        assert_eq!(c.round_robin_leader(0), 0);
+        assert_eq!(c.round_robin_leader(5), 1);
+        assert_eq!(c.round_robin_leader(7), 3);
+    }
+
+    #[test]
+    fn branch_factor_matches_paper_formula() {
+        // n=21 -> b=4 (paper §7.6: 21 replicas, branch factor 4)
+        assert_eq!(SystemConfig::new(21).tree_branch_factor(), 4);
+        // n=13 -> b=3 (Fig 5: 13 replicas, branch factor 3)
+        assert_eq!(SystemConfig::new(13).tree_branch_factor(), 3);
+        // n=73 -> b=8 (since 1+8+64 = 73)
+        assert_eq!(SystemConfig::new(73).tree_branch_factor(), 8);
+    }
+
+    #[test]
+    fn delta_must_be_at_least_one() {
+        let c = SystemConfig::new(4).with_delta(1.4);
+        assert_eq!(c.delta, 1.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn delta_below_one_rejected() {
+        SystemConfig::new(4).with_delta(0.5);
+    }
+
+    #[test]
+    fn role_assignment_validity() {
+        let ra = RoleAssignment {
+            leader: 2,
+            special: vec![4, 5],
+            epoch: 1,
+        };
+        assert!(ra.is_valid(&[1, 2, 3, 4, 5]));
+        assert!(!ra.is_valid(&[1, 2, 3, 4]));
+        assert_eq!(ra.special_roles(), vec![2, 4, 5]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # rsm — generic replicated state machine substrate
+//!
+//! The OptiLog paper describes its framework as an extension of a *generic*
+//! RSM (Fig 1): clients submit commands, a consensus engine replicates them
+//! into an append-only log, and the application executes committed commands.
+//! This crate provides the protocol-agnostic pieces shared by every consensus
+//! implementation in the workspace:
+//!
+//! * [`Command`], [`Block`] — client commands and the batches protocols agree on.
+//! * [`Application`] — the state machine executing committed commands
+//!   ([`KvApp`], [`CounterApp`], [`NullApp`] are provided).
+//! * [`AppendLog`] — the ordered log of committed entries.
+//! * [`SystemConfig`] — `n`, `f`, quorum sizes, and role bookkeeping.
+//! * [`CommitStats`] — throughput and consensus-latency collection used by the
+//!   experiment harnesses.
+//! * [`BlockSource`] — saturated batch generation matching the paper's
+//!   "blocks of 1000 proposals, each without transaction payload" workload.
+
+pub mod app;
+pub mod block;
+pub mod config;
+pub mod log;
+pub mod stats;
+pub mod workload;
+
+pub use app::{Application, CounterApp, KvApp, NullApp};
+pub use block::{Block, Command};
+pub use config::{RoleAssignment, SystemConfig};
+pub use log::AppendLog;
+pub use stats::{CommitStats, RunSummary};
+pub use workload::BlockSource;

@@ -1,0 +1,187 @@
+//! Throughput and consensus-latency collection for experiment harnesses.
+//!
+//! The paper reports *throughput* (committed requests per second) and
+//! *consensus latency* (time from block proposal to commit), sampled every
+//! second over a 120-second run (§7.3). [`CommitStats`] records commits as
+//! they happen inside a replica and produces the same aggregates.
+
+use netsim::{Duration, Histogram, RateCounter, SimTime, TimeSeries};
+use serde::Serialize;
+
+/// Per-replica commit statistics.
+#[derive(Debug, Clone)]
+pub struct CommitStats {
+    throughput: RateCounter,
+    latency: Histogram,
+    latency_timeline: TimeSeries,
+    committed_blocks: u64,
+    committed_commands: u64,
+}
+
+impl Default for CommitStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommitStats {
+    /// Create an empty collector with one-second throughput buckets.
+    pub fn new() -> Self {
+        CommitStats {
+            throughput: RateCounter::new(Duration::from_secs(1)),
+            latency: Histogram::new(),
+            latency_timeline: TimeSeries::new(),
+            committed_blocks: 0,
+            committed_commands: 0,
+        }
+    }
+
+    /// Record that a block of `commands` commands proposed at `proposed`
+    /// committed at `committed`.
+    pub fn record_commit(&mut self, proposed: SimTime, committed: SimTime, commands: usize) {
+        let lat = committed.since(proposed);
+        self.latency.record(lat);
+        self.latency_timeline.push(committed, lat.as_millis_f64());
+        self.throughput.record(committed, commands as u64);
+        self.committed_blocks += 1;
+        self.committed_commands += commands as u64;
+    }
+
+    /// Total committed blocks.
+    pub fn blocks(&self) -> u64 {
+        self.committed_blocks
+    }
+
+    /// Total committed commands.
+    pub fn commands(&self) -> u64 {
+        self.committed_commands
+    }
+
+    /// Mean consensus latency.
+    pub fn mean_latency(&self) -> Duration {
+        self.latency.mean()
+    }
+
+    /// Consensus-latency histogram (mutable access for percentile queries).
+    pub fn latency_histogram(&mut self) -> &mut Histogram {
+        &mut self.latency
+    }
+
+    /// Latency timeline: (commit time in seconds, latency in ms).
+    pub fn latency_timeline(&self) -> &TimeSeries {
+        &self.latency_timeline
+    }
+
+    /// Per-second committed command counts.
+    pub fn throughput_buckets(&self) -> &[u64] {
+        self.throughput.buckets()
+    }
+
+    /// Mean throughput in commands per second over a run of `run_secs` seconds.
+    pub fn mean_throughput(&self, run_secs: u64) -> f64 {
+        if run_secs == 0 {
+            return 0.0;
+        }
+        self.committed_commands as f64 / run_secs as f64
+    }
+
+    /// Summarise the run.
+    pub fn summary(&mut self, run_secs: u64) -> RunSummary {
+        RunSummary {
+            throughput_ops: self.mean_throughput(run_secs),
+            mean_latency_ms: self.mean_latency().as_millis_f64(),
+            p50_latency_ms: self.latency.median().as_millis_f64(),
+            p99_latency_ms: self.latency.percentile(0.99).as_millis_f64(),
+            latency_ci95_ms: self.latency.ci95_ms(),
+            committed_blocks: self.committed_blocks,
+            committed_commands: self.committed_commands,
+        }
+    }
+}
+
+/// Aggregated results of one experiment run, in the units the paper reports.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct RunSummary {
+    /// Mean throughput in operations (commands) per second.
+    pub throughput_ops: f64,
+    /// Mean consensus latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Median consensus latency in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile consensus latency in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Half-width of the 95% confidence interval of the latency mean.
+    pub latency_ci95_ms: f64,
+    /// Number of committed blocks.
+    pub committed_blocks: u64,
+    /// Number of committed commands.
+    pub committed_commands: u64,
+}
+
+impl RunSummary {
+    /// Render a one-line human-readable summary for harness output.
+    pub fn render(&self, label: &str) -> String {
+        format!(
+            "{label:<28} {:>10.0} op/s   latency {:>8.1} ms (p50 {:.1}, p99 {:.1}, ±{:.1})   blocks {}",
+            self.throughput_ops,
+            self.mean_latency_ms,
+            self.p50_latency_ms,
+            self.p99_latency_ms,
+            self.latency_ci95_ms,
+            self.committed_blocks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_commit_tracks_latency_and_throughput() {
+        let mut s = CommitStats::new();
+        s.record_commit(SimTime::from_millis(0), SimTime::from_millis(100), 1000);
+        s.record_commit(SimTime::from_millis(500), SimTime::from_millis(700), 1000);
+        s.record_commit(SimTime::from_millis(1200), SimTime::from_millis(1500), 1000);
+
+        assert_eq!(s.blocks(), 3);
+        assert_eq!(s.commands(), 3000);
+        assert_eq!(s.mean_latency().as_millis(), 200);
+        assert_eq!(s.throughput_buckets(), &[2000, 1000]);
+        assert_eq!(s.mean_throughput(3), 1000.0);
+    }
+
+    #[test]
+    fn summary_contains_percentiles() {
+        let mut s = CommitStats::new();
+        for i in 1..=100u64 {
+            s.record_commit(SimTime::ZERO, SimTime::from_millis(i), 10);
+        }
+        let sum = s.summary(10);
+        assert_eq!(sum.committed_blocks, 100);
+        assert_eq!(sum.committed_commands, 1000);
+        assert!((sum.p50_latency_ms - 50.0).abs() <= 1.0);
+        assert!(sum.p99_latency_ms >= 98.0);
+        assert!(sum.throughput_ops > 0.0);
+        assert!(sum.render("test").contains("op/s"));
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let mut s = CommitStats::new();
+        let sum = s.summary(120);
+        assert_eq!(sum.throughput_ops, 0.0);
+        assert_eq!(sum.mean_latency_ms, 0.0);
+        assert_eq!(s.mean_throughput(0), 0.0);
+    }
+
+    #[test]
+    fn latency_timeline_records_points() {
+        let mut s = CommitStats::new();
+        s.record_commit(SimTime::from_secs(1), SimTime::from_secs(2), 5);
+        assert_eq!(s.latency_timeline().len(), 1);
+        let (t, v) = s.latency_timeline().points()[0];
+        assert_eq!(t, 2.0);
+        assert_eq!(v, 1000.0);
+    }
+}

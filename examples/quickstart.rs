@@ -1,0 +1,59 @@
+//! Quickstart: replicate a key-value store with the PBFT substrate over a
+//! simulated European deployment, then inspect throughput and latency.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use netsim::{CityDataset, Duration};
+use pbft::{PbftHarness, PbftHarnessConfig, StaticPolicy};
+use rsm::{Application, Command, KvApp};
+use rsm::app::KvOp;
+
+fn main() {
+    // 1. Build a latency matrix for 7 replicas placed in European cities.
+    let cities = CityDataset::worldwide();
+    let subset = cities.europe21();
+    let n = 7;
+    let assignment = cities.assign_round_robin(&subset, n);
+    let mut rtt = vec![0.0; n * n];
+    for a in 0..n {
+        for b in 0..n {
+            rtt[a * n + b] = cities.rtt_ms(assignment[a], assignment[b]);
+        }
+    }
+
+    // 2. Run the replicated state machine for 20 virtual seconds with four
+    //    co-located clients issuing requests in a closed loop.
+    let config = PbftHarnessConfig::new(n, 2, 4, rtt).run_for(Duration::from_secs(20));
+    let report = PbftHarness::run(&config, "quickstart", |_| Box::new(StaticPolicy));
+
+    println!("== consensus summary ==");
+    println!("{}", report.replica_summary.render("pbft / europe (n=7)"));
+    println!(
+        "client latency (steady state): {:.1} ms",
+        report.mean_client_latency(2.0, 20.0)
+    );
+    for (i, done) in report.client_completed.iter().enumerate() {
+        println!("client {i}: {done} requests completed");
+    }
+
+    // 3. The replicated application itself is pluggable; here is the same
+    //    key-value state machine executing a committed command sequence
+    //    directly (every replica runs this deterministically).
+    let mut app = KvApp::new();
+    for (i, (key, value)) in [("region", "europe"), ("replicas", "7"), ("protocol", "pbft")]
+        .iter()
+        .enumerate()
+    {
+        let cmd = Command::new(
+            0,
+            i as u64,
+            KvOp::Put {
+                key: (*key).into(),
+                value: (*value).into(),
+            }
+            .encode(),
+        );
+        app.execute(&cmd);
+    }
+    println!("replicated store holds {} keys, digest {}", app.len(), app.state_digest());
+}

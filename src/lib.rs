@@ -1,0 +1,32 @@
+//! # optilog-suite — umbrella crate for the OptiLog reproduction
+//!
+//! This crate re-exports the public API of every crate in the workspace so
+//! examples, integration tests, and downstream users can depend on a single
+//! entry point:
+//!
+//! * [`netsim`] — deterministic discrete-event network simulator and the
+//!   geographic latency dataset.
+//! * [`crypto`] — simulated signatures, quorum certificates, and proofs of
+//!   misbehavior.
+//! * [`rsm`] — commands, blocks, applications, the append-only log, and
+//!   run statistics.
+//! * [`optilog`] — the sensor/monitor framework: latency matrix, suspicion
+//!   graph, candidate selection, simulated annealing, configuration monitor.
+//! * [`pbft`] — the BFT-SMaRt/Wheat/Aware substrate.
+//! * [`hotstuff`] — chained HotStuff baselines.
+//! * [`kauri`] — the tree-overlay substrate with pipelining and
+//!   t-bounded-conformity reconfiguration.
+//! * [`optiaware`] — OptiLog applied to Aware (§5).
+//! * [`optitree`] — OptiLog applied to Kauri (§6).
+//!
+//! See `examples/quickstart.rs` for a first end-to-end run.
+
+pub use crypto;
+pub use hotstuff;
+pub use kauri;
+pub use netsim;
+pub use optiaware;
+pub use optilog;
+pub use optitree;
+pub use pbft;
+pub use rsm;
