@@ -12,6 +12,9 @@ use netsim::{Duration, SimTime};
 use optiaware::OptiAwarePolicy;
 use pbft::{AwarePolicy, PbftHarness, PbftHarnessConfig, ReconfigPolicy, StaticPolicy};
 
+/// Factory building a reconfiguration policy for one replica id.
+type PolicyFactory = Box<dyn Fn(usize) -> Box<dyn ReconfigPolicy>>;
+
 fn main() {
     let run_secs = arg_or(1, 180);
     let n = arg_or(2, 21) as usize;
@@ -30,7 +33,7 @@ fn main() {
     println!("# n={n}, f={f}, attacker=replica {attacker}, attack at {attack_start}, proposal delay {attack_delay}");
     println!("{:<12} {:>12} {:>12} {:>12} {:>14}", "system", "pre-opt ms", "optimized ms", "attack ms", "post-recover ms");
 
-    let systems: Vec<(&str, Box<dyn Fn(usize) -> Box<dyn ReconfigPolicy>>)> = vec![
+    let systems: Vec<(&str, PolicyFactory)> = vec![
         ("BFT-SMaRt", Box::new(|_| Box::new(StaticPolicy) as Box<dyn ReconfigPolicy>)),
         ("Aware", {
             let (n, f) = (n, f);

@@ -26,7 +26,7 @@ fn main() {
     };
     let intermediates = probe_tree.intermediates.clone();
 
-    let mut run_one = |faulty: usize, delta: f64| {
+    let run_one = |faulty: usize, delta: f64| {
         let mut cfg = KauriConfig::new(n).without_pipelining();
         cfg.run_for = Duration::from_secs(run_secs);
         let mut faults = FaultPlan::none();

@@ -37,7 +37,7 @@ impl Default for SelectionStrategy {
 }
 
 /// The result of candidate selection.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CandidateSelection {
     /// The candidate set `K`: replicas eligible for special roles.
     pub candidates: BTreeSet<usize>,
@@ -169,11 +169,3 @@ mod tests {
     }
 }
 
-impl Default for CandidateSelection {
-    fn default() -> Self {
-        CandidateSelection {
-            candidates: BTreeSet::new(),
-            estimate_u: 0,
-        }
-    }
-}

@@ -54,6 +54,6 @@ pub use measurement::{Measurement, MeasurementLog};
 pub use misbehavior::MisbehaviorMonitor;
 pub use suspicion::{
     MessageExpectation, RoundObservation, Suspicion, SuspicionKind, SuspicionMonitor,
-    SuspicionMonitorParams, SuspicionSensor,
+    SuspicionMonitorParams, SuspicionSensor, DEADLINE_SLACK,
 };
 pub use timing::{MessageTimeout, RoundTimeouts};

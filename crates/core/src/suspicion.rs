@@ -107,9 +107,13 @@ pub struct SuspicionSensor {
     pub id: usize,
     /// The δ latency-variation multiplier.
     pub delta: f64,
-    /// Pairs (accuser) this replica has already reciprocated, to avoid
-    /// duplicate False suspicions.
-    reciprocated: BTreeSet<usize>,
+    /// Pairs (accuser, round) this replica has already reciprocated, to
+    /// avoid duplicate False suspicions. Keyed per round rather than per
+    /// accuser: a reciprocation blob can be lost (e.g. a leader change while
+    /// it is in flight), and the next committed suspicion from the same
+    /// accuser must be able to trigger a fresh one, or the accused ends up
+    /// falsely classified as crashed.
+    reciprocated: BTreeSet<(usize, u64)>,
     /// Pairs (accused, round) already suspected by this replica, to avoid
     /// flooding the log with duplicates.
     raised: BTreeSet<(usize, u64)>,
@@ -180,7 +184,7 @@ impl SuspicionSensor {
         if committed.accused != self.id || committed.accuser == self.id {
             return None;
         }
-        if !self.reciprocated.insert(committed.accuser) {
+        if !self.reciprocated.insert((committed.accuser, committed.round)) {
             return None;
         }
         Some(Suspicion {
@@ -204,7 +208,9 @@ pub struct SuspicionMonitorParams {
     /// Stable-window length `w` (views) after which old suspicions expire.
     pub window: u64,
     /// Views an un-reciprocated suspicion waits before the accused is
-    /// considered crashed (the paper uses `f + 1`).
+    /// considered crashed (the paper uses `f + 1` leader terms; callers whose
+    /// views advance faster — e.g. once per commit — should scale it up so
+    /// the window covers a reciprocation round-trip through the log).
     pub reciprocation_views: u64,
     /// Candidate-selection strategy.
     pub strategy: SelectionStrategy,
@@ -232,6 +238,12 @@ impl SuspicionMonitorParams {
     /// Override the stability window.
     pub fn with_window(mut self, w: u64) -> Self {
         self.window = w;
+        self
+    }
+
+    /// Override the reciprocation window.
+    pub fn with_reciprocation_views(mut self, v: u64) -> Self {
+        self.reciprocation_views = v;
         self
     }
 }
@@ -432,7 +444,7 @@ impl SuspicionMonitor {
             .filter(|v| !self.faulty.contains(v) && !self.crashed.contains(v))
             .collect();
         let mut g = SuspicionGraph::new(vertices.iter().copied());
-        for (&(a, b), _) in &self.edges {
+        for &(a, b) in self.edges.keys() {
             if vertices.contains(&a) && vertices.contains(&b) {
                 g.add_edge(a, b);
             }
@@ -730,6 +742,111 @@ mod tests {
             assert!(!sel.contains(r), "replica {r} should be excluded");
         }
         assert_eq!(sel.candidates.len(), 4);
+    }
+
+    // ---- edge cases: empty graph, saturation, expiry boundaries -----------
+
+    #[test]
+    fn empty_suspicion_graph_keeps_every_replica_a_candidate() {
+        let mut m = monitor(7, 2);
+        let g = m.graph();
+        assert_eq!(g.vertex_count(), 7);
+        assert!(g.edges().is_empty());
+        let sel = m.selection();
+        assert_eq!(sel.candidates.len(), 7);
+        assert_eq!(sel.estimate_u, 0);
+        assert!(m.crashed().is_empty());
+        assert_eq!(m.edge_count(), 0);
+        // Views passing over an empty monitor change nothing.
+        for v in 1..50 {
+            m.on_view(v);
+        }
+        assert_eq!(m.selection().candidates.len(), 7);
+    }
+
+    #[test]
+    fn all_replicas_suspected_still_meets_candidate_floor() {
+        // Every pair accuses each other: the suspicion graph is complete, so
+        // any independent set has size 1. The MIS strategy must discard old
+        // suspicions until Lemma 1's floor |K| >= n - f holds again.
+        let n = 7;
+        let f = 2;
+        let mut m = monitor(n, f);
+        let mut round = 0;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                m.on_suspicion(&slow(a, b, round, 1));
+                m.on_suspicion(&slow(b, a, round, 1));
+                round += 1;
+            }
+        }
+        let sel = m.selection();
+        assert!(
+            sel.candidates.len() >= n - f,
+            "floor violated with complete graph: |K| = {}",
+            sel.candidates.len()
+        );
+        // The estimate is consistent with the remaining (post-discard) graph.
+        assert_eq!(sel.estimate_u, m.graph().vertex_count() - sel.candidates.len());
+    }
+
+    #[test]
+    fn stable_window_expiry_boundary_is_exclusive() {
+        // window = 3: with the last suspicion accepted at view 1, views 2..=4
+        // (difference <= window) must NOT expire anything; view 5 is the
+        // first that may.
+        let mut m = SuspicionMonitor::new(SuspicionMonitorParams::new(7, 2).with_window(3));
+        m.on_view(1);
+        m.on_suspicion(&slow(0, 1, 1, 1));
+        m.on_suspicion(&slow(1, 0, 1, 1)); // reciprocated: survives crash expiry
+        assert_eq!(m.edge_count(), 1);
+        for v in 2..=4 {
+            m.on_view(v);
+            assert_eq!(m.edge_count(), 1, "expired too early at view {v}");
+        }
+        m.on_view(5);
+        assert_eq!(m.edge_count(), 0, "view 5 exceeds the stable window");
+    }
+
+    #[test]
+    fn reciprocation_window_boundary_is_exclusive() {
+        // reciprocation_views = f + 1 = 3: an un-reciprocated suspicion from
+        // view 1 leaves the accused un-crashed through view 4 (difference
+        // exactly 3) and crashes them at view 5.
+        let mut m = monitor(7, 2);
+        m.on_view(1);
+        m.on_suspicion(&slow(0, 3, 1, 1));
+        m.on_view(4);
+        assert!(
+            m.crashed().is_empty(),
+            "crashed exactly at the boundary instead of past it"
+        );
+        m.on_view(5);
+        assert!(m.crashed().contains(&3));
+        // Crashed replicas leave the vertex set entirely.
+        assert_eq!(m.graph().vertex_count(), 6);
+        assert!(!m.selection().contains(3));
+    }
+
+    #[test]
+    fn stable_window_expires_oldest_edge_first() {
+        let mut m = SuspicionMonitor::new(SuspicionMonitorParams::new(9, 2).with_window(2));
+        m.on_view(1);
+        m.on_suspicion(&slow(0, 1, 1, 1));
+        m.on_suspicion(&slow(1, 0, 1, 1));
+        m.on_suspicion(&slow(2, 3, 2, 1));
+        m.on_suspicion(&slow(3, 2, 2, 1));
+        assert_eq!(m.edge_count(), 2);
+        // Quiet views: expiry drops one edge per view, oldest first.
+        m.on_view(4);
+        assert_eq!(m.edge_count(), 1);
+        let g = m.graph();
+        assert!(
+            g.has_edge(2, 3) && !g.has_edge(0, 1),
+            "oldest edge (0,1) should expire before (2,3)"
+        );
+        m.on_view(5);
+        assert_eq!(m.edge_count(), 0);
     }
 
     #[test]

@@ -164,8 +164,8 @@ mod tests {
         // one-way latencies: from 1 -> 0 is 30ms (below 40), from 2 -> 0 is 80ms (below 100).
         let n = 3;
         let mut one_way = vec![0.0; 9];
-        one_way[1 * 3 + 0] = 30.0;
-        one_way[2 * 3 + 0] = 80.0;
+        one_way[3] = 30.0; // (1, 0)
+        one_way[6] = 80.0; // (2, 0)
         assert!(t.check_requirements(0, &one_way, n).is_empty());
     }
 
@@ -177,7 +177,7 @@ mod tests {
         );
         let n = 2;
         let mut one_way = vec![0.0; 4];
-        one_way[1 * 2 + 0] = 50.0;
+        one_way[2] = 50.0; // (1, 0)
         let violations = t.check_requirements(0, &one_way, n);
         assert_eq!(violations.len(), 2);
         assert!(violations.iter().any(|v| v.contains("TR3")));

@@ -47,6 +47,8 @@ pub enum HotStuffMessage {
 /// Per-view bookkeeping at a replica.
 #[derive(Debug, Clone)]
 struct ViewEntry {
+    // Read only by the digest-agreement invariant check in the test module.
+    #[cfg_attr(not(test), allow(dead_code))]
     digest: Digest,
     commands: usize,
     proposal_ts: SimTime,

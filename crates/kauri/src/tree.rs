@@ -172,7 +172,7 @@ mod tests {
             assert_eq!(t.leaves_of(i).len(), 3);
         }
         assert_eq!(t.size(), 13);
-        assert_eq!(t.parent(5), Some(t.intermediates[(5 - 4) % 3]));
+        assert_eq!(t.parent(5), Some(t.intermediates[1])); // (5 - 4) % 3
         assert_eq!(t.parent(1), Some(0));
         assert_eq!(t.parent(0), None);
         assert_eq!(t.children_of(0), vec![1, 2, 3]);

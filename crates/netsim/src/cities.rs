@@ -408,7 +408,7 @@ mod tests {
         let subset = ds.europe21();
         let m = ds.subset_rtt_matrix_ms(&subset);
         assert_eq!(m.len(), 21 * 21);
-        assert_eq!(m[0 * 21 + 1], ds.rtt_ms(subset[0], subset[1]));
+        assert_eq!(m[1], ds.rtt_ms(subset[0], subset[1])); // row 0, col 1
     }
 
     #[test]

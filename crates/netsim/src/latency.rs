@@ -243,7 +243,7 @@ mod tests {
         let m = UniformLatency::new(3, Duration::from_millis(7));
         let snap = snapshot_millis(&m);
         assert_eq!(snap.len(), 9);
-        assert_eq!(snap[0 * 3 + 1], 7.0);
+        assert_eq!(snap[1], 7.0); // row 0, col 1
         assert_eq!(snap[2 * 3 + 2], 0.0);
     }
 }

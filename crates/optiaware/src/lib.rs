@@ -59,7 +59,6 @@ pub struct OptiAwarePolicy {
     id: usize,
     n: usize,
     f: usize,
-    delta: f64,
     latency: LatencyMonitor,
     sensor: SuspicionSensor,
     monitor: SuspicionMonitor,
@@ -68,6 +67,8 @@ pub struct OptiAwarePolicy {
     optimize_after: SimTime,
     improvement_factor: f64,
     view: u64,
+    /// When this replica last switched to a new configuration.
+    last_reconfig_at: SimTime,
 }
 
 impl OptiAwarePolicy {
@@ -77,15 +78,28 @@ impl OptiAwarePolicy {
             id,
             n,
             f,
-            delta,
             latency: LatencyMonitor::new(n),
             sensor: SuspicionSensor::new(id, delta),
-            monitor: SuspicionMonitor::new(SuspicionMonitorParams::new(n, f)),
+            // Views advance once per commit here (not once per leader term),
+            // and a reciprocation needs several commits to round-trip through
+            // the log — plus possibly a retry if the blob is lost to a leader
+            // change — so the crash window gets scaled accordingly.
+            // The paper's windows are counted in leader terms; views here
+            // advance once per commit, so both windows are scaled up: the
+            // reciprocation window must cover a log round-trip (plus a retry),
+            // and the stability window must dwarf the commit rate or an
+            // excluded attacker is rehabilitated within a few hundred ms.
+            monitor: SuspicionMonitor::new(
+                SuspicionMonitorParams::new(n, f)
+                    .with_reciprocation_views(8 * (f as u64 + 1))
+                    .with_window(600),
+            ),
             current_config: WeightConfig::initial(n, f),
             current_score: f64::INFINITY,
             optimize_after,
             improvement_factor: 0.9,
             view: 0,
+            last_reconfig_at: SimTime::ZERO,
         }
     }
 
@@ -114,6 +128,17 @@ impl OptiAwarePolicy {
             .collect();
         RoundTimeouts::new(Duration::from_millis_f64(d_rnd), messages)
     }
+
+    /// The slowest δ-scaled per-message deadline plus slack.
+    fn hold_for(&self, timeouts: &RoundTimeouts) -> Duration {
+        let slowest = timeouts
+            .messages
+            .iter()
+            .map(|mt| mt.deadline(self.sensor.delta))
+            .max()
+            .unwrap_or(Duration::ZERO);
+        slowest + optilog::DEADLINE_SLACK + optilog::DEADLINE_SLACK
+    }
 }
 
 impl ReconfigPolicy for OptiAwarePolicy {
@@ -129,9 +154,27 @@ impl ReconfigPolicy for OptiAwarePolicy {
         .encode()]
     }
 
+    fn observation_hold(&self) -> Duration {
+        // Round records must not be judged before the slowest per-message
+        // deadline has passed, or on-time messages from distant replicas get
+        // reported as missing (and their senders falsely suspected).
+        self.hold_for(&self.round_timeouts())
+    }
+
     fn on_round(&mut self, record: &PbftRoundRecord) -> Vec<Vec<u8>> {
         let timeouts = self.round_timeouts();
         if timeouts.messages.is_empty() {
+            return Vec::new();
+        }
+        // Grace period after a reconfiguration: rounds proposed under (or
+        // straddling) the previous configuration would be judged against the
+        // new configuration's timeouts, yielding spurious suspicions that in
+        // turn trigger the next reconfiguration — a self-sustaining thrash.
+        let hold = self.hold_for(&timeouts);
+        let grace = hold + hold;
+        if self.last_reconfig_at > SimTime::ZERO
+            && record.proposal_ts <= self.last_reconfig_at + grace
+        {
             return Vec::new();
         }
         let obs = RoundObservation {
@@ -203,6 +246,7 @@ impl ReconfigPolicy for OptiAwarePolicy {
         if current_invalid || improves {
             self.current_config = config.clone();
             self.current_score = score;
+            self.last_reconfig_at = now;
             Some(config)
         } else {
             None

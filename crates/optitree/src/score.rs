@@ -184,8 +184,8 @@ mod tests {
         let n = 5;
         let mut m = vec![0.0; n * n];
         for (i, rtt) in [(1, 10.0), (2, 20.0), (3, 30.0), (4, 40.0)] {
-            m[0 * n + i] = rtt;
-            m[i * n + 0] = rtt;
+            m[i] = rtt; // row 0
+            m[i * n] = rtt; // col 0
         }
         let star = Tree::star(0, n);
         assert_eq!(tree_score(&star, &m, n, 3), 20.0);

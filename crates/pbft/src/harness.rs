@@ -52,6 +52,7 @@ impl PbftHarnessConfig {
 }
 
 /// Results of one run.
+#[derive(Debug)]
 pub struct PbftRunReport {
     /// End-to-end latency timeline per client (seconds, ms).
     pub client_latency: Vec<TimeSeries>,

@@ -18,7 +18,7 @@
 
 use crate::score::{optimize_configuration, predict_round_latency};
 use crate::weights::WeightConfig;
-use netsim::SimTime;
+use netsim::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Everything a replica observed about one committed round; handed to the
@@ -48,6 +48,15 @@ pub trait ReconfigPolicy: Send {
     /// This replica committed a round and observed `record`. Returns
     /// measurement blobs to replicate (e.g. suspicions).
     fn on_round(&mut self, record: &PbftRoundRecord) -> Vec<Vec<u8>>;
+
+    /// How long after a round's proposal timestamp the replica must hold the
+    /// round record before handing it to [`Self::on_round`]. Policies that
+    /// judge per-message deadlines need the hold to cover their slowest
+    /// deadline: with pipelined rounds, commits can outpace the stragglers'
+    /// messages, and evaluating too early reports on-time replicas as slow.
+    fn observation_hold(&self) -> Duration {
+        Duration::ZERO
+    }
 
     /// A measurement blob committed in the log (same order at every replica).
     /// Returns follow-up blobs to replicate (e.g. reciprocation suspicions).
@@ -166,12 +175,12 @@ impl AwarePolicy {
         if reporter >= self.n || rtt_ms.len() != self.n {
             return;
         }
-        for b in 0..self.n {
+        for (b, &reported) in rtt_ms.iter().enumerate() {
             if b == reporter {
                 continue;
             }
-            self.recorded[reporter * self.n + b] = rtt_ms[b];
-            let ab = self.recorded[reporter * self.n + b];
+            self.recorded[reporter * self.n + b] = reported;
+            let ab = reported;
             let ba = self.recorded[b * self.n + reporter];
             let sym = match (ab.is_finite(), ba.is_finite()) {
                 (true, true) => ab.max(ba),

@@ -368,10 +368,15 @@ impl ReplicaState {
         };
         self.pending_records.push(record);
         self.prev_proposal_ts = Some(instance.proposal_ts);
+        // A record is ready once later commits exist (so late arrivals were
+        // recorded) AND every per-message deadline the policy will check has
+        // elapsed — with pipelined rounds, commit count alone can outpace the
+        // stragglers' on-time messages.
+        let hold = self.policy.observation_hold();
         while self
             .pending_records
             .first()
-            .map(|r| r.seq + 3 <= seq)
+            .map(|r| r.seq + 3 <= seq && ctx.now >= r.proposal_ts + hold)
             .unwrap_or(false)
         {
             let ready = self.pending_records.remove(0);
@@ -470,7 +475,7 @@ impl ClientState {
             return;
         }
         self.repliers.insert(replica);
-        if self.repliers.len() >= self.f + 1 {
+        if self.repliers.len() > self.f {
             let latency = ctx.now.since(self.sent_at);
             self.latency.push(ctx.now, latency.as_millis_f64());
             self.completed += 1;
@@ -481,6 +486,9 @@ impl ClientState {
 }
 
 /// A node in the PBFT simulation: replica or client.
+// Replica state dwarfs client state, but simulations hold only n + c
+// nodes, so boxing would cost indirection for no measurable memory win.
+#[allow(clippy::large_enum_variant)]
 pub enum PbftNode {
     /// A consensus replica.
     Replica(ReplicaState),

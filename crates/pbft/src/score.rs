@@ -23,7 +23,7 @@ fn one_way(matrix: &[f64], n: usize, a: usize, b: usize) -> f64 {
 /// Time at which a weighted quorum of values (weight, arrival-time) is
 /// complete: sort by arrival and accumulate weight until the threshold is
 /// reached. Returns `f64::INFINITY` if the threshold is unreachable.
-pub fn weighted_quorum_time(arrivals: &mut Vec<(u32, f64)>, threshold: u32) -> f64 {
+pub fn weighted_quorum_time(arrivals: &mut [(u32, f64)], threshold: u32) -> f64 {
     arrivals.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times sort"));
     let mut acc = 0u32;
     for &(w, t) in arrivals.iter() {
@@ -57,7 +57,7 @@ pub fn predict_round_latency(
     // Write phase: replica r broadcasts after receiving the Propose; replica
     // j holds a weighted Write quorum at write_q[j].
     let mut write_q = vec![f64::INFINITY; n];
-    for j in 0..n {
+    for (j, slot) in write_q.iter_mut().enumerate() {
         if !responds(j) {
             continue;
         }
@@ -65,7 +65,7 @@ pub fn predict_round_latency(
             .filter(|&r| responds(r))
             .map(|r| (config.weight(r), propose_at[r] + one_way(matrix, n, r, j)))
             .collect();
-        write_q[j] = weighted_quorum_time(&mut arrivals, threshold);
+        *slot = weighted_quorum_time(&mut arrivals, threshold);
     }
 
     // Accept phase: replica r sends Accept once its Write quorum formed; the
@@ -99,9 +99,9 @@ pub fn predict_message_delays(
         out.push((leader, 1, propose_at[recipient]));
     }
     // Writes from every other replica (TR2 with m' = Propose).
-    for r in 0..n {
+    for (r, &proposed) in propose_at.iter().enumerate() {
         if r != recipient {
-            out.push((r, 2, propose_at[r] + one_way(matrix, n, r, recipient)));
+            out.push((r, 2, proposed + one_way(matrix, n, r, recipient)));
         }
     }
     // Accepts from every other replica (TR2 with m' = slowest Write in the
@@ -242,7 +242,7 @@ mod tests {
         // Writes arrive no earlier than the Propose that enables them (TR2).
         for (s, phase, d) in &delays {
             if *phase == 2 {
-                let enabling = m[0 * n + s] / 2.0;
+                let enabling = m[*s] / 2.0; // row 0 (the leader)
                 assert!(*d >= enabling);
             }
         }

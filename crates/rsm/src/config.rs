@@ -39,7 +39,7 @@ impl SystemConfig {
     /// # Panics
     /// Panics unless `n ≥ 3f + 1`.
     pub fn with_f(n: usize, f: usize) -> Self {
-        assert!(n >= 3 * f + 1, "n={n} must be at least 3f+1 for f={f}");
+        assert!(n > 3 * f, "n={n} must be at least 3f+1 for f={f}");
         SystemConfig { n, f, delta: 1.0 }
     }
 

@@ -26,7 +26,7 @@ fn main() {
     let optimize_after = SimTime::from_secs(15);
     let run = Duration::from_secs(90);
 
-    let mut run_system = |name: &str, factory: &dyn Fn(usize) -> Box<dyn ReconfigPolicy>| {
+    let run_system = |name: &str, factory: &dyn Fn(usize) -> Box<dyn ReconfigPolicy>| {
         let config = PbftHarnessConfig::new(n, f, 4, rtt.clone())
             .run_for(run)
             .with_delay_attacker(0, Duration::from_millis(400), attack_start);

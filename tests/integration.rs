@@ -26,6 +26,53 @@ fn europe_rtt(n: usize) -> Vec<f64> {
     m
 }
 
+// ---- per-substrate smoke tests: every protocol commits over the city
+// ---- dataset's latency matrix, end to end through netsim.
+
+#[test]
+fn smoke_pbft_commits_over_city_matrix() {
+    let n = 7;
+    let config = PbftHarnessConfig::new(n, 2, 2, europe_rtt(n)).run_for(Duration::from_secs(5));
+    let report = PbftHarness::run(&config, "smoke-pbft", |_| Box::new(StaticPolicy));
+    assert!(
+        report.replica_summary.committed_blocks > 0,
+        "pbft committed nothing: {report:?}"
+    );
+}
+
+#[test]
+fn smoke_hotstuff_commits_over_city_matrix() {
+    let n = 7;
+    let rtt = europe_rtt(n);
+    for pacemaker in [Pacemaker::Fixed { leader: 0 }, Pacemaker::RoundRobin] {
+        let mut cfg = HotStuffConfig::new(n, pacemaker);
+        cfg.run_for = Duration::from_secs(5);
+        let report = run_hotstuff(&cfg, Box::new(MatrixLatency::from_rtt_millis(n, &rtt)));
+        assert!(
+            report.summary.committed_blocks > 0,
+            "hotstuff ({pacemaker:?}) committed nothing"
+        );
+    }
+}
+
+#[test]
+fn smoke_kauri_commits_over_city_matrix() {
+    let n = 13;
+    let rtt = europe_rtt(n);
+    let mut cfg = KauriConfig::new(n);
+    cfg.run_for = Duration::from_secs(5);
+    let report = run_kauri(
+        &cfg,
+        Box::new(MatrixLatency::from_rtt_millis(n, &rtt)),
+        FaultPlan::none(),
+        |_| Box::new(KauriBinsPolicy::new(n, 3, 1)) as Box<dyn TreePolicy>,
+    );
+    assert!(
+        report.summary.committed_blocks > 0,
+        "kauri committed nothing"
+    );
+}
+
 #[test]
 fn pbft_over_city_latencies_commits_client_requests() {
     let n = 7;
@@ -68,17 +115,34 @@ fn optiaware_recovers_from_delay_attack_while_aware_does_not() {
     // role assignment kept the attacker out of the leader role altogether.
     let aware_late = aware.mean_client_latency(80.0, 100.0);
     let opti_late = opti.mean_client_latency(80.0, 100.0);
+    // Aware has no suspicion mechanism: the attacker keeps the leader role
+    // and clients keep paying the 400 ms Pre-Prepare delay.
     assert!(
-        opti_late <= aware_late * 1.05,
-        "OptiAware {opti_late:.1}ms must not end worse than Aware {aware_late:.1}ms"
+        aware_late > 400.0,
+        "Aware should stay degraded, got {aware_late:.1}ms"
     );
-    // OptiAware actively reassigns roles based on the logged measurements
-    // (the deterministic exclusion of suspects from the leader role is
-    // covered by the optiaware unit tests; which replica ends up leading
-    // here depends on how quickly suspicions expire once the system is
-    // healthy again).
-    assert!(!opti.reconfigurations.is_empty());
-    let _ = attacker;
+    // OptiAware's suspicion pipeline must excise the attacker and recover to
+    // a small multiple of the attack-free latency (Fig 7).
+    assert!(
+        opti_late < aware_late * 0.5,
+        "OptiAware {opti_late:.1}ms should recover well below Aware {aware_late:.1}ms"
+    );
+    // The recovery must come from a reconfiguration after the attack began
+    // that strips the attacker of the leader role.
+    let post_attack: Vec<_> = opti
+        .reconfigurations
+        .iter()
+        .filter(|&&(t, _)| t >= attack.as_secs_f64())
+        .collect();
+    assert!(
+        !post_attack.is_empty(),
+        "no reconfiguration after the attack: {:?}",
+        opti.reconfigurations
+    );
+    assert!(
+        post_attack.iter().all(|&&(_, leader)| leader != attacker),
+        "attacker {attacker} regained the leader role: {post_attack:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,64 @@
+//! Slice helpers: `shuffle` and `choose`.
+
+use crate::{RngCore, SampleRange};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher-Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_single(rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = (0..self.len()).sample_single(rng);
+            self.get(i)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn choose_covers_and_respects_empty() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! subset of serde the workspace uses: the [`Serialize`] / [`Deserialize`]
+//! traits, `#[derive(Serialize, Deserialize)]` (re-exported from the sibling
+//! `serde_derive` proc-macro crate), and impls for the std types that appear
+//! in derived structs. Instead of serde's visitor-based zero-copy data model,
+//! everything funnels through a concrete JSON-like [`Value`] tree; the
+//! sibling `serde_json` stand-in renders and parses that tree as real JSON.
+//! Semantics mirror serde's external enum representation so derived types
+//! round-trip exactly.
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+/// Serialization error (unused by the Value model but kept for API shape).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Build an error describing a type mismatch.
+    pub fn expected(what: &str, got: &Value) -> Error {
+        Error(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the data-model tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from the data-model tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Compatibility alias module: `serde::de::DeserializeOwned`.
+pub mod de {
+    /// In this stand-in every [`crate::Deserialize`] is owned.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Compatibility alias module: `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,214 @@
+//! Source-string code generation for the two derives. Enum representation
+//! follows serde's external tagging: unit variants serialize as their name
+//! string, data variants as a single-entry map `{"Variant": ...}`.
+
+use crate::parse::{Body, Fields, Item, Variant};
+
+/// `<T, C>` twice: once for `impl<...>`, once for `Name<...>`, plus a where
+/// clause binding every type parameter to `bound`.
+fn generics(item: &Item, bound: &str) -> (String, String, String) {
+    if item.type_params.is_empty() {
+        return (String::new(), String::new(), String::new());
+    }
+    let list = item.type_params.join(", ");
+    let wheres = item
+        .type_params
+        .iter()
+        .map(|p| format!("{p}: {bound}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    (format!("<{list}>"), format!("<{list}>"), format!("where {wheres}"))
+}
+
+/// Generate the `Serialize` impl.
+pub fn serialize_impl(item: &Item) -> String {
+    let (impl_g, ty_g, where_c) = generics(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => match fields {
+            Fields::Unit => "::serde::Value::Null".to_string(),
+            Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Fields::Tuple(n) => {
+                let items = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Arr(vec![{items}])")
+            }
+            Fields::Named(names) => {
+                let pairs = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Map(vec![{pairs}])")
+            }
+        },
+        Body::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_g} ::serde::Serialize for {name}{ty_g} {where_c} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn serialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => format!(
+            "{enum_name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+        ),
+        Fields::Tuple(n) => {
+            let binds = (0..*n).map(|i| format!("f{i}")).collect::<Vec<_>>().join(", ");
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_value(f0)".to_string()
+            } else {
+                let items = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Arr(vec![{items}])")
+            };
+            format!(
+                "{enum_name}::{vname}({binds}) => ::serde::Value::Map(vec![({vname:?}.to_string(), {inner})]),"
+            )
+        }
+        Fields::Named(names) => {
+            let binds = names.join(", ");
+            let pairs = names
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![({vname:?}.to_string(), ::serde::Value::Map(vec![{pairs}]))]),"
+            )
+        }
+    }
+}
+
+/// Generate the `Deserialize` impl.
+pub fn deserialize_impl(item: &Item) -> String {
+    let (impl_g, ty_g, where_c) = generics(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => match fields {
+            Fields::Unit => format!(
+                "match v {{\n\
+                     ::serde::Value::Null => Ok({name}),\n\
+                     other => Err(::serde::Error::expected(\"null\", other)),\n\
+                 }}"
+            ),
+            Fields::Tuple(1) => {
+                format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+            }
+            Fields::Tuple(n) => {
+                let items = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Arr(items) if items.len() == {n} => Ok({name}({items})),\n\
+                         other => Err(::serde::Error::expected(\"array of {n}\", other)),\n\
+                     }}"
+                )
+            }
+            Fields::Named(names) => {
+                let fields = named_fields_from(name, names, "v");
+                format!("Ok({name} {{ {fields} }})")
+            }
+        },
+        Body::Enum(variants) => deserialize_enum_body(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_g} ::serde::Deserialize for {name}{ty_g} {where_c} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// `a: from_value(src.get("a").ok_or(...)?)?, b: ...`
+fn named_fields_from(type_name: &str, names: &[String], src: &str) -> String {
+    names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({src}.get({f:?}).ok_or_else(|| \
+                 ::serde::Error(format!(\"missing field `{f}` for `{type_name}`\")))?)?"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let data_arms = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|v| deserialize_variant_arm(name, v))
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!(
+        "match v {{\n\
+             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::Error(format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+             }},\n\
+             ::serde::Value::Map(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &pairs[0];\n\
+                 match tag.as_str() {{\n\
+                     {data_arms}\n\
+                     other => Err(::serde::Error(format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                 }}\n\
+             }}\n\
+             other => Err(::serde::Error::expected(\"enum `{name}`\", other)),\n\
+         }}"
+    )
+}
+
+fn deserialize_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        Fields::Unit => unreachable!("unit variants handled in the Str arm"),
+        Fields::Tuple(1) => format!(
+            "{vname:?} => Ok({enum_name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+        ),
+        Fields::Tuple(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{vname:?} => match inner {{\n\
+                     ::serde::Value::Arr(items) if items.len() == {n} => Ok({enum_name}::{vname}({items})),\n\
+                     other => Err(::serde::Error::expected(\"array of {n}\", other)),\n\
+                 }},"
+            )
+        }
+        Fields::Named(names) => {
+            let fields = named_fields_from(&format!("{enum_name}::{vname}"), names, "inner");
+            format!("{vname:?} => Ok({enum_name}::{vname} {{ {fields} }}),")
+        }
+    }
+}

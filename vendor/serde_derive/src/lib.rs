@@ -1,0 +1,48 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! Value-tree data model of the vendored `serde` crate. Because crates.io is
+//! unreachable, `syn`/`quote` are unavailable; the input item is parsed
+//! directly from the compiler's `proc_macro::TokenStream` by [`parse`], and
+//! the impls are emitted as source strings.
+//!
+//! Supported shapes (everything the workspace derives on): unit / tuple /
+//! named-field structs, enums mixing unit, tuple, and struct variants, and
+//! plain type parameters (bounds are added per-impl, serde-style). Lifetimes,
+//! const generics, `where` clauses, and `#[serde(...)]` attributes are not
+//! supported and fail loudly rather than silently mis-serializing.
+
+use proc_macro::TokenStream;
+
+mod codegen;
+mod parse;
+
+/// Derive `serde::Serialize` (Value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse::parse(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    codegen::serialize_impl(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (Value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse::parse(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    codegen::deserialize_impl(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", format!("serde_derive stand-in: {msg}"))
+        .parse()
+        .expect("compile_error! parses")
+}

@@ -1,0 +1,261 @@
+//! Token-level parser for the shapes `#[derive(Serialize, Deserialize)]` is
+//! applied to in this workspace. Delimiters other than `<`/`>` arrive
+//! pre-nested as `Group` token trees, so only angle-bracket depth needs
+//! explicit tracking.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Fields of a struct or enum variant.
+#[derive(Debug)]
+pub enum Fields {
+    /// `struct S;` or `Variant,`
+    Unit,
+    /// `struct S(A, B);` or `Variant(A, B)` — only the arity matters.
+    Tuple(usize),
+    /// `struct S { a: A }` or `Variant { a: A }` — field names in order.
+    Named(Vec<String>),
+}
+
+/// One enum variant.
+#[derive(Debug)]
+pub struct Variant {
+    pub name: String,
+    pub fields: Fields,
+}
+
+/// The body of the item.
+#[derive(Debug)]
+pub enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+/// A parsed `struct` or `enum` item.
+#[derive(Debug)]
+pub struct Item {
+    pub name: String,
+    /// Plain type-parameter names (`T`, `C`, ...).
+    pub type_params: Vec<String>,
+    pub body: Body,
+}
+
+/// Parse the derive input.
+pub fn parse(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    let type_params = parse_generics(&tokens, &mut i)?;
+
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        return Err(format!("`where` clauses are not supported (on `{name}`)"));
+    }
+
+    let body = match kind {
+        "struct" => Body::Struct(parse_struct_body(&tokens, &mut i)?),
+        _ => Body::Enum(parse_enum_body(&tokens, &mut i)?),
+    };
+
+    Ok(Item {
+        name,
+        type_params,
+        body,
+    })
+}
+
+/// Skip leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parse `<...>` after the item name, returning the type-parameter names.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    let mut params = Vec::new();
+    if !matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Ok(params);
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    // A parameter name is the ident found at depth 1 right after `<` or a
+    // depth-1 comma; anything after a `:` (bounds) or inside nested angles is
+    // skipped.
+    let mut at_param_start = true;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        *i += 1;
+                        return Ok(params);
+                    }
+                }
+                ',' if depth == 1 => at_param_start = true,
+                '\'' => {
+                    return Err("lifetime parameters are not supported".to_string());
+                }
+                ':' if depth == 1 => at_param_start = false,
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                let s = id.to_string();
+                if s == "const" {
+                    return Err("const generics are not supported".to_string());
+                }
+                params.push(s);
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    Err("unterminated generic parameter list".to_string())
+}
+
+fn parse_struct_body(tokens: &[TokenTree], i: &mut usize) -> Result<Fields, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Fields::Unit),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            parse_named_fields(g.stream())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Fields::Tuple(count_tuple_fields(g.stream())))
+        }
+        other => Err(format!("expected struct body, found {other:?}")),
+    }
+}
+
+/// Parse `{ a: A, b: B }` into field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Fields, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(tok) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!("expected field name, found {tok:?}"));
+        };
+        names.push(id.to_string());
+        i += 1;
+        if !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{}`", names.last().unwrap()));
+        }
+        i += 1;
+        skip_type(&tokens, &mut i);
+        // Optional trailing comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(Fields::Named(names))
+}
+
+/// Advance past one type, stopping at a depth-0 comma (not consumed).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Count the fields of `( A, B, ... )`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_enum_body(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<Variant>, String> {
+    let group = match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => return Err(format!("expected enum body, found {other:?}")),
+    };
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(tok) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!("expected variant name, found {tok:?}"));
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                parse_named_fields(g.stream())?
+            }
+            _ => Fields::Unit,
+        };
+        // Explicit discriminant (`Variant = 3`): the value is irrelevant to
+        // the name-based representation; skip to the next depth-0 comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&tokens, &mut i);
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
