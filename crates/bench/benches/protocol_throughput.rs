@@ -20,7 +20,7 @@ fn bench_protocols(c: &mut Criterion) {
         b.iter(|| {
             let mut cfg = HotStuffConfig::new(n, Pacemaker::Fixed { leader: 0 });
             cfg.run_for = Duration::from_secs(1);
-            run_hotstuff(&cfg, Box::new(MatrixLatency::from_rtt_millis(n, &rtt)))
+            run_hotstuff(&cfg, Box::new(MatrixLatency::from_rtt_millis(n, &rtt)), FaultPlan::none())
         })
     });
     group.bench_function("kauri_pipeline", |b| {

@@ -5,64 +5,61 @@
 //! optimises its configuration but cannot react to the attack, OptiAware
 //! detects the delay through suspicions and reassigns the leader role.
 //!
-//! Usage: `fig07_runtime_attack [run-seconds] [n]`
+//! Usage: `fig07_runtime_attack [run-seconds] [n] [--seeds N] [--threads N] [--out DIR]`
 
-use bench::{arg_or, Deployment};
+use lab::{
+    run_and_report, Attack, AdversaryScript, Deployment, LabArgs, LatencyWindow, ProtocolScenario,
+    ScenarioKind, ScenarioSpec, Substrate, Target, Topology,
+};
 use netsim::{Duration, SimTime};
-use optiaware::OptiAwarePolicy;
-use pbft::{AwarePolicy, PbftHarness, PbftHarnessConfig, ReconfigPolicy, StaticPolicy};
-
-/// Factory building a reconfiguration policy for one replica id.
-type PolicyFactory = Box<dyn Fn(usize) -> Box<dyn ReconfigPolicy>>;
 
 fn main() {
-    let run_secs = arg_or(1, 180);
-    let n = arg_or(2, 21) as usize;
-    let f = (n - 1) / 3;
-    let clients = n;
-    let rtt = Deployment::Europe21.rtt_matrix(n, 0);
-    // Attack the replica Aware's optimisation elects as leader, as in §7.1.
-    let attacker = pbft::score::optimize_configuration(&rtt, n, f, &(0..n).collect::<Vec<_>>(), &[], 1)
-        .0
-        .leader;
-    let attack_start = SimTime::from_secs(run_secs.min(82).max(run_secs / 2));
+    let args = LabArgs::parse();
+    let run_secs = args.pos_or(1, 180);
+    let n = args.pos_or(2, 21) as usize;
+    let attack_start = run_secs.min(82).max(run_secs / 2);
     let attack_delay = Duration::from_millis(600);
-    let optimize_after = SimTime::from_secs(40.min(run_secs / 3).max(10));
+    let optimize_after = 40.min(run_secs / 3).max(10);
 
-    println!("# Fig 7: end-to-end client latency under a Pre-Prepare delay attack");
-    println!("# n={n}, f={f}, attacker=replica {attacker}, attack at {attack_start}, proposal delay {attack_delay}");
-    println!("{:<12} {:>12} {:>12} {:>12} {:>14}", "system", "pre-opt ms", "optimized ms", "attack ms", "post-recover ms");
-
-    let systems: Vec<(&str, PolicyFactory)> = vec![
-        ("BFT-SMaRt", Box::new(|_| Box::new(StaticPolicy) as Box<dyn ReconfigPolicy>)),
-        ("Aware", {
-            let (n, f) = (n, f);
-            Box::new(move |_| Box::new(AwarePolicy::new(n, f, optimize_after)) as Box<dyn ReconfigPolicy>)
-        }),
-        ("OptiAware", {
-            let (n, f) = (n, f);
-            Box::new(move |id| {
-                Box::new(OptiAwarePolicy::new(id, n, f, 1.0, optimize_after)) as Box<dyn ReconfigPolicy>
-            })
-        }),
+    let scenario = ProtocolScenario::new(
+        vec![Substrate::BftSmart, Substrate::Aware, Substrate::OptiAware],
+        vec![Topology::with_n(Deployment::Europe21, n)],
+    )
+    .with_adversaries(vec![AdversaryScript::named("delay-attack").at(
+        SimTime::from_secs(attack_start),
+        Attack::DelayProposals {
+            target: Target::OptimizedLeader,
+            delay: attack_delay,
+        },
+    )]);
+    let mut scenario = scenario.run_for(Duration::from_secs(run_secs));
+    scenario.optimize_after = SimTime::from_secs(optimize_after);
+    let (t_opt, t_atk) = (optimize_after as f64, attack_start as f64);
+    scenario.windows = vec![
+        LatencyWindow::new("preopt", 5.0, t_opt),
+        LatencyWindow::new("optimized", t_opt + 5.0, t_atk),
+        LatencyWindow::new("attack", t_atk + 2.0, t_atk + 50.0),
+        LatencyWindow::new("recovered", t_atk + 60.0, run_secs as f64),
     ];
 
-    for (name, factory) in systems {
-        let config = PbftHarnessConfig::new(n, f, clients, rtt.clone())
-            .run_for(Duration::from_secs(run_secs))
-            .with_delay_attacker(attacker, attack_delay, attack_start);
-        let report = PbftHarness::run(&config, "fig7", |id| factory(id));
-        let t_attack = attack_start.as_secs_f64();
-        let t_opt = optimize_after.as_secs_f64();
-        let pre = report.mean_client_latency(5.0, t_opt);
-        let optimized = report.mean_client_latency(t_opt + 5.0, t_attack);
-        let during = report.mean_client_latency(t_attack + 2.0, t_attack + 50.0);
-        let recovered = report.mean_client_latency(t_attack + 60.0, run_secs as f64);
-        println!(
-            "{:<12} {:>12.1} {:>12.1} {:>12.1} {:>14.1}   reconfigurations: {:?}",
-            name, pre, optimized, during, recovered, report.reconfigurations
-        );
-    }
+    let spec = ScenarioSpec::new(
+        "fig07_runtime_attack",
+        args.seeds_or(&[0]),
+        ScenarioKind::Protocol(scenario),
+    );
+    println!("# Fig 7: end-to-end client latency [ms] under a Pre-Prepare delay attack");
+    println!("# n={n}, attack at {attack_start}s, proposal delay {attack_delay}, optimise after {optimize_after}s");
+    run_and_report(
+        &spec,
+        &args.sweep_options(),
+        &[
+            "lat_preopt_ms",
+            "lat_optimized_ms",
+            "lat_attack_ms",
+            "lat_recovered_ms",
+            "reconfigurations",
+        ],
+    );
     println!("# Expected shape: Aware/OptiAware optimize below BFT-SMaRt; under attack all inflate;");
     println!("# only OptiAware recovers to the optimized level after excluding the attacker.");
 }

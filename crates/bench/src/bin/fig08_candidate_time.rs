@@ -1,45 +1,29 @@
 //! Fig 8 — time to compute the candidate set (maximum independent set) from
 //! random suspicion graphs of growing size.
 //!
-//! Usage: `fig08_candidate_time [graphs-per-size]`
+//! Usage: `fig08_candidate_time [graphs-per-size] [--threads N] [--out DIR]`
 
-use bench::{arg_or, ci95, mean};
-use optilog::{CandidateSelector, SelectionStrategy, SuspicionGraph};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::time::Instant;
-
-fn random_graph(n: usize, edge_prob: f64, rng: &mut StdRng) -> SuspicionGraph {
-    let mut g = SuspicionGraph::new(0..n);
-    for a in 0..n {
-        for b in (a + 1)..n {
-            if rng.gen_bool(edge_prob) {
-                g.add_edge(a, b);
-            }
-        }
-    }
-    g
-}
+use lab::{run_and_report, CandidateTimingScenario, LabArgs, ScenarioKind, ScenarioSpec};
 
 fn main() {
-    let graphs = arg_or(1, 100) as usize;
-    let selector = CandidateSelector::new(SelectionStrategy::MaxIndependentSet { budget: 500_000 });
-    println!("# Fig 8: candidate-set computation time (Bron-Kerbosch on the inverted graph)");
-    println!("{:>6} {:>14} {:>12}", "n", "mean time", "ci95");
-    for n in [4usize, 10, 16, 22, 25, 40, 55, 70, 85, 100] {
-        let mut rng = StdRng::seed_from_u64(n as u64);
-        let mut times_ms = Vec::new();
-        for _ in 0..graphs {
-            let g = random_graph(n, 0.15, &mut rng);
-            let start = Instant::now();
-            let sel = selector.select(&g);
-            let elapsed = start.elapsed().as_secs_f64() * 1000.0;
-            assert!(!sel.candidates.is_empty());
-            times_ms.push(elapsed);
-        }
-        let m = mean(&times_ms);
-        let unit = if m < 1.0 { format!("{:.1} us", m * 1000.0) } else { format!("{m:.2} ms") };
-        println!("{:>6} {:>14} {:>11.3}ms", n, unit, ci95(&times_ms));
-    }
+    let args = LabArgs::parse();
+    let graphs = args.pos_or(1, 100) as usize;
+    let spec = ScenarioSpec::new(
+        "fig08_candidate_time",
+        args.seeds_or(&[0]),
+        ScenarioKind::CandidateTiming(CandidateTimingScenario {
+            sizes: vec![4, 10, 16, 22, 25, 40, 55, 70, 85, 100],
+            graphs_per_size: graphs,
+            edge_prob: 0.15,
+            budget: 500_000,
+        }),
+    );
+    println!("# Fig 8: candidate-set computation time [ms] (Bron-Kerbosch on the inverted graph)");
+    println!("# {graphs} random graphs per size, edge probability 0.15");
+    run_and_report(
+        &spec,
+        &args.sweep_options(),
+        &["time_ms", "time_ci95_ms", "time_max_ms"],
+    );
     println!("# Expected shape: sub-millisecond below n=25, growing rapidly but < 1 s at n=100.");
 }

@@ -1,86 +1,44 @@
 //! Fig 9 — throughput and latency of OptiTree, Kauri, and HotStuff across
 //! geographic deployments (Europe21, NA-EU43, Stellar56, Global73).
 //!
-//! Usage: `fig09_baseline_comparison [run-seconds]`
+//! Usage: `fig09_baseline_comparison [run-seconds] [--threads N] [--out DIR]`
 
-use bench::{arg_or, Deployment};
-use hotstuff::{run_hotstuff, HotStuffConfig, Pacemaker};
-use kauri::{run_kauri, KauriBinsPolicy, KauriConfig, TreePolicy};
-use netsim::{Duration, FaultPlan, MatrixLatency};
-use optitree::OptiTreePolicy;
-use rsm::SystemConfig;
+use lab::{
+    run_and_report, Deployment, LabArgs, ProtocolScenario, ScenarioKind, ScenarioSpec, Substrate,
+    Topology,
+};
+use netsim::Duration;
 
 fn main() {
-    let run_secs = arg_or(1, 120);
-    println!("# Fig 9: throughput [op/s] and consensus latency [ms] per deployment");
-    println!(
-        "{:<12} {:<22} {:>12} {:>12}",
-        "deployment", "system", "throughput", "latency ms"
+    let args = LabArgs::parse();
+    let run_secs = args.pos_or(1, 120);
+    let scenario = ProtocolScenario::new(
+        vec![
+            Substrate::HotStuffFixed,
+            Substrate::HotStuffRr,
+            Substrate::Kauri,
+            Substrate::OptiTree,
+            Substrate::OptiTreeNoPipeline,
+        ],
+        vec![
+            Topology::of(Deployment::Europe21),
+            Topology::of(Deployment::NaEu43),
+            Topology::of(Deployment::Stellar56),
+            Topology::of(Deployment::Global73),
+        ],
+    )
+    .run_for(Duration::from_secs(run_secs));
+    let spec = ScenarioSpec::new(
+        "fig09_baseline_comparison",
+        args.seeds_or(&[0]),
+        ScenarioKind::Protocol(scenario),
     );
-    for deployment in [
-        Deployment::Europe21,
-        Deployment::NaEu43,
-        Deployment::Stellar56,
-        Deployment::Global73,
-    ] {
-        let n = deployment.default_n();
-        let rtt = deployment.rtt_matrix(n, 0);
-        let latency = || Box::new(MatrixLatency::from_rtt_millis(n, &rtt));
-        let system = SystemConfig::new(n);
-        let branch = system.tree_branch_factor();
-
-        // HotStuff baselines.
-        for (label, pacemaker) in [
-            ("HotStuff-fixed", Pacemaker::Fixed { leader: 0 }),
-            ("HotStuff-rr", Pacemaker::RoundRobin),
-        ] {
-            let mut cfg = HotStuffConfig::new(n, pacemaker);
-            cfg.run_for = Duration::from_secs(run_secs);
-            let r = run_hotstuff(&cfg, latency());
-            println!(
-                "{:<12} {:<22} {:>12.0} {:>12.1}",
-                deployment.label(),
-                label,
-                r.summary.throughput_ops,
-                r.summary.mean_latency_ms
-            );
-        }
-
-        // Kauri with pipelining (random conformity trees).
-        let mut kcfg = KauriConfig::new(n);
-        kcfg.run_for = Duration::from_secs(run_secs);
-        let kauri = run_kauri(&kcfg, latency(), FaultPlan::none(), |_| {
-            Box::new(KauriBinsPolicy::new(n, branch, 1)) as Box<dyn TreePolicy>
-        });
-        println!(
-            "{:<12} {:<22} {:>12.0} {:>12.1}",
-            deployment.label(),
-            "Kauri (pipeline)",
-            kauri.summary.throughput_ops,
-            kauri.summary.mean_latency_ms
-        );
-
-        // OptiTree with and without pipelining (SA-selected trees).
-        for (label, pipeline) in [("OptiTree", true), ("OptiTree (no pipeline)", false)] {
-            let mut ocfg = KauriConfig::new(n);
-            ocfg.run_for = Duration::from_secs(run_secs);
-            if !pipeline {
-                ocfg = ocfg.without_pipelining();
-            }
-            let rtt_clone = rtt.clone();
-            let r = run_kauri(&ocfg, latency(), FaultPlan::none(), move |_| {
-                Box::new(OptiTreePolicy::new(system, rtt_clone.clone(), 7)) as Box<dyn TreePolicy>
-            });
-            println!(
-                "{:<12} {:<22} {:>12.0} {:>12.1}",
-                deployment.label(),
-                label,
-                r.summary.throughput_ops,
-                r.summary.mean_latency_ms
-            );
-        }
-        println!();
-    }
+    println!("# Fig 9: throughput [op/s] and consensus latency [ms] per deployment");
+    run_and_report(
+        &spec,
+        &args.sweep_options(),
+        &["throughput_ops", "latency_ms", "p99_ms"],
+    );
     println!("# Expected shape: OptiTree > Kauri > HotStuff in throughput; OptiTree's trees have");
     println!("# lower latency than Kauri's random trees, with the gap widening at Global73.");
 }

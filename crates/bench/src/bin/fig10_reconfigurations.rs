@@ -2,42 +2,36 @@
 //! function of the number of reconfigurations, for Kauri, Kauri-sa, and
 //! OptiTree with 211 replicas randomly distributed across the world.
 //!
-//! Usage: `fig10_reconfigurations [runs] [n] [reconfigurations]`
+//! Usage: `fig10_reconfigurations [runs] [n] [reconfigurations] [--threads N]`
 
-use bench::{arg_or, ci95, mean, Deployment};
-use optitree::{simulate_suspicion_attack, AttackVariant};
+use lab::{run_and_report, LabArgs, ScenarioKind, ScenarioSpec, SuspicionAttackScenario};
 
 fn main() {
-    let runs = arg_or(1, 50) as usize;
-    let n = arg_or(2, 211) as usize;
-    let steps = arg_or(3, 35) as usize;
+    let args = LabArgs::parse();
+    let runs = args.pos_or(1, 50);
+    let n = args.pos_or(2, 211) as usize;
+    let steps = args.pos_or(3, 35) as usize;
+    let report_every = 5;
+    let spec = ScenarioSpec::new(
+        "fig10_reconfigurations",
+        args.seeds_or(&(0..runs).collect::<Vec<_>>()),
+        ScenarioKind::SuspicionAttack(SuspicionAttackScenario {
+            n,
+            steps,
+            report_every,
+        }),
+    );
     println!("# Fig 10: tree latency (score, ms) vs reconfigurations under targeted suspicions");
-    println!("{:>7} {:>16} {:>16} {:>16}", "reconf", "Kauri", "Kauri-sa", "OptiTree");
-
-    let variants = [AttackVariant::Kauri, AttackVariant::KauriSa, AttackVariant::OptiTree];
-    // scores[variant][step] = Vec of per-run scores
-    let mut scores = vec![vec![Vec::new(); steps + 1]; variants.len()];
-    for run in 0..runs {
-        let matrix = Deployment::WorldRandom.rtt_matrix(n, run as u64);
-        for (vi, &variant) in variants.iter().enumerate() {
-            let outcome = simulate_suspicion_attack(variant, n, &matrix, steps, run as u64);
-            for (step, &s) in outcome.scores.iter().enumerate() {
-                scores[vi][step].push(s);
-            }
-        }
-    }
-    for step in (0..=steps).step_by(5) {
-        println!(
-            "{:>7} {:>10.0} ±{:<5.0} {:>9.0} ±{:<5.0} {:>9.0} ±{:<5.0}",
-            step,
-            mean(&scores[0][step]),
-            ci95(&scores[0][step]),
-            mean(&scores[1][step]),
-            ci95(&scores[1][step]),
-            mean(&scores[2][step]),
-            ci95(&scores[2][step]),
-        );
-    }
+    println!(
+        "# n={n}, {} runs, scores sampled every {report_every} reconfigurations",
+        spec.seeds.len()
+    );
+    let columns: Vec<String> = (0..=steps)
+        .step_by(report_every)
+        .map(|s| format!("score_u{s:03}"))
+        .collect();
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    run_and_report(&spec, &args.sweep_options(), &column_refs);
     println!("# Expected shape: OptiTree starts lowest and degrades gradually with u; Kauri-sa");
     println!("# degrades sharply once candidates run out; random Kauri trees are always worst.");
 }

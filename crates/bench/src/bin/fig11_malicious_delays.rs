@@ -2,55 +2,45 @@
 //! inflate their latency by a factor δ (1.1, 1.2, 1.4) without triggering
 //! suspicions. Europe21 without pipelining, 1–4 faulty intermediates.
 //!
-//! Usage: `fig11_malicious_delays [run-seconds]`
+//! Usage: `fig11_malicious_delays [run-seconds] [--threads N] [--out DIR]`
 
-use bench::{arg_or, Deployment};
-use kauri::{run_kauri, KauriConfig, TreePolicy};
-use netsim::{Duration, FaultPlan, MatrixLatency};
-use optitree::OptiTreePolicy;
-use rsm::SystemConfig;
+use lab::{
+    run_and_report, AdversaryScript, Attack, Deployment, LabArgs, ProtocolScenario, ScenarioKind,
+    ScenarioSpec, Substrate, Target, Topology,
+};
+use netsim::{Duration, SimTime};
 
 fn main() {
-    let run_secs = arg_or(1, 60);
-    let n = 21;
-    let system = SystemConfig::new(n);
-    let rtt = Deployment::Europe21.rtt_matrix(n, 0);
+    let args = LabArgs::parse();
+    let run_secs = args.pos_or(1, 60);
 
-    println!("# Fig 11: OptiTree (no pipeline, Europe21) with faulty internal nodes inflating latency by δ");
-    println!("{:>7} {:>6} {:>14} {:>12}", "faulty", "delta", "throughput", "latency ms");
-
-    // Determine the internal nodes OptiTree picks so the attack targets them.
-    let probe_tree = {
-        let mut p = OptiTreePolicy::new(system, rtt.clone(), 7);
-        p.next_tree(n, system.tree_branch_factor())
-    };
-    let intermediates = probe_tree.intermediates.clone();
-
-    let run_one = |faulty: usize, delta: f64| {
-        let mut cfg = KauriConfig::new(n).without_pipelining();
-        cfg.run_for = Duration::from_secs(run_secs);
-        let mut faults = FaultPlan::none();
-        for &victim in intermediates.iter().take(faulty) {
-            faults.inflate_outgoing(victim, delta);
-        }
-        let rtt_clone = rtt.clone();
-        let report = run_kauri(
-            &cfg,
-            Box::new(MatrixLatency::from_rtt_millis(n, &rtt)),
-            faults,
-            move |_| Box::new(OptiTreePolicy::new(system, rtt_clone.clone(), 7)) as Box<dyn TreePolicy>,
-        );
-        (report.summary.throughput_ops, report.summary.mean_latency_ms)
-    };
-
-    let (base_tp, base_lat) = run_one(0, 1.0);
-    println!("{:>7} {:>6} {:>14.0} {:>12.1}   (no faults)", 0, "-", base_tp, base_lat);
+    let mut adversaries = vec![AdversaryScript::clean()];
     for faulty in 1..=4usize {
         for delta in [1.1, 1.2, 1.4] {
-            let (tp, lat) = run_one(faulty, delta);
-            println!("{faulty:>7} {delta:>6.1} {tp:>14.0} {lat:>12.1}");
+            adversaries.push(
+                AdversaryScript::named(format!("faulty={faulty} δ={delta}")).at(
+                    SimTime::ZERO,
+                    Attack::InflateOutgoing {
+                        target: Target::TreeIntermediates { count: faulty },
+                        factor: delta,
+                    },
+                ),
+            );
         }
     }
+    let scenario = ProtocolScenario::new(
+        vec![Substrate::OptiTreeNoPipeline],
+        vec![Topology::of(Deployment::Europe21)],
+    )
+    .with_adversaries(adversaries)
+    .run_for(Duration::from_secs(run_secs));
+    let spec = ScenarioSpec::new(
+        "fig11_malicious_delays",
+        args.seeds_or(&[0]),
+        ScenarioKind::Protocol(scenario),
+    );
+    println!("# Fig 11: OptiTree (no pipeline, Europe21) with faulty internal nodes inflating latency by δ");
+    run_and_report(&spec, &args.sweep_options(), &["throughput_ops", "latency_ms"]);
     println!("# Expected shape: throughput drops and latency rises with more faulty internals and");
     println!("# larger δ (the paper reports up to ~49% throughput loss at δ=1.4 with 4 faulty nodes).");
 }

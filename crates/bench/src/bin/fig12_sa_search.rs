@@ -1,71 +1,28 @@
 //! Fig 12 — tree latency as a function of the simulated-annealing search
 //! budget, for configuration sizes 57–211.
 //!
-//! The paper varies wall-clock search time from 250 ms to 4 s; this harness
+//! The paper varies wall-clock search time from 250 ms to 4 s; the scenario
 //! maps search time to an iteration budget using a calibrated
 //! iterations-per-second rate and reports both.
 //!
-//! Usage: `fig12_sa_search [runs-per-point]`
+//! Usage: `fig12_sa_search [runs-per-point] [--threads N] [--out DIR]`
 
-use bench::{arg_or, ci95, mean, Deployment};
-use optilog::AnnealingParams;
-use optitree::{search_tree, TreeSearchSpace};
-use rsm::SystemConfig;
-use std::time::Instant;
+use lab::{run_and_report, LabArgs, ScenarioKind, ScenarioSpec, TreeSearchScenario};
 
 fn main() {
-    let runs = arg_or(1, 20) as usize;
+    let args = LabArgs::parse();
+    let runs = args.pos_or(1, 20);
+    let spec = ScenarioSpec::new(
+        "fig12_sa_search",
+        args.seeds_or(&(0..runs).collect::<Vec<_>>()),
+        ScenarioKind::TreeSearch(TreeSearchScenario {
+            sizes: vec![57, 91, 111, 157, 183, 211],
+            search_secs: vec![0.25, 0.5, 1.0, 2.0, 4.0],
+            calibration_iters: 2_000,
+        }),
+    );
     println!("# Fig 12: tree latency (score, ms) vs simulated-annealing search time");
-    println!(
-        "{:>5} {:>12} {:>12} {:>14} {:>10}",
-        "n", "search s", "iterations", "latency ms", "ci95"
-    );
-
-    // Calibrate iterations/second on the smallest configuration.
-    let calib_space = space(57, 0);
-    let start = Instant::now();
-    let calib_iters = 2_000;
-    let _ = search_tree(
-        &calib_space,
-        AnnealingParams {
-            iterations: calib_iters,
-            ..Default::default()
-        },
-        0,
-    );
-    let per_second = calib_iters as f64 / start.elapsed().as_secs_f64();
-
-    for n in [57usize, 91, 111, 157, 183, 211] {
-        for search_secs in [0.25, 0.5, 1.0, 2.0, 4.0] {
-            let params = AnnealingParams::from_search_time(search_secs, per_second);
-            let mut scores = Vec::new();
-            for run in 0..runs {
-                let sp = space(n, run as u64);
-                let (_, score) = search_tree(&sp, params, run as u64);
-                scores.push(score);
-            }
-            println!(
-                "{:>5} {:>12.2} {:>12} {:>14.0} {:>10.1}",
-                n,
-                search_secs,
-                params.iterations,
-                mean(&scores),
-                ci95(&scores)
-            );
-        }
-        println!();
-    }
+    run_and_report(&spec, &args.sweep_options(), &["score_ms", "iterations"]);
     println!("# Expected shape: longer searches find lower-latency trees; the gain is largest for");
     println!("# big configurations (n=211 improves ~35% from 250 ms to 4 s) and variance shrinks.");
-}
-
-fn space(n: usize, seed: u64) -> TreeSearchSpace {
-    let system = SystemConfig::new(n);
-    TreeSearchSpace {
-        n,
-        branch: system.tree_branch_factor(),
-        matrix_rtt_ms: Deployment::WorldRandom.rtt_matrix(n, seed),
-        candidates: (0..n).collect(),
-        k: system.quorum(),
-    }
 }

@@ -1,60 +1,26 @@
 //! Fig 13 — proposal size with different OptiLog sensors enabled, for
 //! 20/40/60/80 replicas across 10 locations.
 //!
-//! Usage: `fig13_proposal_size`
+//! Usage: `fig13_proposal_size [--out DIR]`
 
-use crypto::{Complaint, Digest, Keyring, MisbehaviorKind, MisbehaviorProof};
-use optilog::{LatencyVector, Measurement, Suspicion, SuspicionKind};
-use optilog::measurement::LoggedConfigProposal;
+use lab::{run_and_report, LabArgs, ProposalSizeScenario, ScenarioKind, ScenarioSpec};
 
 fn main() {
-    println!("# Fig 13: average proposal size [bytes] with different measurements included");
-    println!(
-        "{:>4} {:>12} {:>14} {:>16} {:>18}",
-        "n", "no OptiLog", "latency vec", "susp.+lv", "misbehavior+lv"
+    let args = LabArgs::parse();
+    let spec = ScenarioSpec::new(
+        "fig13_proposal_size",
+        args.seeds_or(&[0]),
+        ScenarioKind::ProposalSize(ProposalSizeScenario {
+            sizes: vec![20, 40, 60, 80],
+            base_bytes: 256,
+        }),
     );
-    for n in [20usize, 40, 60, 80] {
-        let base = 256usize; // block header + batching metadata without OptiLog
-        let lv = Measurement::Latency(LatencyVector::new(0, vec![1.0; n])).wire_bytes();
-        let suspicion = Measurement::Suspicion(Suspicion {
-            kind: SuspicionKind::Slow,
-            accuser: 1,
-            accused: 2,
-            round: 10,
-            phase: 2,
-            accuser_is_leader: false,
-        })
-        .wire_bytes();
-        // A misbehavior complaint carrying an equivocation proof (two signed digests).
-        let ring = Keyring::new(1, n);
-        let d1 = Digest::of(b"proposal-a");
-        let d2 = Digest::of(b"proposal-b");
-        let proof = MisbehaviorProof {
-            accused: 3,
-            kind: MisbehaviorKind::Equivocation {
-                view: 5,
-                first: (d1, ring.key(3).sign(&d1)),
-                second: (d2, ring.key(3).sign(&d2)),
-            },
-        };
-        let complaint = Measurement::Complaint(Complaint::new(0, proof, &ring)).wire_bytes();
-        let config = Measurement::Config(LoggedConfigProposal {
-            proposer: 0,
-            epoch: 1,
-            score: 100.0,
-            payload: vec![0u8; n],
-        })
-        .wire_bytes();
-
-        let with_lv = base + lv;
-        // A handful of suspicions ride on a proposal during instability.
-        let with_susp = with_lv + 4 * suspicion;
-        let with_misb = with_lv + complaint + config;
-        println!(
-            "{:>4} {:>12} {:>14} {:>16} {:>18}",
-            n, base, with_lv, with_susp, with_misb
-        );
-    }
+    println!("# Fig 13: average proposal size [bytes] with different measurements included");
+    run_and_report(
+        &spec,
+        &args.sweep_options(),
+        &["bytes_base", "bytes_latency_vec", "bytes_suspicions", "bytes_misbehavior"],
+    );
     println!("# Expected shape: latency vectors add ~2 bytes/replica; suspicions add a few hundred");
     println!("# bytes at most; proofs of misbehavior dominate (kilobytes) but are rare.");
 }

@@ -1,49 +1,24 @@
 //! Fig 14 (Appendix B.1) — cost of over-provisioning: tree latency when the
 //! score function provisions for u = 5%..30% unresponsive leaves.
 //!
-//! Usage: `fig14_overprovision [runs-per-point]`
+//! Usage: `fig14_overprovision [runs-per-point] [--threads N] [--out DIR]`
 
-use bench::{arg_or, ci95, mean, Deployment};
-use optilog::AnnealingParams;
-use optitree::{search_tree, tree_score, TreeSearchSpace};
-use rsm::SystemConfig;
+use lab::{run_and_report, LabArgs, OverprovisionScenario, ScenarioKind, ScenarioSpec};
 
 fn main() {
-    let runs = arg_or(1, 15) as usize;
+    let args = LabArgs::parse();
+    let runs = args.pos_or(1, 15);
+    let spec = ScenarioSpec::new(
+        "fig14_overprovision",
+        args.seeds_or(&(0..runs).collect::<Vec<_>>()),
+        ScenarioKind::Overprovision(OverprovisionScenario {
+            sizes: vec![21, 43, 91, 111, 157, 211],
+            percents: vec![5, 10, 15, 20, 25, 30],
+            iterations: 3_000,
+        }),
+    );
     println!("# Fig 14: tree latency (score, ms) when provisioning for u% faulty leaves");
-    println!("{:>5} {:>7} {:>6} {:>14} {:>10}", "n", "u [%]", "u", "latency ms", "ci95");
-    for n in [21usize, 43, 91, 111, 157, 211] {
-        let system = SystemConfig::new(n);
-        for pct in [5usize, 10, 15, 20, 25, 30] {
-            let u = (n * pct) / 100;
-            let k = (system.quorum() + u).min(n);
-            let mut scores = Vec::new();
-            for run in 0..runs {
-                let matrix = Deployment::WorldRandom.rtt_matrix(n, run as u64);
-                let sp = TreeSearchSpace {
-                    n,
-                    branch: system.tree_branch_factor(),
-                    matrix_rtt_ms: matrix.clone(),
-                    candidates: (0..n).collect(),
-                    k,
-                };
-                let (tree, _) = search_tree(
-                    &sp,
-                    AnnealingParams {
-                        iterations: 3_000,
-                        ..Default::default()
-                    },
-                    run as u64,
-                );
-                scores.push(tree_score(&tree, &matrix, n, k));
-            }
-            println!(
-                "{:>5} {:>7} {:>6} {:>14.0} {:>10.1}",
-                n, pct, u, mean(&scores), ci95(&scores)
-            );
-        }
-        println!();
-    }
+    run_and_report(&spec, &args.sweep_options(), &["u", "score_ms"]);
     println!("# Expected shape: latency grows with u (collecting votes from more subtrees);");
     println!("# the paper reports ~54% higher latency at u = 30% of n for n = 211.");
 }

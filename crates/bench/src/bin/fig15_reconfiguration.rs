@@ -2,53 +2,48 @@
 //! crashed every 10 seconds, triggering a simulated-annealing search and a
 //! reconfiguration (Europe21, 21 replicas).
 //!
-//! Usage: `fig15_reconfiguration [run-seconds]`
+//! Usage: `fig15_reconfiguration [run-seconds] [--threads N] [--out DIR]`
 
-use bench::{arg_or, Deployment};
-use kauri::{run_kauri, KauriConfig, TreePolicy};
-use netsim::{Duration, FaultPlan, MatrixLatency, SimTime};
-use optitree::OptiTreePolicy;
-use rsm::SystemConfig;
+use lab::{
+    run_and_report, AdversaryScript, Attack, Deployment, LabArgs, ProtocolScenario, ScenarioKind,
+    ScenarioSpec, Substrate, Topology,
+};
+use netsim::{Duration, SimTime};
 
 fn main() {
-    let run_secs = arg_or(1, 90);
-    let n = 21;
-    let system = SystemConfig::new(n);
-    let rtt = Deployment::Europe21.rtt_matrix(n, 0);
-
-    // Determine the sequence of roots OptiTree will choose so each can be
-    // crashed 10 s after it takes over.
-    let mut probe = OptiTreePolicy::new(system, rtt.clone(), 7);
-    let mut faults = FaultPlan::none();
-    let mut crash_at = 10u64;
-    let mut crashed = Vec::new();
-    while crash_at < run_secs {
-        let tree = probe.next_tree(n, system.tree_branch_factor());
-        if crashed.contains(&tree.root) {
-            break;
-        }
-        faults.crash(tree.root, SimTime::from_secs(crash_at));
-        crashed.push(tree.root);
-        probe.on_view_failure(&[tree.root]);
-        crash_at += 10;
-    }
-
-    let mut cfg = KauriConfig::new(n).without_pipelining();
-    cfg.run_for = Duration::from_secs(run_secs);
-    cfg.reconfig_delay = Duration::from_secs(1); // the 1 s simulated-annealing search
-    let rtt_clone = rtt.clone();
-    let report = run_kauri(
-        &cfg,
-        Box::new(MatrixLatency::from_rtt_millis(n, &rtt)),
-        faults,
-        move |_| Box::new(OptiTreePolicy::new(system, rtt_clone.clone(), 7)) as Box<dyn TreePolicy>,
+    let args = LabArgs::parse();
+    let run_secs = args.pos_or(1, 90);
+    let mut scenario = ProtocolScenario::new(
+        vec![Substrate::OptiTreeNoPipeline],
+        vec![Topology::of(Deployment::Europe21)],
+    )
+    .with_adversaries(vec![AdversaryScript::named("root-crashes").at(
+        SimTime::from_secs(10),
+        Attack::CrashRoots {
+            interval: Duration::from_secs(10),
+        },
+    )])
+    .run_for(Duration::from_secs(run_secs));
+    scenario.reconfig_delay = Some(Duration::from_secs(1)); // the 1 s simulated-annealing search
+    let spec = ScenarioSpec::new(
+        "fig15_reconfiguration",
+        args.seeds_or(&[0]),
+        ScenarioKind::Protocol(scenario),
     );
-
     println!("# Fig 15: throughput [op/s] per second with the root crashing every 10 s");
-    println!("# reconfigurations observed: {}", report.reconfigurations);
-    println!("{:>6} {:>12}", "t [s]", "throughput");
-    for (sec, ops) in report.throughput_timeline.iter().enumerate() {
-        println!("{sec:>6} {ops:>12}");
+    let report = run_and_report(
+        &spec,
+        &args.sweep_options(),
+        &["throughput_ops", "reconfigurations"],
+    );
+    // The timeline itself (also in the JSON as a series).
+    if let Some(cell) = report.points.first().and_then(|p| p.cells.first()) {
+        if let Some(timeline) = cell.metrics.series.get("throughput_timeline") {
+            println!("{:>6} {:>12}", "t [s]", "throughput");
+            for &(sec, ops) in timeline {
+                println!("{sec:>6.0} {ops:>12.0}");
+            }
+        }
     }
     println!("# Expected shape: throughput drops to zero after each crash, recovers roughly one");
     println!("# progress-timeout plus one second of search later, and returns to its previous level.");

@@ -1,104 +1,25 @@
-//! Shared helpers for the figure-reproduction harnesses.
+//! Shared surface for the figure-reproduction harnesses.
 //!
 //! Each binary in `src/bin/` regenerates one figure of the paper's
-//! evaluation; this library holds the plumbing they share: building RTT
-//! matrices for the evaluation's geographic deployments and small
-//! command-line helpers.
+//! evaluation. Since the `lab` crate landed, a harness is a thin constructor:
+//! it builds a declarative [`lab::ScenarioSpec`] and hands it to the shared
+//! sweep runner ([`lab::run_and_report`]), which fans the seed grid across
+//! worker threads, prints the metric table, and writes
+//! `BENCH_<scenario>.json`. This crate re-exports the pieces the binaries
+//! (and the criterion benches) use.
 
-use netsim::CityDataset;
-
-/// The geographic deployments used in the evaluation (§7.3, §7.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Deployment {
-    /// 21 European cities.
-    Europe21,
-    /// 43 cities across Europe and North America.
-    NaEu43,
-    /// 56 cities approximating the Stellar validator distribution.
-    Stellar56,
-    /// 73 cities worldwide.
-    Global73,
-    /// Replicas drawn at random from all 220 cities (Fig 10, Fig 12, Fig 14).
-    WorldRandom,
-}
-
-impl Deployment {
-    /// Human-readable label matching the paper's x-axis.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Deployment::Europe21 => "Europe21",
-            Deployment::NaEu43 => "NA-EU43",
-            Deployment::Stellar56 => "Stellar56",
-            Deployment::Global73 => "Global73",
-            Deployment::WorldRandom => "World(random)",
-        }
-    }
-
-    /// Default configuration size for the deployment.
-    pub fn default_n(&self) -> usize {
-        match self {
-            Deployment::Europe21 => 21,
-            Deployment::NaEu43 => 43,
-            Deployment::Stellar56 => 56,
-            Deployment::Global73 => 73,
-            Deployment::WorldRandom => 211,
-        }
-    }
-
-    /// Build the replica-to-replica RTT matrix (ms) for `n` replicas of this
-    /// deployment, assigning replicas to cities round-robin (or at random for
-    /// [`Deployment::WorldRandom`]).
-    pub fn rtt_matrix(&self, n: usize, seed: u64) -> Vec<f64> {
-        let ds = CityDataset::worldwide();
-        let subset = match self {
-            Deployment::Europe21 => ds.europe21(),
-            Deployment::NaEu43 => ds.na_eu43(),
-            Deployment::Stellar56 => ds.stellar56(),
-            Deployment::Global73 => ds.global73(),
-            Deployment::WorldRandom => (0..ds.len()).collect(),
-        };
-        let assignment = match self {
-            Deployment::WorldRandom => ds.assign_random(&subset, n, seed),
-            _ => ds.assign_round_robin(&subset, n),
-        };
-        let mut m = vec![0.0; n * n];
-        for a in 0..n {
-            for b in 0..n {
-                m[a * n + b] = ds.rtt_ms(assignment[a], assignment[b]);
-            }
-        }
-        m
-    }
-}
+pub use lab::{ci95, mean, Deployment};
 
 /// Parse an optional positional argument as a number with a default — the
 /// harness binaries accept `<run-seconds>` / `<repetitions>` overrides so a
 /// quick smoke run and a full paper-scale run use the same binary.
+/// (Prefer [`lab::LabArgs`] in new binaries: it also understands
+/// `--threads` / `--seeds` / `--out`.)
 pub fn arg_or(idx: usize, default: u64) -> u64 {
     std::env::args()
         .nth(idx)
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
-}
-
-/// Mean of a slice.
-pub fn mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        0.0
-    } else {
-        values.iter().sum::<f64>() / values.len() as f64
-    }
-}
-
-/// Half-width of the 95% confidence interval of the mean.
-pub fn ci95(values: &[f64]) -> f64 {
-    let n = values.len();
-    if n < 2 {
-        return 0.0;
-    }
-    let m = mean(values);
-    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n as f64 - 1.0);
-    1.96 * (var / n as f64).sqrt()
 }
 
 #[cfg(test)]

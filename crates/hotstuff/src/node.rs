@@ -15,7 +15,7 @@
 
 use crate::pacemaker::Pacemaker;
 use crypto::{Digest, Hashable};
-use netsim::{Context, Duration, LatencyModel, Node, NodeId, SimTime, Simulation, SimulationConfig, TimerId};
+use netsim::{Context, Duration, FaultPlan, LatencyModel, Node, NodeId, SimTime, Simulation, SimulationConfig, TimerId};
 use rsm::{Block, BlockSource, CommitStats, RunSummary, SystemConfig};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -216,16 +216,23 @@ pub struct HotStuffReport {
 }
 
 /// Run chained HotStuff over the given latency model and report throughput
-/// and consensus latency (one row of Fig 9).
-pub fn run_hotstuff(config: &HotStuffConfig, latency: Box<dyn LatencyModel>) -> HotStuffReport {
+/// and consensus latency (one row of Fig 9). `faults` injects network-level
+/// adversary stages (crashes, delays) exactly as for the other substrates.
+pub fn run_hotstuff(
+    config: &HotStuffConfig,
+    latency: Box<dyn LatencyModel>,
+    faults: FaultPlan,
+) -> HotStuffReport {
     let n = config.system.n;
     let nodes: Vec<HotStuffNode> = (0..n)
         .map(|id| HotStuffNode::new(id, config.system, config.pacemaker, config.batch_size))
         .collect();
-    let mut sim = Simulation::new(nodes, latency).with_config(SimulationConfig {
-        horizon: SimTime::ZERO + config.run_for,
-        max_events: 500_000_000,
-    });
+    let mut sim = Simulation::new(nodes, latency)
+        .with_faults(faults)
+        .with_config(SimulationConfig {
+            horizon: SimTime::ZERO + config.run_for,
+            max_events: 500_000_000,
+        });
     sim.run();
     let views = sim.node(0).highest_proposed.max(
         sim.nodes().map(|nd| nd.views.len() as u64).max().unwrap_or(0),
@@ -255,7 +262,7 @@ mod tests {
             run_for: Duration::from_secs(20),
             ..HotStuffConfig::new(4, Pacemaker::Fixed { leader: 0 })
         };
-        let report = run_hotstuff(&cfg, uniform(4, 25));
+        let report = run_hotstuff(&cfg, uniform(4, 25), FaultPlan::none());
         // One view per ~2 one-way delays (50 ms); 20 s → ~400 views, each
         // committing a 1000-command block two views later.
         assert!(report.summary.committed_blocks > 200, "{report:?}");
@@ -271,7 +278,7 @@ mod tests {
             run_for: Duration::from_secs(10),
             ..HotStuffConfig::new(4, Pacemaker::RoundRobin)
         };
-        let report = run_hotstuff(&cfg, uniform(4, 25));
+        let report = run_hotstuff(&cfg, uniform(4, 25), FaultPlan::none());
         assert!(report.summary.committed_blocks > 50);
     }
 
@@ -282,7 +289,7 @@ mod tests {
                 run_for: Duration::from_secs(15),
                 ..HotStuffConfig::new(4, Pacemaker::Fixed { leader: 0 })
             };
-            run_hotstuff(&cfg, uniform(4, ms)).summary.throughput_ops
+            run_hotstuff(&cfg, uniform(4, ms), FaultPlan::none()).summary.throughput_ops
         };
         assert!(mk(10) > mk(80) * 2.0);
     }

@@ -24,6 +24,7 @@ use netsim::{
 };
 use rsm::{Block, BlockSource, CommitStats, RunSummary, SystemConfig};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 const TIMER_PROGRESS: u64 = 1;
 const TIMER_RECONFIG_DONE: u64 = 2;
@@ -47,6 +48,13 @@ pub enum KauriMessage {
         timestamp_us: u64,
         /// Tree epoch the proposal belongs to.
         epoch: u64,
+        /// The tree the proposal travels on (shared, so per-hop clones are
+        /// pointer-sized). Replicas behind on `epoch` adopt it — the
+        /// simulation's stand-in for the new configuration being agreed
+        /// through the replicated log. Without adoption, replicas that
+        /// reconfigure at different local times diverge, and divergent
+        /// trees can route a proposal in a cycle.
+        tree: Arc<Tree>,
     },
     /// A leaf's vote, sent to its parent.
     Vote {
@@ -207,12 +215,14 @@ impl KauriNode {
                 commands: block.len(),
                 timestamp_us: ctx.now.as_micros(),
                 epoch: self.epoch,
+                tree: Arc::new(self.tree.clone()),
             };
             ctx.multicast(&self.tree.children_of(self.id), msg);
             ctx.set_timer(self.policy.view_timeout(), TIMER_VIEW_BASE + view);
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the Proposal message fields
     fn handle_proposal(
         &mut self,
         ctx: &mut Context<KauriMessage>,
@@ -221,9 +231,20 @@ impl KauriNode {
         commands: usize,
         timestamp_us: u64,
         epoch: u64,
+        tree: Arc<Tree>,
     ) {
         if epoch < self.epoch {
             return;
+        }
+        if epoch > self.epoch {
+            // The proposing root runs a newer configuration: adopt it (the
+            // stand-in for reading the agreed configuration from the log).
+            // Local policy state keeps its own sequence; it only matters if
+            // this replica later initiates a reconfiguration itself.
+            self.tree = (*tree).clone();
+            self.epoch = epoch;
+            self.aggregates.clear();
+            self.reconfiguring = false;
         }
         self.highest_view_seen = self.highest_view_seen.max(view);
         self.last_progress = ctx.now;
@@ -236,13 +257,21 @@ impl KauriNode {
             }
             return;
         }
-        // Intermediate: forward downwards and start aggregating.
+        // Intermediate: forward downwards and start aggregating — once per
+        // view. Duplicate deliveries (possible while replicas still disagree
+        // on the tree) must not re-forward, or a transient routing cycle
+        // amplifies one proposal into an unbounded message storm.
+        let agg = self.aggregates.entry(view).or_default();
+        if agg.votes.contains(&self.id) {
+            return;
+        }
         let msg = KauriMessage::Proposal {
             view,
             digest,
             commands,
             timestamp_us,
             epoch,
+            tree,
         };
         ctx.multicast(&children, msg);
         let agg = self.aggregates.entry(view).or_default();
@@ -367,7 +396,12 @@ impl KauriNode {
         self.aggregates.clear();
         // Drop uncommitted views; fresh batches will be proposed on the new tree.
         self.views.retain(|_, s| s.committed);
-        self.last_progress = ctx.now;
+        // The new root is legitimately silent while it runs the
+        // reconfiguration search (reconfig_delay): start the staleness clock
+        // only once it could have proposed, or every replica walks off to
+        // the next tree before any root ever speaks — a reconfiguration
+        // treadmill that blanks throughput for tens of seconds.
+        self.last_progress = ctx.now + self.reconfig_delay;
         if self.tree.root == self.id {
             self.reconfiguring = true;
             ctx.set_timer(self.reconfig_delay, TIMER_RECONFIG_DONE);
@@ -395,7 +429,8 @@ impl Node for KauriNode {
                 commands,
                 timestamp_us,
                 epoch,
-            } => self.handle_proposal(ctx, view, digest, commands, timestamp_us, epoch),
+                tree,
+            } => self.handle_proposal(ctx, view, digest, commands, timestamp_us, epoch, tree),
             KauriMessage::Vote { view, voter } => self.handle_vote(ctx, view, voter),
             KauriMessage::Aggregate {
                 view,

@@ -1,0 +1,265 @@
+//! The multi-threaded sweep runner and the shared experiment CLI.
+//!
+//! A sweep is the full cell grid (points × seeds) of one [`ScenarioSpec`].
+//! Cells are independent pure functions, so the runner fans them across
+//! `std::thread` workers pulling from a shared queue. Results are written
+//! into per-cell slots keyed by grid index and aggregated in grid order, so
+//! the report — and its JSON — is byte-identical for any worker count. The
+//! execution *order* is deterministically shuffled for load balance (long
+//! and short points interleave) without affecting the output.
+
+use crate::results::{CellReport, PointReport, ScenarioReport};
+use crate::scenario::ScenarioSpec;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How a sweep is executed and where results go.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads (capped at the number of cells).
+    pub threads: usize,
+    /// Directory for `BENCH_<scenario>.json`; `None` skips the file.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            out_dir: Some(PathBuf::from(".")),
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Single-threaded, no JSON output (unit-test friendly).
+    pub fn serial() -> Self {
+        SweepOptions {
+            threads: 1,
+            out_dir: None,
+        }
+    }
+
+    /// Override the worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// Run the full sweep and aggregate per-point reports.
+pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> ScenarioReport {
+    let points = spec.points();
+    let cells: Vec<(usize, u64)> = points
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| spec.seeds.iter().map(move |&s| (pi, s)))
+        .collect();
+
+    // Deterministic execution order, shuffled for load balance: expensive
+    // points (large n, long runs) spread across workers instead of clumping
+    // at one end of the queue. Results are keyed by cell index, so this
+    // cannot affect the report.
+    let mut order: Vec<usize> = (0..cells.len()).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(0x05ee_d1ab));
+
+    let slots: Vec<Mutex<Option<CellReport>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    // Wall-clock-timed scenarios must not share cores between cells: the
+    // contention would inflate the measured times themselves.
+    let cap = if spec.wall_clock_timed() { 1 } else { cells.len().max(1) };
+    let workers = opts.threads.clamp(1, cap);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&cell_idx) = order.get(k) else { break };
+                let (pi, seed) = cells[cell_idx];
+                let metrics = spec.run_cell(&points[pi], seed);
+                *slots[cell_idx].lock().expect("result slot poisoned") =
+                    Some(CellReport { seed, metrics });
+            });
+        }
+    });
+
+    let mut collected: Vec<Option<CellReport>> = slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot poisoned"))
+        .collect();
+    let mut report_points = Vec::with_capacity(points.len());
+    let mut it = collected.drain(..);
+    for point in &points {
+        let cells: Vec<CellReport> = spec
+            .seeds
+            .iter()
+            .map(|_| it.next().flatten().expect("every cell ran"))
+            .collect();
+        report_points.push(PointReport::aggregate(
+            point.label.clone(),
+            point.params.clone(),
+            cells,
+        ));
+    }
+    ScenarioReport {
+        scenario: spec.name.clone(),
+        seeds: spec.seeds.clone(),
+        points: report_points,
+    }
+}
+
+/// Run the sweep, print a metric table, and write `BENCH_<scenario>.json`.
+/// This is the whole body of a figure binary.
+pub fn run_and_report(spec: &ScenarioSpec, opts: &SweepOptions, table_metrics: &[&str]) -> ScenarioReport {
+    let report = run_sweep(spec, opts);
+    print!("{}", report.render_table(table_metrics));
+    if let Some(dir) = &opts.out_dir {
+        match report.write_bench_json(dir) {
+            Ok(path) => println!("# wrote {}", path.display()),
+            Err(e) => eprintln!("# could not write BENCH json: {e}"),
+        }
+    }
+    report
+}
+
+/// Command-line arguments shared by every experiment binary: positional
+/// numeric overrides (as before) plus `--threads N`, `--seeds N`, `--out DIR`
+/// and `--no-json`.
+#[derive(Debug, Clone)]
+pub struct LabArgs {
+    positionals: Vec<u64>,
+    /// Worker threads for the sweep.
+    pub threads: usize,
+    /// Seed-count override (`--seeds N` sweeps seeds `0..N`).
+    pub seeds: Option<usize>,
+    /// Output directory for `BENCH_*.json` (`--no-json` disables).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl LabArgs {
+    /// Parse `std::env::args()`.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument list (testable).
+    #[allow(clippy::should_implement_trait)] // parses CLI words, not a collection
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let defaults = SweepOptions::default();
+        let mut out = LabArgs {
+            positionals: Vec::new(),
+            threads: defaults.threads,
+            seeds: None,
+            out_dir: Some(PathBuf::from(".")),
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--threads" | "-j" => {
+                    out.threads = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads needs a number")
+                }
+                "--seeds" => {
+                    out.seeds = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--seeds needs a number"),
+                    )
+                }
+                "--out" => {
+                    out.out_dir = Some(PathBuf::from(it.next().expect("--out needs a directory")))
+                }
+                "--no-json" => out.out_dir = None,
+                other => {
+                    if let Ok(v) = other.parse() {
+                        out.positionals.push(v);
+                    } else {
+                        panic!("unrecognised argument: {other}");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The `idx`-th positional argument (1-based, like the old `arg_or`).
+    pub fn pos_or(&self, idx: usize, default: u64) -> u64 {
+        self.positionals.get(idx - 1).copied().unwrap_or(default)
+    }
+
+    /// The seed list: `--seeds N` sweeps `0..N`, otherwise `default`.
+    pub fn seeds_or(&self, default: &[u64]) -> Vec<u64> {
+        match self.seeds {
+            Some(k) => (0..k as u64).collect(),
+            None => default.to_vec(),
+        }
+    }
+
+    /// The sweep options these arguments describe.
+    pub fn sweep_options(&self) -> SweepOptions {
+        SweepOptions {
+            threads: self.threads,
+            out_dir: self.out_dir.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ProposalSizeScenario, ScenarioKind};
+
+    fn tiny_spec(seeds: Vec<u64>) -> ScenarioSpec {
+        ScenarioSpec::new(
+            "unit_runner",
+            seeds,
+            ScenarioKind::ProposalSize(ProposalSizeScenario {
+                sizes: vec![10, 20, 30],
+                base_bytes: 256,
+            }),
+        )
+    }
+
+    #[test]
+    fn sweep_covers_every_point_and_seed() {
+        let spec = tiny_spec(vec![0, 1]);
+        let report = run_sweep(&spec, &SweepOptions::serial());
+        assert_eq!(report.points.len(), 3);
+        for p in &report.points {
+            assert_eq!(p.cells.len(), 2);
+            assert_eq!(p.cells[0].seed, 0);
+            assert_eq!(p.cells[1].seed, 1);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let spec = tiny_spec(vec![0, 1, 2]);
+        let serial = run_sweep(&spec, &SweepOptions::serial());
+        let parallel = run_sweep(&spec, &SweepOptions::serial().with_threads(4));
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn args_parse_flags_and_positionals() {
+        let args = LabArgs::from_iter(
+            ["30", "--threads", "4", "21", "--seeds", "8", "--out", "/tmp/x"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(args.pos_or(1, 0), 30);
+        assert_eq!(args.pos_or(2, 0), 21);
+        assert_eq!(args.pos_or(3, 99), 99);
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.seeds_or(&[7]), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(args.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        let none = LabArgs::from_iter(["--no-json".to_string()]);
+        assert!(none.out_dir.is_none());
+        assert_eq!(none.seeds_or(&[7]), vec![7]);
+    }
+}

@@ -1,0 +1,830 @@
+//! Declarative scenario specifications.
+//!
+//! A [`ScenarioSpec`] names a scenario, the seeds to sweep, and a
+//! [`ScenarioKind`] describing *what* to measure. Protocol scenarios are a
+//! matrix of substrates × topologies × adversary scripts — the shape of the
+//! paper's evaluation (§7) — and each analytic scenario kind captures one of
+//! the non-simulation figures (candidate-set timing, SA search budgets,
+//! proposal sizes, over-provisioning, the targeted-suspicion attack).
+//!
+//! The grid expands into [`Point`]s (parameter combinations); each point ×
+//! seed is a *cell*, and [`ScenarioSpec::run_cell`] — a pure function of the
+//! spec, the point, and the seed — produces that cell's [`CellMetrics`]. The
+//! sweep runner fans cells across worker threads; determinism is guaranteed
+//! because no state is shared between cells and each cell derives its RNG
+//! stream from `mix_seed(seed, point)`.
+
+use crate::adversary::{AdversaryScript, CompileContext};
+use crate::results::{ci95, mean, CellMetrics};
+use crate::topology::Topology;
+use hotstuff::{run_hotstuff, HotStuffConfig, Pacemaker};
+use kauri::{run_kauri, KauriBinsPolicy, KauriConfig, TreePolicy};
+use netsim::{Duration, MatrixLatency, SimTime};
+use optiaware::OptiAwarePolicy;
+use optilog::{AnnealingParams, CandidateSelector, SelectionStrategy, SuspicionGraph};
+use optitree::{
+    search_tree, simulate_suspicion_attack, tree_score, AttackVariant, KauriSaPolicy,
+    OptiTreePolicy, TreeSearchSpace,
+};
+use pbft::{AwarePolicy, PbftHarness, PbftHarnessConfig, ReconfigPolicy, StaticPolicy};
+use rand::rngs::StdRng;
+use rand::seq::index;
+use rand::{Rng, SeedableRng};
+use rsm::{SystemConfig, WorkloadSpec};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Derive an independent RNG seed for a cell from the sweep seed and a salt
+/// (SplitMix64 finaliser), so cells never share RNG streams across threads.
+pub fn mix_seed(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Sample `count` distinct seeds from `0..pool`, deterministically from a
+/// master seed — the sweep sampler for "N random seeds" scenarios.
+pub fn sample_seeds(pool: u64, count: usize, master_seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(master_seed);
+    index::sample(&mut rng, pool as usize, count.min(pool as usize))
+        .into_iter()
+        .map(|i| i as u64)
+        .collect()
+}
+
+/// The consensus substrate a protocol scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Substrate {
+    /// Static PBFT (BFT-SMaRt): never reconfigures.
+    BftSmart,
+    /// Aware: deterministic latency optimisation, no suspicion handling.
+    Aware,
+    /// OptiAware: Aware + the OptiLog suspicion pipeline (§5).
+    OptiAware,
+    /// Chained HotStuff with a fixed leader.
+    HotStuffFixed,
+    /// Chained HotStuff with round-robin leaders.
+    HotStuffRr,
+    /// Kauri with random conformity-bin trees and pipelining.
+    Kauri,
+    /// Kauri with SA-optimised trees but no candidate set (§7.5 baseline).
+    KauriSa,
+    /// OptiTree with pipelining (§6).
+    OptiTree,
+    /// OptiTree without pipelining (Fig 11 / Fig 15 configuration).
+    OptiTreeNoPipeline,
+}
+
+impl Substrate {
+    /// Human-readable label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Substrate::BftSmart => "BFT-SMaRt",
+            Substrate::Aware => "Aware",
+            Substrate::OptiAware => "OptiAware",
+            Substrate::HotStuffFixed => "HotStuff-fixed",
+            Substrate::HotStuffRr => "HotStuff-rr",
+            Substrate::Kauri => "Kauri",
+            Substrate::KauriSa => "Kauri-sa",
+            Substrate::OptiTree => "OptiTree",
+            Substrate::OptiTreeNoPipeline => "OptiTree (no pipeline)",
+        }
+    }
+
+    /// True for the PBFT-family substrates (client-driven, reconfig policies).
+    pub fn is_pbft(&self) -> bool {
+        matches!(self, Substrate::BftSmart | Substrate::Aware | Substrate::OptiAware)
+    }
+
+    /// True for the tree-overlay substrates.
+    pub fn is_tree(&self) -> bool {
+        matches!(
+            self,
+            Substrate::Kauri | Substrate::KauriSa | Substrate::OptiTree | Substrate::OptiTreeNoPipeline
+        )
+    }
+
+    fn pbft_policy(
+        &self,
+        id: usize,
+        n: usize,
+        f: usize,
+        optimize_after: SimTime,
+    ) -> Box<dyn ReconfigPolicy> {
+        match self {
+            Substrate::BftSmart => Box::new(StaticPolicy),
+            Substrate::Aware => Box::new(AwarePolicy::new(n, f, optimize_after)),
+            Substrate::OptiAware => Box::new(OptiAwarePolicy::new(id, n, f, 1.0, optimize_after)),
+            other => panic!("{} is not a PBFT substrate", other.label()),
+        }
+    }
+
+    /// Build this substrate's tree policy (tree substrates only).
+    pub(crate) fn tree_policy(&self, n: usize, rtt: Vec<f64>, seed: u64) -> Box<dyn TreePolicy> {
+        let system = SystemConfig::new(n);
+        match self {
+            Substrate::Kauri => Box::new(KauriBinsPolicy::new(n, system.tree_branch_factor(), seed)),
+            Substrate::KauriSa => Box::new(KauriSaPolicy::new(system, rtt, seed)),
+            Substrate::OptiTree | Substrate::OptiTreeNoPipeline => {
+                Box::new(OptiTreePolicy::new(system, rtt, seed))
+            }
+            other => panic!("{} is not a tree substrate", other.label()),
+        }
+    }
+}
+
+/// A named virtual-time window over which client latency is averaged
+/// (the Fig 7 phases: pre-optimisation, optimised, under attack, recovered).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyWindow {
+    /// Metric suffix (`lat_<label>_ms`).
+    pub label: String,
+    /// Window start, seconds of virtual time.
+    pub from_s: f64,
+    /// Window end (exclusive), seconds.
+    pub to_s: f64,
+}
+
+impl LatencyWindow {
+    /// Create a window.
+    pub fn new(label: impl Into<String>, from_s: f64, to_s: f64) -> Self {
+        LatencyWindow {
+            label: label.into(),
+            from_s,
+            to_s,
+        }
+    }
+}
+
+/// A matrix of simulation runs: substrates × topologies × adversaries.
+#[derive(Debug, Clone)]
+pub struct ProtocolScenario {
+    /// Substrate axis.
+    pub substrates: Vec<Substrate>,
+    /// Topology axis.
+    pub topologies: Vec<Topology>,
+    /// Adversary axis (use `AdversaryScript::clean()` for fault-free runs).
+    pub adversaries: Vec<AdversaryScript>,
+    /// Virtual run duration.
+    pub duration: Duration,
+    /// The client/batch workload.
+    pub workload: WorkloadSpec,
+    /// When measurement-driven policies may first reconfigure.
+    pub optimize_after: SimTime,
+    /// Delay between a tree failure and the next root resuming (models the
+    /// configuration search, e.g. 1 s of simulated annealing).
+    pub reconfig_delay: Option<Duration>,
+    /// Client-latency windows to report (PBFT substrates).
+    pub windows: Vec<LatencyWindow>,
+}
+
+impl ProtocolScenario {
+    /// A fault-free scenario over the given axes with the paper's defaults.
+    pub fn new(substrates: Vec<Substrate>, topologies: Vec<Topology>) -> Self {
+        ProtocolScenario {
+            substrates,
+            topologies,
+            adversaries: vec![AdversaryScript::clean()],
+            duration: Duration::from_secs(120),
+            workload: WorkloadSpec::saturated(),
+            optimize_after: SimTime::from_secs(40),
+            reconfig_delay: None,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Replace the adversary axis.
+    pub fn with_adversaries(mut self, adversaries: Vec<AdversaryScript>) -> Self {
+        assert!(!adversaries.is_empty(), "adversary axis must be non-empty");
+        self.adversaries = adversaries;
+        self
+    }
+
+    /// Override the run duration.
+    pub fn run_for(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    fn points(&self) -> Vec<Point> {
+        let mut out = Vec::new();
+        for (si, s) in self.substrates.iter().enumerate() {
+            for (ti, t) in self.topologies.iter().enumerate() {
+                for (ai, a) in self.adversaries.iter().enumerate() {
+                    let mut parts = Vec::new();
+                    if self.substrates.len() > 1 {
+                        parts.push(s.label().to_string());
+                    }
+                    if self.topologies.len() > 1 {
+                        parts.push(t.label());
+                    }
+                    if self.adversaries.len() > 1 {
+                        parts.push(a.label.clone());
+                    }
+                    let label = if parts.is_empty() {
+                        s.label().to_string()
+                    } else {
+                        parts.join(" | ")
+                    };
+                    out.push(Point {
+                        label,
+                        params: BTreeMap::from([
+                            ("substrate".to_string(), s.label().to_string()),
+                            ("topology".to_string(), t.label()),
+                            ("adversary".to_string(), a.label.clone()),
+                        ]),
+                        idx: vec![si, ti, ai],
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn run_cell(&self, point: &Point, seed: u64) -> CellMetrics {
+        let (substrate, topology, adversary) = (
+            self.substrates[point.idx[0]],
+            self.topologies[point.idx[1]],
+            &self.adversaries[point.idx[2]],
+        );
+        let n = topology.n;
+        let f = topology.f();
+        let rtt = topology.rtt_matrix(seed);
+        let policy_seed = mix_seed(seed, point.idx[0] as u64 + 1);
+        let compiled = adversary.compile(&CompileContext {
+            n,
+            f,
+            rtt: &rtt,
+            horizon: SimTime::ZERO + self.duration,
+            substrate,
+            policy_seed,
+        });
+
+        let mut metrics = CellMetrics::new();
+        if substrate.is_pbft() {
+            let mut cfg = PbftHarnessConfig::new(n, f, self.workload.clients_for(n), rtt.clone())
+                .run_for(self.duration)
+                .with_faults(compiled.faults.clone());
+            for atk in &compiled.delay_attacks {
+                cfg = cfg.with_delay_attacker_during(atk.replica, atk.delay, atk.from, atk.until);
+            }
+            let optimize_after = self.optimize_after;
+            let report = PbftHarness::run(&cfg, substrate.label(), |id| {
+                substrate.pbft_policy(id, n, f, optimize_after)
+            });
+            let s = &report.replica_summary;
+            metrics
+                .set("throughput_ops", s.throughput_ops)
+                .set("latency_ms", s.mean_latency_ms)
+                .set("p50_ms", s.p50_latency_ms)
+                .set("p99_ms", s.p99_latency_ms)
+                .set("blocks", s.committed_blocks as f64)
+                .set("client_ops", report.client_completed.iter().sum::<u64>() as f64)
+                .set("reconfigurations", report.reconfigurations.len() as f64);
+            for w in &self.windows {
+                metrics.set(
+                    format!("lat_{}_ms", w.label),
+                    report.mean_client_latency(w.from_s, w.to_s),
+                );
+            }
+        } else if substrate.is_tree() {
+            let mut cfg = KauriConfig::new(n);
+            cfg.run_for = self.duration;
+            cfg.batch_size = self.workload.batch_size;
+            if substrate == Substrate::OptiTreeNoPipeline {
+                cfg.pipeline = 1;
+            }
+            if let Some(d) = self.reconfig_delay {
+                cfg.reconfig_delay = d;
+            }
+            let rtt_for_policy = rtt.clone();
+            let report = run_kauri(
+                &cfg,
+                Box::new(MatrixLatency::from_rtt_millis(n, &rtt)),
+                compiled.faults.clone(),
+                move |_| substrate.tree_policy(n, rtt_for_policy.clone(), policy_seed),
+            );
+            let s = &report.summary;
+            metrics
+                .set("throughput_ops", s.throughput_ops)
+                .set("latency_ms", s.mean_latency_ms)
+                .set("p50_ms", s.p50_latency_ms)
+                .set("p99_ms", s.p99_latency_ms)
+                .set("blocks", s.committed_blocks as f64)
+                .set("reconfigurations", report.reconfigurations as f64);
+            metrics.set_series(
+                "throughput_timeline",
+                report
+                    .throughput_timeline
+                    .iter()
+                    .enumerate()
+                    .map(|(sec, &ops)| (sec as f64, ops as f64))
+                    .collect(),
+            );
+        } else {
+            let pacemaker = match substrate {
+                Substrate::HotStuffFixed => Pacemaker::Fixed { leader: 0 },
+                _ => Pacemaker::RoundRobin,
+            };
+            let mut cfg = HotStuffConfig::new(n, pacemaker);
+            cfg.run_for = self.duration;
+            cfg.batch_size = self.workload.batch_size;
+            let report = run_hotstuff(
+                &cfg,
+                Box::new(MatrixLatency::from_rtt_millis(n, &rtt)),
+                compiled.faults.clone(),
+            );
+            let s = &report.summary;
+            metrics
+                .set("throughput_ops", s.throughput_ops)
+                .set("latency_ms", s.mean_latency_ms)
+                .set("p50_ms", s.p50_latency_ms)
+                .set("p99_ms", s.p99_latency_ms)
+                .set("blocks", s.committed_blocks as f64)
+                .set("views", report.views as f64);
+        }
+        metrics
+    }
+}
+
+/// Fig 8: time to compute the candidate set from random suspicion graphs.
+#[derive(Debug, Clone)]
+pub struct CandidateTimingScenario {
+    /// Graph sizes to time.
+    pub sizes: Vec<usize>,
+    /// Random graphs per size.
+    pub graphs_per_size: usize,
+    /// Edge probability of the suspicion graphs.
+    pub edge_prob: f64,
+    /// Bron–Kerbosch expansion budget.
+    pub budget: u64,
+}
+
+impl CandidateTimingScenario {
+    fn run_cell(&self, n: usize, seed: u64) -> CellMetrics {
+        let selector = CandidateSelector::new(SelectionStrategy::MaxIndependentSet {
+            budget: self.budget as usize,
+        });
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, n as u64));
+        let mut times_ms = Vec::new();
+        for _ in 0..self.graphs_per_size {
+            let mut g = SuspicionGraph::new(0..n);
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.gen_bool(self.edge_prob) {
+                        g.add_edge(a, b);
+                    }
+                }
+            }
+            let start = std::time::Instant::now();
+            let sel = selector.select(&g);
+            times_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+            assert!(!sel.candidates.is_empty());
+        }
+        let mut m = CellMetrics::new();
+        m.set("time_ms", mean(&times_ms))
+            .set("time_ci95_ms", ci95(&times_ms))
+            .set(
+                "time_max_ms",
+                times_ms.iter().cloned().fold(0.0f64, f64::max),
+            );
+        m
+    }
+}
+
+/// Fig 10: tree latency under the targeted-suspicion attack, per variant.
+#[derive(Debug, Clone)]
+pub struct SuspicionAttackScenario {
+    /// Number of replicas (randomly distributed across the world).
+    pub n: usize,
+    /// Reconfigurations the attack forces.
+    pub steps: usize,
+    /// Report the score every this many reconfigurations.
+    pub report_every: usize,
+}
+
+impl SuspicionAttackScenario {
+    fn variants() -> [AttackVariant; 3] {
+        [AttackVariant::Kauri, AttackVariant::KauriSa, AttackVariant::OptiTree]
+    }
+
+    fn run_cell(&self, variant_idx: usize, seed: u64) -> CellMetrics {
+        let variant = Self::variants()[variant_idx];
+        let matrix = crate::topology::Deployment::WorldRandom.rtt_matrix(self.n, seed);
+        let outcome = simulate_suspicion_attack(variant, self.n, &matrix, self.steps, seed);
+        let mut m = CellMetrics::new();
+        for (step, &score) in outcome.scores.iter().enumerate() {
+            if step % self.report_every == 0 {
+                m.set(format!("score_u{step:03}"), score);
+            }
+        }
+        m.set_series(
+            "score_by_reconf",
+            outcome
+                .scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (i as f64, s))
+                .collect(),
+        );
+        m
+    }
+}
+
+/// Fig 12: tree latency as a function of the SA search budget.
+#[derive(Debug, Clone)]
+pub struct TreeSearchScenario {
+    /// Configuration sizes.
+    pub sizes: Vec<usize>,
+    /// Search budgets in (calibrated) seconds.
+    pub search_secs: Vec<f64>,
+    /// Iterations used to calibrate iterations-per-second.
+    pub calibration_iters: usize,
+}
+
+impl TreeSearchScenario {
+    /// Calibrate once per process *per calibration budget*: wall-clock
+    /// iterations/second of the SA search on a small configuration. Shared
+    /// by all cells of a sweep so their iteration budgets are identical
+    /// regardless of worker count; keyed by `calibration_iters` so two
+    /// scenarios with different budgets do not silently share a rate.
+    fn iterations_per_second(&self) -> f64 {
+        static RATES: OnceLock<Mutex<BTreeMap<usize, f64>>> = OnceLock::new();
+        let rates = RATES.get_or_init(|| Mutex::new(BTreeMap::new()));
+        let mut rates = rates.lock().expect("calibration cache poisoned");
+        *rates.entry(self.calibration_iters).or_insert_with(|| {
+            let sp = Self::space(57, 0);
+            let start = std::time::Instant::now();
+            let _ = search_tree(
+                &sp,
+                AnnealingParams {
+                    iterations: self.calibration_iters,
+                    ..Default::default()
+                },
+                0,
+            );
+            self.calibration_iters as f64 / start.elapsed().as_secs_f64().max(1e-9)
+        })
+    }
+
+    fn space(n: usize, seed: u64) -> TreeSearchSpace {
+        let system = SystemConfig::new(n);
+        TreeSearchSpace {
+            n,
+            branch: system.tree_branch_factor(),
+            matrix_rtt_ms: crate::topology::Deployment::WorldRandom.rtt_matrix(n, seed),
+            candidates: (0..n).collect(),
+            k: system.quorum(),
+        }
+    }
+
+    fn run_cell(&self, size_idx: usize, secs_idx: usize, seed: u64) -> CellMetrics {
+        let n = self.sizes[size_idx];
+        let secs = self.search_secs[secs_idx];
+        let params = AnnealingParams::from_search_time(secs, self.iterations_per_second());
+        let sp = Self::space(n, seed);
+        let (_, score) = search_tree(&sp, params, seed);
+        let mut m = CellMetrics::new();
+        m.set("score_ms", score)
+            .set("iterations", params.iterations as f64);
+        m
+    }
+}
+
+/// Fig 13: proposal size with different OptiLog sensors enabled.
+#[derive(Debug, Clone)]
+pub struct ProposalSizeScenario {
+    /// Configuration sizes.
+    pub sizes: Vec<usize>,
+    /// Block header + batching metadata bytes without OptiLog.
+    pub base_bytes: usize,
+}
+
+impl ProposalSizeScenario {
+    fn run_cell(&self, n: usize) -> CellMetrics {
+        use crypto::{Complaint, Digest, Keyring, MisbehaviorKind, MisbehaviorProof};
+        use optilog::measurement::LoggedConfigProposal;
+        use optilog::{LatencyVector, Measurement, Suspicion, SuspicionKind};
+
+        let base = self.base_bytes;
+        let lv = Measurement::Latency(LatencyVector::new(0, vec![1.0; n])).wire_bytes();
+        let suspicion = Measurement::Suspicion(Suspicion {
+            kind: SuspicionKind::Slow,
+            accuser: 1,
+            accused: 2,
+            round: 10,
+            phase: 2,
+            accuser_is_leader: false,
+        })
+        .wire_bytes();
+        let ring = Keyring::new(1, n);
+        let d1 = Digest::of(b"proposal-a");
+        let d2 = Digest::of(b"proposal-b");
+        let proof = MisbehaviorProof {
+            accused: 3,
+            kind: MisbehaviorKind::Equivocation {
+                view: 5,
+                first: (d1, ring.key(3).sign(&d1)),
+                second: (d2, ring.key(3).sign(&d2)),
+            },
+        };
+        let complaint = Measurement::Complaint(Complaint::new(0, proof, &ring)).wire_bytes();
+        let config = Measurement::Config(LoggedConfigProposal {
+            proposer: 0,
+            epoch: 1,
+            score: 100.0,
+            payload: vec![0u8; n],
+        })
+        .wire_bytes();
+
+        let mut m = CellMetrics::new();
+        m.set("bytes_base", base as f64)
+            .set("bytes_latency_vec", (base + lv) as f64)
+            // A handful of suspicions ride on a proposal during instability.
+            .set("bytes_suspicions", (base + lv + 4 * suspicion) as f64)
+            .set("bytes_misbehavior", (base + lv + complaint + config) as f64);
+        m
+    }
+}
+
+/// Fig 14: cost of over-provisioning the score function for `u` faulty leaves.
+#[derive(Debug, Clone)]
+pub struct OverprovisionScenario {
+    /// Configuration sizes.
+    pub sizes: Vec<usize>,
+    /// Provisioning percentages (`u = n · pct / 100`).
+    pub percents: Vec<usize>,
+    /// SA iteration budget per search.
+    pub iterations: usize,
+}
+
+impl OverprovisionScenario {
+    fn run_cell(&self, size_idx: usize, pct_idx: usize, seed: u64) -> CellMetrics {
+        let n = self.sizes[size_idx];
+        let pct = self.percents[pct_idx];
+        let system = SystemConfig::new(n);
+        let u = (n * pct) / 100;
+        let k = (system.quorum() + u).min(n);
+        let matrix = crate::topology::Deployment::WorldRandom.rtt_matrix(n, seed);
+        let sp = TreeSearchSpace {
+            n,
+            branch: system.tree_branch_factor(),
+            matrix_rtt_ms: matrix.clone(),
+            candidates: (0..n).collect(),
+            k,
+        };
+        let (tree, _) = search_tree(
+            &sp,
+            AnnealingParams {
+                iterations: self.iterations,
+                ..Default::default()
+            },
+            seed,
+        );
+        let mut m = CellMetrics::new();
+        m.set("score_ms", tree_score(&tree, &matrix, n, k))
+            .set("u", u as f64);
+        m
+    }
+}
+
+/// What a scenario measures.
+#[derive(Debug, Clone)]
+pub enum ScenarioKind {
+    /// Simulation runs over substrates × topologies × adversaries.
+    Protocol(ProtocolScenario),
+    /// Fig 8: candidate-set computation time.
+    CandidateTiming(CandidateTimingScenario),
+    /// Fig 10: the targeted-suspicion attack.
+    SuspicionAttack(SuspicionAttackScenario),
+    /// Fig 12: SA search budget vs tree latency.
+    TreeSearch(TreeSearchScenario),
+    /// Fig 13: proposal wire sizes.
+    ProposalSize(ProposalSizeScenario),
+    /// Fig 14: over-provisioned score targets.
+    Overprovision(OverprovisionScenario),
+}
+
+/// One point of a scenario grid.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Display label (also the JSON point label).
+    pub label: String,
+    /// Axis values, for the JSON `params` object.
+    pub params: BTreeMap<String, String>,
+    /// Per-axis indices into the owning scenario's lists.
+    pub(crate) idx: Vec<usize>,
+}
+
+/// A named, seeded scenario: the unit the sweep runner executes.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name; the JSON file is `BENCH_<name>.json`.
+    pub name: String,
+    /// Seeds swept for every point.
+    pub seeds: Vec<u64>,
+    /// What to measure.
+    pub kind: ScenarioKind,
+}
+
+impl ScenarioSpec {
+    /// Create a spec.
+    pub fn new(name: impl Into<String>, seeds: Vec<u64>, kind: ScenarioKind) -> Self {
+        let name = name.into();
+        assert!(!seeds.is_empty(), "scenario needs at least one seed");
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
+            "scenario name must be filesystem-safe: {name:?}"
+        );
+        ScenarioSpec {
+            name,
+            seeds,
+            kind,
+        }
+    }
+
+    /// Expand the parameter grid.
+    pub fn points(&self) -> Vec<Point> {
+        fn simple<T>(items: &[T], name: &str, label: impl Fn(&T) -> String) -> Vec<Point> {
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let l = label(item);
+                    Point {
+                        label: l.clone(),
+                        params: BTreeMap::from([(name.to_string(), l)]),
+                        idx: vec![i],
+                    }
+                })
+                .collect()
+        }
+        fn grid<A, B>(
+            a: &[A],
+            b: &[B],
+            names: (&str, &str),
+            la: impl Fn(&A) -> String,
+            lb: impl Fn(&B) -> String,
+        ) -> Vec<Point> {
+            let mut out = Vec::new();
+            for (i, x) in a.iter().enumerate() {
+                for (j, y) in b.iter().enumerate() {
+                    out.push(Point {
+                        label: format!("{} | {}", la(x), lb(y)),
+                        params: BTreeMap::from([
+                            (names.0.to_string(), la(x)),
+                            (names.1.to_string(), lb(y)),
+                        ]),
+                        idx: vec![i, j],
+                    });
+                }
+            }
+            out
+        }
+        match &self.kind {
+            ScenarioKind::Protocol(p) => p.points(),
+            ScenarioKind::CandidateTiming(c) => simple(&c.sizes, "n", |n| format!("n={n}")),
+            ScenarioKind::SuspicionAttack(_) => simple(
+                &SuspicionAttackScenario::variants(),
+                "variant",
+                |v| format!("{v:?}"),
+            ),
+            ScenarioKind::TreeSearch(t) => grid(
+                &t.sizes,
+                &t.search_secs,
+                ("n", "search_s"),
+                |n| format!("n={n}"),
+                |s| format!("search={s:.2}s"),
+            ),
+            ScenarioKind::ProposalSize(p) => simple(&p.sizes, "n", |n| format!("n={n}")),
+            ScenarioKind::Overprovision(o) => grid(
+                &o.sizes,
+                &o.percents,
+                ("n", "u_pct"),
+                |n| format!("n={n}"),
+                |p| format!("u={p}%"),
+            ),
+        }
+    }
+
+    /// True if cells measure *wall-clock* time (Fig 8's candidate timing,
+    /// Fig 12's calibrated search budgets). The sweep runner executes these
+    /// on a single worker regardless of `--threads`: concurrent sibling
+    /// cells would contend for cores and inflate the very quantity being
+    /// measured. Their JSON is reproducible across thread counts (always
+    /// serial) but not across processes — wall time is wall time.
+    pub fn wall_clock_timed(&self) -> bool {
+        matches!(
+            self.kind,
+            ScenarioKind::CandidateTiming(_) | ScenarioKind::TreeSearch(_)
+        )
+    }
+
+    /// Run one cell: pure in (spec, point, seed).
+    pub fn run_cell(&self, point: &Point, seed: u64) -> CellMetrics {
+        match &self.kind {
+            ScenarioKind::Protocol(p) => p.run_cell(point, seed),
+            ScenarioKind::CandidateTiming(c) => c.run_cell(c.sizes[point.idx[0]], seed),
+            ScenarioKind::SuspicionAttack(a) => a.run_cell(point.idx[0], seed),
+            ScenarioKind::TreeSearch(t) => t.run_cell(point.idx[0], point.idx[1], seed),
+            ScenarioKind::ProposalSize(p) => p.run_cell(p.sizes[point.idx[0]]),
+            ScenarioKind::Overprovision(o) => o.run_cell(point.idx[0], point.idx[1], seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Deployment;
+
+    #[test]
+    fn mix_seed_spreads_and_is_deterministic() {
+        assert_eq!(mix_seed(1, 2), mix_seed(1, 2));
+        assert_ne!(mix_seed(1, 2), mix_seed(1, 3));
+        assert_ne!(mix_seed(1, 2), mix_seed(2, 2));
+    }
+
+    #[test]
+    fn sample_seeds_distinct_and_deterministic() {
+        let s = sample_seeds(1000, 16, 42);
+        assert_eq!(s.len(), 16);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+        assert_eq!(s, sample_seeds(1000, 16, 42));
+        assert_ne!(s, sample_seeds(1000, 16, 43));
+    }
+
+    #[test]
+    fn protocol_points_cross_axes() {
+        let spec = ScenarioSpec::new(
+            "unit",
+            vec![0],
+            ScenarioKind::Protocol(ProtocolScenario::new(
+                vec![Substrate::BftSmart, Substrate::Aware],
+                vec![Topology::of(Deployment::Europe21), Topology::of(Deployment::Global73)],
+            )),
+        );
+        let points = spec.points();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].label, "BFT-SMaRt | Europe21");
+        assert_eq!(points[3].label, "Aware | Global73");
+        assert_eq!(points[1].params["topology"], "Global73");
+        assert_eq!(points[1].params["adversary"], "clean");
+    }
+
+    #[test]
+    fn single_axis_label_is_substrate() {
+        let spec = ScenarioSpec::new(
+            "unit",
+            vec![0],
+            ScenarioKind::Protocol(ProtocolScenario::new(
+                vec![Substrate::OptiAware],
+                vec![Topology::of(Deployment::Europe21)],
+            )),
+        );
+        assert_eq!(spec.points()[0].label, "OptiAware");
+    }
+
+    #[test]
+    fn proposal_size_cells_scale_with_n() {
+        let sc = ProposalSizeScenario {
+            sizes: vec![20, 80],
+            base_bytes: 256,
+        };
+        let small = sc.run_cell(20);
+        let large = sc.run_cell(80);
+        assert!(small.values["bytes_latency_vec"] < large.values["bytes_latency_vec"]);
+        assert!(large.values["bytes_misbehavior"] > large.values["bytes_suspicions"]);
+    }
+
+    #[test]
+    fn small_protocol_cell_commits() {
+        let scenario = ProtocolScenario::new(
+            vec![Substrate::BftSmart],
+            vec![Topology::with_n(Deployment::Europe21, 4)],
+        )
+        .run_for(Duration::from_secs(10));
+        let spec = ScenarioSpec::new("unit", vec![0], ScenarioKind::Protocol(scenario));
+        let points = spec.points();
+        let m = spec.run_cell(&points[0], 0);
+        assert!(m.values["blocks"] > 0.0);
+        assert!(m.values["latency_ms"] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "filesystem-safe")]
+    fn spec_rejects_unsafe_names() {
+        ScenarioSpec::new(
+            "../evil",
+            vec![0],
+            ScenarioKind::ProposalSize(ProposalSizeScenario {
+                sizes: vec![4],
+                base_bytes: 1,
+            }),
+        );
+    }
+}

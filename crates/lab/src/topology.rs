@@ -1,0 +1,176 @@
+//! Geographic topologies for scenarios: the paper's evaluation deployments
+//! plus the replica-count override that turns one into a scenario axis.
+
+use netsim::CityDataset;
+
+/// The geographic deployments used in the evaluation (§7.3, §7.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deployment {
+    /// 21 European cities.
+    Europe21,
+    /// 43 cities across Europe and North America.
+    NaEu43,
+    /// 56 cities approximating the Stellar validator distribution.
+    Stellar56,
+    /// 73 cities worldwide.
+    Global73,
+    /// Replicas drawn at random from all 220 cities (Fig 10, Fig 12, Fig 14).
+    WorldRandom,
+    /// Replicas drawn at random from all 220 cities, one city per replica.
+    WorldDistinct,
+}
+
+impl Deployment {
+    /// Human-readable label matching the paper's x-axis.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Deployment::Europe21 => "Europe21",
+            Deployment::NaEu43 => "NA-EU43",
+            Deployment::Stellar56 => "Stellar56",
+            Deployment::Global73 => "Global73",
+            Deployment::WorldRandom => "World(random)",
+            Deployment::WorldDistinct => "World(distinct)",
+        }
+    }
+
+    /// Default configuration size for the deployment.
+    pub fn default_n(&self) -> usize {
+        match self {
+            Deployment::Europe21 => 21,
+            Deployment::NaEu43 => 43,
+            Deployment::Stellar56 => 56,
+            Deployment::Global73 => 73,
+            Deployment::WorldRandom | Deployment::WorldDistinct => 211,
+        }
+    }
+
+    /// Build the replica-to-replica RTT matrix (ms) for `n` replicas of this
+    /// deployment, assigning replicas to cities round-robin (or at random for
+    /// the world-wide samples, where `seed` selects the draw).
+    pub fn rtt_matrix(&self, n: usize, seed: u64) -> Vec<f64> {
+        let ds = CityDataset::worldwide();
+        let subset = match self {
+            Deployment::Europe21 => ds.europe21(),
+            Deployment::NaEu43 => ds.na_eu43(),
+            Deployment::Stellar56 => ds.stellar56(),
+            Deployment::Global73 => ds.global73(),
+            Deployment::WorldRandom | Deployment::WorldDistinct => (0..ds.len()).collect(),
+        };
+        let assignment = match self {
+            Deployment::WorldRandom => ds.assign_random(&subset, n, seed),
+            Deployment::WorldDistinct => ds.assign_distinct(&subset, n, seed),
+            _ => ds.assign_round_robin(&subset, n),
+        };
+        let mut m = vec![0.0; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                m[a * n + b] = ds.rtt_ms(assignment[a], assignment[b]);
+            }
+        }
+        m
+    }
+}
+
+/// One topology axis value of a protocol scenario: a deployment and the
+/// number of replicas placed on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// The city sample replicas are assigned to.
+    pub deployment: Deployment,
+    /// Number of replicas.
+    pub n: usize,
+}
+
+impl Topology {
+    /// A topology of the deployment's default size.
+    pub fn of(deployment: Deployment) -> Self {
+        Topology {
+            deployment,
+            n: deployment.default_n(),
+        }
+    }
+
+    /// Override the replica count.
+    pub fn with_n(deployment: Deployment, n: usize) -> Self {
+        Topology { deployment, n }
+    }
+
+    /// Label, including `n` when it differs from the deployment default.
+    pub fn label(&self) -> String {
+        if self.n == self.deployment.default_n() {
+            self.deployment.label().to_string()
+        } else {
+            format!("{}/n={}", self.deployment.label(), self.n)
+        }
+    }
+
+    /// The fault threshold `f = ⌊(n − 1) / 3⌋`.
+    pub fn f(&self) -> usize {
+        (self.n - 1) / 3
+    }
+
+    /// The RTT matrix for this topology (seed matters only for the random
+    /// world-wide deployments).
+    pub fn rtt_matrix(&self, seed: u64) -> Vec<f64> {
+        self.deployment.rtt_matrix(self.n, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::mean;
+
+    #[test]
+    fn deployments_produce_square_matrices() {
+        for d in [
+            Deployment::Europe21,
+            Deployment::NaEu43,
+            Deployment::Stellar56,
+            Deployment::Global73,
+        ] {
+            let n = d.default_n();
+            let m = d.rtt_matrix(n, 0);
+            assert_eq!(m.len(), n * n);
+            assert_eq!(m[0], 0.0);
+            assert!(m.iter().all(|&x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn europe_is_faster_than_global() {
+        let e = Deployment::Europe21.rtt_matrix(21, 0);
+        let g = Deployment::Global73.rtt_matrix(73, 0);
+        assert!(mean(&e) < mean(&g));
+    }
+
+    #[test]
+    fn world_random_is_seed_dependent() {
+        let a = Deployment::WorldRandom.rtt_matrix(50, 1);
+        let b = Deployment::WorldRandom.rtt_matrix(50, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn world_distinct_has_no_zero_offdiagonal() {
+        let n = 60;
+        let m = Deployment::WorldDistinct.rtt_matrix(n, 3);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    assert!(m[a * n + b] > 0.0, "distinct cities have nonzero RTT");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topology_labels() {
+        assert_eq!(Topology::of(Deployment::Europe21).label(), "Europe21");
+        assert_eq!(
+            Topology::with_n(Deployment::WorldRandom, 57).label(),
+            "World(random)/n=57"
+        );
+        assert_eq!(Topology::of(Deployment::Europe21).f(), 6);
+    }
+}

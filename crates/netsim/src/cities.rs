@@ -13,6 +13,7 @@
 //! [`CityDataset::stellar56`], and [`CityDataset::global73`].
 
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
@@ -278,9 +279,28 @@ impl CityDataset {
 
     /// Assign `n` replicas to cities drawn uniformly at random from a subset
     /// (used for the "randomly distributed across the world" experiments).
+    /// Replicas may share a city; see [`CityDataset::assign_distinct`] for
+    /// sampling without replacement.
     pub fn assign_random(&self, subset: &[usize], n: usize, seed: u64) -> Vec<usize> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| subset[rng.gen_range(0..subset.len())]).collect()
+        (0..n)
+            .map(|_| *subset.choose(&mut rng).expect("non-empty city subset"))
+            .collect()
+    }
+
+    /// Assign `n` replicas to `n` *distinct* cities drawn uniformly from a
+    /// subset (one replica per location).
+    ///
+    /// # Panics
+    /// If the subset holds fewer than `n` cities.
+    pub fn assign_distinct(&self, subset: &[usize], n: usize, seed: u64) -> Vec<usize> {
+        assert!(subset.len() >= n, "subset holds {} cities, need {n}", subset.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        subset
+            .choose_multiple(&mut rng, n)
+            .into_iter()
+            .copied()
+            .collect()
     }
 }
 
@@ -400,6 +420,20 @@ mod tests {
             ds.assign_random(&subset, 50, 7),
             ds.assign_random(&subset, 50, 8)
         );
+    }
+
+    #[test]
+    fn distinct_assignment_never_repeats_a_city() {
+        let ds = CityDataset::worldwide();
+        let subset = ds.global73();
+        let assign = ds.assign_distinct(&subset, 40, 9);
+        assert_eq!(assign.len(), 40);
+        let mut sorted = assign.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40, "cities must be distinct");
+        assert!(assign.iter().all(|c| subset.contains(c)));
+        assert_eq!(ds.assign_distinct(&subset, 40, 9), assign);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod time;
 
 pub use cities::{City, CityDataset, Region};
 pub use event::{Event, EventKind, EventQueue};
-pub use faults::{FaultPlan, LinkFault, NodeFault};
+pub use faults::{FaultPlan, FaultWindow, LinkFault, NodeFault};
 pub use latency::{GeoLatency, LatencyModel, MatrixLatency, UniformLatency};
 pub use sim::{Action, Context, Node, NodeId, Simulation, SimulationConfig, TimerId};
 pub use stats::{Histogram, RateCounter, TimeSeries};

@@ -185,10 +185,13 @@ impl<N: Node> Simulation<N> {
         }
     }
 
-    /// Install a fault plan. Crash faults are scheduled as events.
+    /// Install a fault plan. Crash and recovery faults are scheduled as events.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         for (node, at) in faults.crash_schedule() {
             self.queue.schedule(at, node, EventKind::Crash);
+        }
+        for (node, at) in faults.recovery_schedule() {
+            self.queue.schedule(at, node, EventKind::Recover);
         }
         self.faults = faults;
         self
@@ -504,6 +507,53 @@ mod tests {
         sim.run_until(SimTime::from_secs(10));
         let total: u32 = sim.nodes().map(|nd| nd.hops_seen).sum();
         assert_eq!(total, 8);
+    }
+
+    /// Node 0 pings node 1 every 10 ms; node 1 is crashed between 25 ms and
+    /// 55 ms, so pings landing in that window are lost and later ones resume.
+    struct PingNode {
+        received: Vec<SimTime>,
+        horizon: SimTime,
+    }
+
+    impl Node for PingNode {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut Context<()>) {
+            if ctx.id == 0 {
+                ctx.set_timer(Duration::from_millis(10), 0);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<()>, _from: NodeId, _msg: ()) {
+            self.received.push(ctx.now);
+        }
+
+        fn on_timer(&mut self, ctx: &mut Context<()>, _timer: TimerId, _tag: u64) {
+            ctx.send(1, ());
+            if ctx.now < self.horizon {
+                ctx.set_timer(Duration::from_millis(10), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_node_recovers_and_resumes_processing() {
+        let mk = || PingNode {
+            received: Vec::new(),
+            horizon: SimTime::from_millis(100),
+        };
+        let mut faults = FaultPlan::none();
+        faults.crash_between(1, SimTime::from_millis(25), SimTime::from_millis(55));
+        let mut sim = Simulation::new(
+            vec![mk(), mk()],
+            Box::new(UniformLatency::new(2, Duration::ZERO)),
+        )
+        .with_faults(faults);
+        sim.run();
+        let received: Vec<u64> = sim.node(1).received.iter().map(|t| t.as_millis()).collect();
+        // Pings at 10..=100 every 10 ms; 30, 40, 50 fall into the crash window.
+        assert_eq!(received, vec![10, 20, 60, 70, 80, 90, 100]);
     }
 
     #[test]

@@ -23,9 +23,15 @@ use optilog::{
     LatencyMonitor, LatencyVector, MessageTimeout, RoundObservation, RoundTimeouts, Suspicion,
     SuspicionMonitor, SuspicionMonitorParams, SuspicionSensor,
 };
-use pbft::{predict_message_delays, predict_round_latency, PbftRoundRecord, ReconfigPolicy, WeightConfig};
 use pbft::score::optimize_configuration;
+use pbft::{predict_message_delays, predict_round_latency, PbftRoundRecord, ReconfigPolicy, WeightConfig};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How many past configuration epochs to keep for judging in-flight round
+/// records. Records older than the window are skipped (they are also long
+/// past their observation hold, so this only bounds memory).
+const EPOCH_HISTORY: usize = 4;
 
 /// Measurement blobs OptiAware replicates through the ordered log.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -63,12 +69,23 @@ pub struct OptiAwarePolicy {
     sensor: SuspicionSensor,
     monitor: SuspicionMonitor,
     current_config: WeightConfig,
+    /// Past configurations by epoch (with the time this replica adopted
+    /// each), kept so a round record proposed under epoch `e` is judged
+    /// against epoch `e`'s timeouts — even when it is evaluated after a
+    /// reconfiguration. This removes the old post-reconfiguration
+    /// observation blackout (a 2x grace hold during which the sensor was
+    /// blind).
+    configs: BTreeMap<u64, (WeightConfig, SimTime)>,
+    /// Per-epoch timeouts derived from `configs` and the latency matrix,
+    /// with the worst-case observation hold across them. Rebuilt only when
+    /// the matrix or the config set changes — deriving timeouts is O(n²)
+    /// and `observation_hold` is consulted on every commit.
+    timeouts_cache: BTreeMap<u64, RoundTimeouts>,
+    cached_hold: Duration,
     current_score: f64,
     optimize_after: SimTime,
     improvement_factor: f64,
     view: u64,
-    /// When this replica last switched to a new configuration.
-    last_reconfig_at: SimTime,
 }
 
 impl OptiAwarePolicy {
@@ -87,19 +104,26 @@ impl OptiAwarePolicy {
             // The paper's windows are counted in leader terms; views here
             // advance once per commit, so both windows are scaled up: the
             // reciprocation window must cover a log round-trip (plus a retry),
-            // and the stability window must dwarf the commit rate or an
-            // excluded attacker is rehabilitated within a few hundred ms.
+            // and the stability window must dwarf the commit rate. The
+            // paper's w = 10 leader terms spans its whole 180 s experiment,
+            // so the commit-scaled equivalent must cover a run horizon too
+            // (~6000 commits ≈ 200 s at the typical 30 ms round): otherwise
+            // an excluded attacker is rehabilitated mid-run, re-elected by
+            // the optimiser, and re-excluded — an oscillation Fig 7 rules
+            // out.
             monitor: SuspicionMonitor::new(
                 SuspicionMonitorParams::new(n, f)
                     .with_reciprocation_views(8 * (f as u64 + 1))
-                    .with_window(600),
+                    .with_window(6_000),
             ),
             current_config: WeightConfig::initial(n, f),
+            configs: BTreeMap::from([(0, (WeightConfig::initial(n, f), SimTime::ZERO))]),
+            timeouts_cache: BTreeMap::new(),
+            cached_hold: Duration::ZERO,
             current_score: f64::INFINITY,
             optimize_after,
             improvement_factor: 0.9,
             view: 0,
-            last_reconfig_at: SimTime::ZERO,
         }
     }
 
@@ -113,20 +137,35 @@ impl OptiAwarePolicy {
         self.latency.matrix().is_complete()
     }
 
-    /// Derive the per-message timeouts and round duration for the current
-    /// configuration from the shared latency matrix (TR1–TR3).
-    fn round_timeouts(&self) -> RoundTimeouts {
+    /// Derive the per-message timeouts and round duration for `config` from
+    /// the shared latency matrix (TR1–TR3).
+    fn round_timeouts_for(&self, config: &WeightConfig) -> RoundTimeouts {
         let matrix = self.latency.matrix().to_vec();
         if matrix.iter().any(|x| !x.is_finite()) {
             return RoundTimeouts::default();
         }
-        let d_rnd =
-            predict_round_latency(&matrix, self.n, self.f, &self.current_config, &[]);
-        let messages = predict_message_delays(&matrix, self.n, self.f, &self.current_config, self.id)
+        let d_rnd = predict_round_latency(&matrix, self.n, self.f, config, &[]);
+        let messages = predict_message_delays(&matrix, self.n, self.f, config, self.id)
             .into_iter()
             .map(|(from, kind, ms)| MessageTimeout::new(from, kind, Duration::from_millis_f64(ms)))
             .collect();
         RoundTimeouts::new(Duration::from_millis_f64(d_rnd), messages)
+    }
+
+    /// Rebuild the per-epoch timeout cache and the worst-case hold. Called
+    /// whenever the latency matrix gains a vector or the config set changes.
+    fn rebuild_timeout_caches(&mut self) {
+        self.timeouts_cache = self
+            .configs
+            .iter()
+            .map(|(&e, (c, _))| (e, self.round_timeouts_for(c)))
+            .collect();
+        self.cached_hold = self
+            .timeouts_cache
+            .values()
+            .map(|t| self.hold_for(t))
+            .max()
+            .unwrap_or(Duration::ZERO);
     }
 
     /// The slowest δ-scaled per-message deadline plus slack.
@@ -157,24 +196,36 @@ impl ReconfigPolicy for OptiAwarePolicy {
     fn observation_hold(&self) -> Duration {
         // Round records must not be judged before the slowest per-message
         // deadline has passed, or on-time messages from distant replicas get
-        // reported as missing (and their senders falsely suspected).
-        self.hold_for(&self.round_timeouts())
+        // reported as missing (and their senders falsely suspected). Pending
+        // records may still belong to earlier epochs, so this is the
+        // slowest hold across the tracked configurations (precomputed: the
+        // replica asks on every commit).
+        self.cached_hold
     }
 
     fn on_round(&mut self, record: &PbftRoundRecord) -> Vec<Vec<u8>> {
-        let timeouts = self.round_timeouts();
-        if timeouts.messages.is_empty() {
+        // Judge the round against the configuration it was proposed under.
+        // Rounds from epochs no longer tracked cannot be judged fairly.
+        let Some(adopted) = self.configs.get(&record.epoch).map(|(_, t)| *t) else {
+            return Vec::new();
+        };
+        // The boundary round (whose predecessor ran under another epoch)
+        // straddles the leader handover: its quorum assembled under a mix of
+        // old and new weights, so its timings belong to neither epoch.
+        if record.prev_epoch != Some(record.epoch) {
             return Vec::new();
         }
-        // Grace period after a reconfiguration: rounds proposed under (or
-        // straddling) the previous configuration would be judged against the
-        // new configuration's timeouts, yielding spurious suspicions that in
-        // turn trigger the next reconfiguration — a self-sustaining thrash.
-        let hold = self.hold_for(&timeouts);
-        let grace = hold + hold;
-        if self.last_reconfig_at > SimTime::ZERO
-            && record.proposal_ts <= self.last_reconfig_at + grace
-        {
+        match self.timeouts_cache.get(&record.epoch) {
+            Some(t) if !t.messages.is_empty() => {}
+            _ => return Vec::new(),
+        }
+        let timeouts = self.timeouts_cache[&record.epoch].clone();
+        // Pipeline-refill transient: for ~2 rounds after this replica
+        // adopted the epoch, commits are still paced by stragglers switching
+        // configurations. Skipping them replaces the old 2x-hold blackout
+        // (typically 10+ rounds of blindness) with a 2-round one.
+        let transient = timeouts.d_rnd + timeouts.d_rnd;
+        if record.proposal_ts < adopted + transient {
             return Vec::new();
         }
         let obs = RoundObservation {
@@ -200,6 +251,7 @@ impl ReconfigPolicy for OptiAwarePolicy {
         match blob {
             OptiAwareBlob::Latency { reporter, rtt_ms } => {
                 self.latency.on_vector(&LatencyVector::new(reporter, rtt_ms));
+                self.rebuild_timeout_caches();
                 Vec::new()
             }
             OptiAwareBlob::Suspicion(s) => {
@@ -246,7 +298,12 @@ impl ReconfigPolicy for OptiAwarePolicy {
         if current_invalid || improves {
             self.current_config = config.clone();
             self.current_score = score;
-            self.last_reconfig_at = now;
+            self.configs.insert(config.epoch, (config.clone(), now));
+            while self.configs.len() > EPOCH_HISTORY {
+                let oldest = *self.configs.keys().next().expect("non-empty");
+                self.configs.remove(&oldest);
+            }
+            self.rebuild_timeout_caches();
             Some(config)
         } else {
             None
@@ -369,9 +426,11 @@ mod tests {
         // A round whose proposal timestamp is far later than the previous one.
         let record = PbftRoundRecord {
             seq: 50,
+            epoch: cfg.epoch,
             leader: cfg.leader,
             proposal_ts: SimTime::from_millis(10_000),
             prev_proposal_ts: Some(SimTime::from_millis(8_000)),
+            prev_epoch: Some(cfg.epoch),
             commit_time: SimTime::from_millis(10_100),
             arrivals: (0..n)
                 .flat_map(|r| {
@@ -394,6 +453,60 @@ mod tests {
             suspicions.iter().any(|s| s.accused == cfg.leader),
             "delayed proposal must raise a suspicion against the leader: {suspicions:?}"
         );
+    }
+
+    /// After a reconfiguration, a round proposed under the *previous* epoch
+    /// is still judged — against that epoch's timeouts — instead of falling
+    /// into a post-reconfiguration observation blackout.
+    #[test]
+    fn old_epoch_rounds_are_judged_against_their_own_config() {
+        let n = 4;
+        let mut p = OptiAwarePolicy::new(1, n, 1, 1.0, SimTime::ZERO);
+        // Replica 0 leads initially (epoch 0); the optimiser then moves the
+        // leader role into the fast cluster {1, 2, 3} (epoch 1).
+        feed_matrix(&mut p, &uniformish(n, &[1, 2, 3], 20.0, 200.0));
+        let cfg = p.decide(0, SimTime::from_secs(1)).expect("optimises");
+        assert_ne!(cfg.leader, 0);
+
+        // A round proposed under epoch 0 by the old leader, with a proposal
+        // gap far beyond epoch 0's round estimate. Under the old grace-hold
+        // this record (arriving right after the reconfiguration) was dropped.
+        let record = PbftRoundRecord {
+            seq: 60,
+            epoch: 0,
+            leader: 0,
+            proposal_ts: SimTime::from_millis(20_000),
+            prev_proposal_ts: Some(SimTime::from_millis(10_000)),
+            prev_epoch: Some(0),
+            commit_time: SimTime::from_millis(20_400),
+            arrivals: (0..n)
+                .flat_map(|r| {
+                    vec![
+                        (r, 2, SimTime::from_millis(20_150)),
+                        (r, 3, SimTime::from_millis(20_300)),
+                    ]
+                })
+                .collect(),
+        };
+        let blobs = p.on_round(&record);
+        let suspicions: Vec<Suspicion> = blobs
+            .iter()
+            .filter_map(|b| match OptiAwareBlob::decode(b) {
+                Some(OptiAwareBlob::Suspicion(s)) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            suspicions.iter().any(|s| s.accused == 0),
+            "old-epoch round must still be judged: {suspicions:?}"
+        );
+
+        // A record from an epoch the policy has never seen is skipped.
+        let unknown = PbftRoundRecord {
+            epoch: 7,
+            ..record.clone()
+        };
+        assert!(p.on_round(&unknown).is_empty());
     }
 
     #[test]

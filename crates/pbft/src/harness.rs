@@ -4,8 +4,11 @@
 //! timelines (Fig 7) and replica-side throughput/latency.
 
 use crate::policy::ReconfigPolicy;
-use crate::replica::{ClientState, PbftNode, ReplicaBehavior, ReplicaState};
-use netsim::{Duration, MatrixLatency, SimTime, Simulation, SimulationConfig, TimeSeries};
+use crate::replica::{ClientState, DelayStage, PbftNode, ReplicaBehavior, ReplicaState};
+use netsim::{
+    Duration, FaultPlan, FaultWindow, MatrixLatency, SimTime, Simulation, SimulationConfig,
+    TimeSeries,
+};
 use rsm::RunSummary;
 
 /// Configuration of one PBFT simulation run.
@@ -22,6 +25,8 @@ pub struct PbftHarnessConfig {
     pub rtt_matrix_ms: Vec<f64>,
     /// Per-replica behavior (length `n`).
     pub behaviors: Vec<ReplicaBehavior>,
+    /// Network-level faults (crashes, delay/inflation stages, drops).
+    pub faults: FaultPlan,
 }
 
 impl PbftHarnessConfig {
@@ -35,12 +40,42 @@ impl PbftHarnessConfig {
             run_for: Duration::from_secs(180),
             rtt_matrix_ms,
             behaviors: vec![ReplicaBehavior::Correct; n],
+            faults: FaultPlan::none(),
         }
     }
 
-    /// Make one replica perform the Pre-Prepare delay attack.
-    pub fn with_delay_attacker(mut self, replica: usize, delay: Duration, after: SimTime) -> Self {
-        self.behaviors[replica] = ReplicaBehavior::DelayPropose { delay, after };
+    /// Make one replica perform the Pre-Prepare delay attack from `after` on.
+    pub fn with_delay_attacker(self, replica: usize, delay: Duration, after: SimTime) -> Self {
+        self.with_delay_attacker_during(replica, delay, after, SimTime::MAX)
+    }
+
+    /// Add a delay-attack stage active in `[after, until)` — the phased
+    /// variant used by adversary scripts. Stages on the same replica
+    /// accumulate, so a script can attack, go quiet, and attack again.
+    pub fn with_delay_attacker_during(
+        mut self,
+        replica: usize,
+        delay: Duration,
+        after: SimTime,
+        until: SimTime,
+    ) -> Self {
+        let stage = DelayStage {
+            delay,
+            window: FaultWindow {
+                from: after,
+                until: (until != SimTime::MAX).then_some(until),
+            },
+        };
+        match &mut self.behaviors[replica] {
+            ReplicaBehavior::DelayPropose { stages } => stages.push(stage),
+            b => *b = ReplicaBehavior::DelayPropose { stages: vec![stage] },
+        }
+        self
+    }
+
+    /// Install a network-level fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -125,7 +160,7 @@ impl PbftHarness {
                 n,
                 config.f,
                 policy_factory(id),
-                config.behaviors[id],
+                config.behaviors[id].clone(),
             )));
         }
         for c in 0..config.clients {
@@ -133,10 +168,12 @@ impl PbftHarness {
         }
 
         let latency = Self::build_latency(config);
-        let mut sim = Simulation::new(nodes, Box::new(latency)).with_config(SimulationConfig {
-            horizon: SimTime::ZERO + config.run_for,
-            max_events: 500_000_000,
-        });
+        let mut sim = Simulation::new(nodes, Box::new(latency))
+            .with_faults(config.faults.clone())
+            .with_config(SimulationConfig {
+                horizon: SimTime::ZERO + config.run_for,
+                max_events: 500_000_000,
+            });
         sim.run();
 
         // Collect results.
@@ -226,6 +263,38 @@ mod tests {
         assert!(
             after < before,
             "expected improvement, before={before:.1}ms after={after:.1}ms"
+        );
+    }
+
+    /// Two delay stages on the same replica accumulate (attack → quiet →
+    /// attack): the quiet gap between them must return to clean latency.
+    #[test]
+    fn phased_delay_attacker_goes_quiet_between_stages() {
+        let cfg = PbftHarnessConfig::new(4, 1, 2, skewed_matrix(4))
+            .run_for(Duration::from_secs(40))
+            .with_delay_attacker_during(
+                0,
+                Duration::from_millis(500),
+                SimTime::from_secs(5),
+                SimTime::from_secs(12),
+            )
+            .with_delay_attacker_during(
+                0,
+                Duration::from_millis(500),
+                SimTime::from_secs(25),
+                SimTime::from_secs(33),
+            );
+        let report = PbftHarness::run(&cfg, "bft-smart", |_| Box::new(StaticPolicy));
+        let first = report.mean_client_latency(6.0, 12.0);
+        let quiet = report.mean_client_latency(14.0, 24.0);
+        let second = report.mean_client_latency(26.0, 33.0);
+        assert!(
+            first > quiet * 2.0,
+            "first stage should inflate: first={first:.1}ms quiet={quiet:.1}ms"
+        );
+        assert!(
+            second > quiet * 2.0,
+            "second stage should inflate again: second={second:.1}ms quiet={quiet:.1}ms"
         );
     }
 

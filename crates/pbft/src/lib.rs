@@ -31,6 +31,6 @@ pub mod weights;
 pub use harness::{PbftHarness, PbftHarnessConfig, PbftRunReport};
 pub use messages::{PbftMessage, Phase};
 pub use policy::{AwarePolicy, PbftRoundRecord, ReconfigPolicy, StaticPolicy};
-pub use replica::{ClientState, PbftNode, ReplicaBehavior, ReplicaState};
+pub use replica::{ClientState, DelayStage, PbftNode, ReplicaBehavior, ReplicaState};
 pub use score::{predict_round_latency, predict_message_delays, weighted_quorum_time};
 pub use weights::WeightConfig;

@@ -27,12 +27,21 @@ use serde::{Deserialize, Serialize};
 pub struct PbftRoundRecord {
     /// Consensus sequence number of the committed block.
     pub seq: u64,
+    /// Configuration epoch the round was *proposed* under (carried by the
+    /// proposal message). Policies judge the round against this epoch's
+    /// timeouts, so rounds straddling a reconfiguration are not measured
+    /// against a configuration that was not active when they ran.
+    pub epoch: u64,
     /// The leader that proposed it.
     pub leader: usize,
     /// The leader's proposal timestamp.
     pub proposal_ts: SimTime,
     /// The previous committed block's proposal timestamp, if any.
     pub prev_proposal_ts: Option<SimTime>,
+    /// The epoch the previous committed block was proposed under. The
+    /// inter-proposal-gap condition is only meaningful when both rounds ran
+    /// under the same configuration (`prev_epoch == Some(epoch)`).
+    pub prev_epoch: Option<u64>,
     /// When this replica committed the block.
     pub commit_time: SimTime,
     /// Observed arrivals `(from, phase tag, arrival time)`.

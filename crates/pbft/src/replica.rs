@@ -13,7 +13,7 @@ use crate::messages::{PbftMessage, Phase};
 use crate::policy::{PbftRoundRecord, ReconfigPolicy};
 use crate::weights::WeightConfig;
 use crypto::{Digest, Hashable};
-use netsim::{Context, Duration, Node, NodeId, SimTime, TimerId, TimeSeries};
+use netsim::{Context, Duration, FaultWindow, Node, NodeId, SimTime, TimerId, TimeSeries};
 use rsm::{Block, Command, CommitStats};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -23,21 +23,29 @@ const TIMER_PROBE_COLLECT: u64 = 2;
 const TIMER_PROPOSE_RETRY: u64 = 3;
 const TIMER_DELAYED_PROPOSE: u64 = 4;
 
-/// How a replica behaves.
+/// One phase of the Pre-Prepare delay attack.
 #[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayStage {
+    /// Extra delay added to every proposal while the stage is active.
+    pub delay: Duration,
+    /// When the stage is active.
+    pub window: FaultWindow,
+}
+
+/// How a replica behaves.
+#[derive(Debug, Clone, PartialEq)]
 pub enum ReplicaBehavior {
     /// Follows the protocol.
     Correct,
-    /// Performs the Pre-Prepare delay attack: once it is leader and the
-    /// attack has started, it delays sending each proposal by `delay`
-    /// (keeping its proposal timestamp honest, so the delay is visible as a
-    /// widened inter-proposal gap — exactly what suspicion condition (a)
-    /// detects).
+    /// Performs the Pre-Prepare delay attack: whenever it is leader and a
+    /// stage is active, it delays sending each proposal by the stage's
+    /// delay (keeping its proposal timestamp honest, so the delay is
+    /// visible as a widened inter-proposal gap — exactly what suspicion
+    /// condition (a) detects). Stages let one replica attack in several
+    /// phases (e.g. attack → quiet → attack again).
     DelayPropose {
-        /// Extra delay added to every proposal.
-        delay: Duration,
-        /// Attack start time.
-        after: SimTime,
+        /// The attack phases; the first stage containing `now` applies.
+        stages: Vec<DelayStage>,
     },
 }
 
@@ -46,6 +54,10 @@ pub enum ReplicaBehavior {
 struct Instance {
     block: Block,
     digest: Digest,
+    /// Configuration epoch carried by the proposal message.
+    epoch: u64,
+    /// The replica that sent the proposal (the epoch's leader).
+    leader: usize,
     proposal_ts: SimTime,
     measurements: Vec<Vec<u8>>,
     write_voters: BTreeSet<usize>,
@@ -83,6 +95,7 @@ pub struct ReplicaState {
     next_seq: u64,
     last_committed_seq: u64,
     prev_proposal_ts: Option<SimTime>,
+    prev_epoch: Option<u64>,
     delayed_block: Option<(u64, Block, Vec<Vec<u8>>)>,
     /// Committed rounds whose observations are still accumulating late
     /// arrivals; they are handed to the policy two commits later so that
@@ -123,6 +136,7 @@ impl ReplicaState {
             next_seq: 1,
             last_committed_seq: 0,
             prev_proposal_ts: None,
+            prev_epoch: None,
             delayed_block: None,
             pending_records: Vec::new(),
             probe_nonce: 0,
@@ -162,10 +176,10 @@ impl ReplicaState {
         let block = Block::new(Digest::ZERO, self.next_seq, self.next_seq, self.id, commands);
         let measurements = std::mem::take(&mut self.pending_measurements);
 
-        if let ReplicaBehavior::DelayPropose { delay, after } = self.behavior {
-            if ctx.now >= after {
+        if let ReplicaBehavior::DelayPropose { stages } = &self.behavior {
+            if let Some(stage) = stages.iter().find(|s| s.window.contains(ctx.now)) {
                 self.delayed_block = Some((self.next_seq, block, measurements));
-                ctx.set_timer(delay, TIMER_DELAYED_PROPOSE);
+                ctx.set_timer(stage.delay, TIMER_DELAYED_PROPOSE);
                 return;
             }
         }
@@ -180,9 +194,10 @@ impl ReplicaState {
         measurements: Vec<Vec<u8>>,
     ) {
         self.next_seq = seq + 1;
+        let epoch = self.config.epoch;
         let msg = PbftMessage::Propose {
             seq,
-            epoch: self.config.epoch,
+            epoch,
             block: block.clone(),
             timestamp_us: ctx.now.as_micros(),
             measurements: measurements.clone(),
@@ -190,14 +205,16 @@ impl ReplicaState {
         let replicas: Vec<NodeId> = (0..self.n).filter(|&r| r != self.id).collect();
         ctx.multicast(&replicas, msg);
         // Process our own proposal locally.
-        self.handle_propose(ctx, self.id, seq, block, ctx.now.as_micros(), measurements);
+        self.handle_propose(ctx, self.id, seq, epoch, block, ctx.now.as_micros(), measurements);
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the Propose message fields
     fn handle_propose(
         &mut self,
         ctx: &mut Context<PbftMessage>,
         from: usize,
         seq: u64,
+        epoch: u64,
         block: Block,
         timestamp_us: u64,
         measurements: Vec<Vec<u8>>,
@@ -209,6 +226,8 @@ impl ReplicaState {
         let entry = self.instances.entry(seq).or_insert_with(|| Instance {
             block: block.clone(),
             digest,
+            epoch,
+            leader: from,
             proposal_ts: SimTime::from_micros(timestamp_us),
             measurements: measurements.clone(),
             write_voters: BTreeSet::new(),
@@ -219,6 +238,8 @@ impl ReplicaState {
         });
         entry.block = block;
         entry.digest = digest;
+        entry.epoch = epoch;
+        entry.leader = from;
         entry.proposal_ts = SimTime::from_micros(timestamp_us);
         entry.measurements = measurements;
         entry.arrivals.push((from, Phase::Propose.tag(), ctx.now));
@@ -264,6 +285,10 @@ impl ReplicaState {
                     Instance {
                         block: Block::genesis(),
                         digest,
+                        // Best guess until the proposal arrives; overwritten
+                        // by handle_propose.
+                        epoch: self.config.epoch,
+                        leader: self.config.leader,
                         proposal_ts: ctx.now,
                         measurements: Vec::new(),
                         write_voters: BTreeSet::new(),
@@ -360,14 +385,17 @@ impl ReplicaState {
         // quorum can still be recorded as on-time arrivals.
         let record = PbftRoundRecord {
             seq,
-            leader: self.config.leader,
+            epoch: instance.epoch,
+            leader: instance.leader,
             proposal_ts: instance.proposal_ts,
             prev_proposal_ts: self.prev_proposal_ts,
+            prev_epoch: self.prev_epoch,
             commit_time: ctx.now,
             arrivals: instance.arrivals.clone(),
         };
         self.pending_records.push(record);
         self.prev_proposal_ts = Some(instance.proposal_ts);
+        self.prev_epoch = Some(instance.epoch);
         // A record is ready once later commits exist (so late arrivals were
         // recorded) AND every per-message deadline the policy will check has
         // elapsed — with pipelined rounds, commit count alone can outpace the
@@ -528,11 +556,11 @@ impl Node for PbftNode {
                 }
                 PbftMessage::Propose {
                     seq,
-                    epoch: _,
+                    epoch,
                     block,
                     timestamp_us,
                     measurements,
-                } => r.handle_propose(ctx, from, seq, block, timestamp_us, measurements),
+                } => r.handle_propose(ctx, from, seq, epoch, block, timestamp_us, measurements),
                 PbftMessage::Write { seq, digest, voter } => r.handle_write(ctx, voter, seq, digest),
                 PbftMessage::Accept { seq, digest, voter } => {
                     r.handle_accept(ctx, voter, seq, digest)

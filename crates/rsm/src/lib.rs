@@ -28,4 +28,4 @@ pub use block::{Block, Command};
 pub use config::{RoleAssignment, SystemConfig};
 pub use log::AppendLog;
 pub use stats::{CommitStats, RunSummary};
-pub use workload::BlockSource;
+pub use workload::{BlockSource, WorkloadSpec};

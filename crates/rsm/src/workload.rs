@@ -63,6 +63,62 @@ impl BlockSource {
     }
 }
 
+/// A declarative description of the client workload an experiment drives,
+/// shared by the scenario layer so every substrate is loaded the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Commands per block (the paper's throughput runs use 1000).
+    pub batch_size: usize,
+    /// Payload bytes per command (0 = the paper's empty-command benchmark).
+    pub payload_bytes: usize,
+    /// Closed-loop clients for client-driven substrates; `None` places one
+    /// client per replica.
+    pub clients: Option<usize>,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            batch_size: 1000,
+            payload_bytes: 0,
+            clients: None,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// The paper's saturated benchmark workload.
+    pub fn saturated() -> Self {
+        WorkloadSpec::default()
+    }
+
+    /// Override the batch size.
+    pub fn with_batch(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Override the client count.
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = Some(clients);
+        self
+    }
+
+    /// The number of clients to run against `n` replicas.
+    pub fn clients_for(&self, n: usize) -> usize {
+        self.clients.unwrap_or(n)
+    }
+
+    /// Build the block source the spec describes.
+    pub fn source(&self) -> BlockSource {
+        if self.payload_bytes == 0 {
+            BlockSource::saturated(self.batch_size)
+        } else {
+            BlockSource::with_payload(self.batch_size, self.payload_bytes)
+        }
+    }
+}
+
 /// Generates randomized key-value operations for the quickstart example and
 /// integration tests, deterministically from a seed.
 #[derive(Debug)]

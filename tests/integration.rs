@@ -47,7 +47,7 @@ fn smoke_hotstuff_commits_over_city_matrix() {
     for pacemaker in [Pacemaker::Fixed { leader: 0 }, Pacemaker::RoundRobin] {
         let mut cfg = HotStuffConfig::new(n, pacemaker);
         cfg.run_for = Duration::from_secs(5);
-        let report = run_hotstuff(&cfg, Box::new(MatrixLatency::from_rtt_millis(n, &rtt)));
+        let report = run_hotstuff(&cfg, Box::new(MatrixLatency::from_rtt_millis(n, &rtt)), FaultPlan::none());
         assert!(
             report.summary.committed_blocks > 0,
             "hotstuff ({pacemaker:?}) committed nothing"
@@ -202,7 +202,7 @@ fn tree_protocols_commit_and_pipeline_on_emulated_wan() {
 
     let mut hs_cfg = HotStuffConfig::new(n, Pacemaker::Fixed { leader: 0 });
     hs_cfg.run_for = Duration::from_secs(20);
-    let hs = run_hotstuff(&hs_cfg, Box::new(MatrixLatency::from_rtt_millis(n, &rtt)));
+    let hs = run_hotstuff(&hs_cfg, Box::new(MatrixLatency::from_rtt_millis(n, &rtt)), FaultPlan::none());
 
     let mut kauri_cfg = KauriConfig::new(n);
     kauri_cfg.run_for = Duration::from_secs(20);

@@ -1,4 +1,5 @@
-//! Slice helpers: `shuffle` and `choose`.
+//! Slice helpers: `shuffle`, `choose`, `choose_multiple`, and distinct index
+//! sampling (`index::sample`).
 
 use crate::{RngCore, SampleRange};
 
@@ -12,6 +13,15 @@ pub trait SliceRandom {
 
     /// A uniformly random element, or `None` if empty.
     fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements, uniformly without replacement, in random
+    /// order. Returns fewer when the slice is shorter than `amount` (the
+    /// real crate's behaviour; it never panics).
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> Vec<&Self::Item>;
 }
 
 impl<T> SliceRandom for [T] {
@@ -32,6 +42,37 @@ impl<T> SliceRandom for [T] {
             self.get(i)
         }
     }
+
+    fn choose_multiple<R: RngCore + ?Sized>(&self, rng: &mut R, amount: usize) -> Vec<&T> {
+        index::sample(rng, self.len(), amount.min(self.len()))
+            .into_iter()
+            .map(|i| &self[i])
+            .collect()
+    }
+}
+
+/// Distinct-index sampling, mirroring `rand::seq::index`.
+pub mod index {
+    use crate::{RngCore, SampleRange};
+
+    /// `amount` distinct indices drawn uniformly from `0..length`, in random
+    /// order, via a partial Fisher-Yates shuffle.
+    ///
+    /// # Panics
+    /// If `amount > length` (matching the real crate).
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> Vec<usize> {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} distinct indices from 0..{length}"
+        );
+        let mut indices: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = (i..length).sample_single(rng);
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        indices
+    }
 }
 
 #[cfg(test)]
@@ -49,6 +90,47 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
         assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let v: Vec<u32> = (0..20).collect();
+        let picked = v.choose_multiple(&mut rng, 8);
+        assert_eq!(picked.len(), 8);
+        let mut seen: Vec<u32> = picked.iter().map(|&&x| x).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 8, "elements must be distinct");
+        // Asking for more than the slice holds returns the whole slice.
+        assert_eq!(v.choose_multiple(&mut rng, 100).len(), 20);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose_multiple(&mut rng, 3).is_empty());
+    }
+
+    #[test]
+    fn index_sample_is_distinct_and_deterministic() {
+        let mut a = StdRng::seed_from_u64(14);
+        let mut b = StdRng::seed_from_u64(14);
+        let sa = index::sample(&mut a, 100, 10);
+        let sb = index::sample(&mut b, 100, 10);
+        assert_eq!(sa, sb);
+        let mut sorted = sa.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(sorted.iter().all(|&i| i < 100));
+        // Sampling everything is a permutation.
+        let mut all = index::sample(&mut a, 5, 5);
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct indices")]
+    fn index_sample_rejects_oversized_amount() {
+        let mut rng = StdRng::seed_from_u64(15);
+        index::sample(&mut rng, 3, 4);
     }
 
     #[test]
