@@ -1,0 +1,38 @@
+//! Fig 7 on the tree substrates: the initial root withholds its
+//! disseminations mid-run; Kauri and OptiTree detect the stale proposals,
+//! fail the tree, and recover on a new root, while HotStuff-fixed stays
+//! degraded until the attack stage closes. Windowed latency (clean / attack /
+//! recovered) and the per-commit latency timelines land in
+//! `BENCH_sweep_tree_delay_attack.json`.
+//!
+//! Usage: `sweep_tree_delay_attack [run-seconds] [n] [--seeds N] [--threads N] [--out DIR]`
+
+use bench::tree_delay_attack_spec;
+use lab::{run_and_report, sample_seeds, LabArgs};
+
+fn main() {
+    let args = LabArgs::parse();
+    let run_secs = args.pos_or(1, 120);
+    let n = args.pos_or(2, 13) as usize;
+
+    let seeds = args.seeds_or(&sample_seeds(10_000, 4, 0x7EE5));
+    let spec = tree_delay_attack_spec(run_secs, n, seeds);
+    let cells = spec.points().len() * spec.seeds.len();
+    println!(
+        "# Tree root-delay sweep: {} cells ({} seeds), {} worker thread(s)",
+        cells,
+        spec.seeds.len(),
+        args.threads
+    );
+    run_and_report(
+        &spec,
+        &args.sweep_options(),
+        &[
+            "lat_clean_ms",
+            "lat_attack_ms",
+            "lat_recovered_ms",
+            "reconfigurations",
+            "throughput_ops",
+        ],
+    );
+}

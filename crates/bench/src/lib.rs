@@ -10,6 +10,78 @@
 
 pub use lab::{ci95, mean, Deployment};
 
+use lab::{
+    AdversaryScript, Attack, LatencyWindow, ProtocolScenario, ScenarioKind, ScenarioSpec,
+    Substrate, Target, Topology,
+};
+use netsim::{Duration, SimTime};
+
+/// The covert hold of the tree-delay sweep's first phase: above OptiTree's
+/// tight tree-derived view timeouts (a few hundred ms on Europe21) but below
+/// Kauri's fixed 2 s timeout, so OptiTree's staleness detection catches it
+/// while Kauri silently absorbs the inflated latency.
+pub const TREE_DELAY_COVERT_MS: u64 = 600;
+
+/// The overt hold of the second phase: above Kauri's 2 s view timeout, so
+/// even its conservative detector classifies the withheld proposals as a
+/// failed tree and moves to the next conformity bin.
+pub const TREE_DELAY_OVERT_MS: u64 = 2_500;
+
+/// The Fig 7 scenario on the tree substrates: the initial root withholds
+/// every payload it disseminates for the middle of the run — first by a
+/// covert amount, then escalating to an overt one — and the per-commit
+/// latency timelines show the spike-and-recover sawtooth at the moment each
+/// substrate's failure detection catches the hold: OptiTree reconfigures
+/// away from the root during the covert phase already, Kauri during the
+/// overt one. HotStuff-fixed rides along as the baseline that cannot
+/// reassign the leader role and stays degraded until the attack stage
+/// closes.
+///
+/// Phases scale with `run_secs` (floor 60 s): the covert hold starts at
+/// `run/3` and escalates at `run/3 + run/8` until `run/3 + run/4`. Windows:
+/// `clean` (pre-attack), `attack` (the two seconds after onset, capturing
+/// the withheld commits before reconfiguration dilutes them) and
+/// `recovered` (the final third).
+pub fn tree_delay_attack_spec(run_secs: u64, n: usize, seeds: Vec<u64>) -> ScenarioSpec {
+    assert!(run_secs >= 60, "phases need at least a 60 s run, got {run_secs}");
+    let attack_start = run_secs / 3;
+    let escalate = attack_start + run_secs / 8;
+    let attack_end = attack_start + run_secs / 4;
+    let mut scenario = ProtocolScenario::new(
+        vec![
+            Substrate::HotStuffFixed,
+            Substrate::Kauri,
+            Substrate::OptiTree,
+            Substrate::OptiTreeNoPipeline,
+        ],
+        vec![Topology::with_n(Deployment::Europe21, n)],
+    )
+    .with_adversaries(vec![AdversaryScript::named("root-delay")
+        .during(
+            SimTime::from_secs(attack_start),
+            SimTime::from_secs(escalate),
+            Attack::DelayProposals {
+                target: Target::Root,
+                delay: Duration::from_millis(TREE_DELAY_COVERT_MS),
+            },
+        )
+        .during(
+            SimTime::from_secs(escalate),
+            SimTime::from_secs(attack_end),
+            Attack::DelayProposals {
+                target: Target::Root,
+                delay: Duration::from_millis(TREE_DELAY_OVERT_MS),
+            },
+        )])
+    .run_for(Duration::from_secs(run_secs));
+    scenario.windows = vec![
+        LatencyWindow::new("clean", (run_secs / 12) as f64, attack_start as f64),
+        LatencyWindow::new("attack", attack_start as f64, attack_start as f64 + 2.0),
+        LatencyWindow::new("recovered", (run_secs - run_secs / 3) as f64, run_secs as f64),
+    ];
+    ScenarioSpec::new("sweep_tree_delay_attack", seeds, ScenarioKind::Protocol(scenario))
+}
+
 /// Parse an optional positional argument as a number with a default — the
 /// harness binaries accept `<run-seconds>` / `<repetitions>` overrides so a
 /// quick smoke run and a full paper-scale run use the same binary.

@@ -64,9 +64,24 @@ impl AnnealingParams {
     /// estimated iteration rate (iterations per second). Used by the Fig 12
     /// harness to map the paper's 250 ms – 4 s search times to budgets.
     pub fn from_search_time(seconds: f64, iterations_per_second: f64) -> Self {
+        Self::budgeted((seconds * iterations_per_second).max(1.0) as usize)
+    }
+
+    /// A schedule whose cooling is tied to the iteration budget: the
+    /// temperature reaches `min_temperature` right at the end of the budget
+    /// instead of after a fixed ~11.5 k iterations (the default cooling's
+    /// convergence point). Without this, every budget beyond that point
+    /// early-stops at the same place and search time stops mattering — the
+    /// Fig 12 score-vs-search-time curve came out flat. With it, longer
+    /// searches cool slower and actually explore more.
+    pub fn budgeted(iterations: usize) -> Self {
+        let d = AnnealingParams::default();
+        let cooling = (d.min_temperature / d.initial_temperature)
+            .powf(1.0 / iterations.max(1) as f64);
         AnnealingParams {
-            iterations: (seconds * iterations_per_second).max(1.0) as usize,
-            ..Default::default()
+            iterations,
+            cooling,
+            ..d
         }
     }
 }
@@ -270,5 +285,44 @@ mod tests {
         let b = AnnealingParams::from_search_time(4.0, 1000.0);
         assert_eq!(a.iterations, 250);
         assert_eq!(b.iterations, 4000);
+        // The cooling schedule spans the budget: shorter searches cool faster.
+        assert!(a.cooling < b.cooling);
+        assert!(b.cooling < 1.0);
+    }
+
+    /// The Fig 12 regression: with the fixed default cooling, every budget
+    /// beyond ~11.5 k iterations early-stopped at the min-temperature
+    /// convergence point, so larger budgets explored nothing extra. A
+    /// budget-tied schedule must spend its whole budget.
+    #[test]
+    fn budgeted_schedule_spends_the_whole_budget() {
+        let space = PermutationSpace { n: 40 };
+        let stuck = Annealer::new(AnnealingParams {
+            iterations: 50_000,
+            ..Default::default()
+        })
+        .search(&space, 5);
+        assert!(
+            stuck.iterations < 50_000,
+            "the default schedule early-stops (documents the old behaviour), ran {}",
+            stuck.iterations
+        );
+        let full = Annealer::new(AnnealingParams::budgeted(50_000)).search(&space, 5);
+        assert_eq!(full.iterations, 50_000, "budget-tied cooling must not early-stop");
+    }
+
+    #[test]
+    fn budgeted_longer_search_explores_more_and_is_no_worse() {
+        let space = PermutationSpace { n: 60 };
+        let short = Annealer::new(AnnealingParams::budgeted(300)).search(&space, 11);
+        let long = Annealer::new(AnnealingParams::budgeted(60_000)).search(&space, 11);
+        assert_eq!(short.iterations, 300);
+        assert_eq!(long.iterations, 60_000);
+        assert!(
+            long.score < short.score,
+            "60k iterations should beat 300 on a 60-element space: {} vs {}",
+            long.score,
+            short.score
+        );
     }
 }

@@ -16,8 +16,11 @@
 use crate::pacemaker::Pacemaker;
 use crypto::{Digest, Hashable};
 use netsim::{Context, Duration, FaultPlan, LatencyModel, Node, NodeId, SimTime, Simulation, SimulationConfig, TimerId};
-use rsm::{Block, BlockSource, CommitStats, RunSummary, SystemConfig};
+use rsm::{misbehavior, Block, BlockSource, CommitStats, DelayStage, MisbehaviorPlan, RunSummary, SystemConfig};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Held-proposal timers encode a release sequence number in the tag.
+const TIMER_HELD_BASE: u64 = 1_000_000;
 
 /// Messages exchanged by HotStuff replicas.
 #[derive(Debug, Clone)]
@@ -64,6 +67,14 @@ pub struct HotStuffNode {
     views: BTreeMap<u64, ViewEntry>,
     votes: BTreeMap<u64, BTreeSet<usize>>,
     highest_proposed: u64,
+    /// Scripted proposal-delay attack stages for this replica (empty when
+    /// correct): while a stage is active, the leader *holds* each proposal
+    /// broadcast by the stage's delay, keeping the proposal timestamp
+    /// honest so the hold is visible as inflated consensus latency.
+    delays: Vec<DelayStage>,
+    /// Proposals held by an active delay stage, keyed by release tag.
+    held: BTreeMap<u64, HotStuffMessage>,
+    next_held: u64,
     /// Commit statistics (consensus latency = proposal to three-chain commit).
     pub stats: CommitStats,
 }
@@ -79,8 +90,17 @@ impl HotStuffNode {
             views: BTreeMap::new(),
             votes: BTreeMap::new(),
             highest_proposed: 0,
+            delays: Vec::new(),
+            held: BTreeMap::new(),
+            next_held: 0,
             stats: CommitStats::new(),
         }
+    }
+
+    /// Install scripted proposal-delay stages (the protocol-level attack).
+    pub fn with_delays(mut self, delays: Vec<DelayStage>) -> Self {
+        self.delays = delays;
+        self
     }
 
     fn leader_of(&self, view: u64) -> usize {
@@ -101,9 +121,28 @@ impl HotStuffNode {
             commands: block.len(),
             timestamp_us: ctx.now.as_micros(),
         };
-        let others: Vec<NodeId> = (0..self.config.n).filter(|&r| r != self.id).collect();
-        ctx.multicast(&others, msg.clone());
+        // A scripted attacker holds the broadcast (not its local processing):
+        // the timestamp stays honest, so the withheld dissemination shows up
+        // as inflated consensus latency at every replica — the tree/star
+        // analogue of the PBFT Pre-Prepare delay attack.
+        let hold = misbehavior::hold_at(&self.delays, ctx.now);
+        if hold.is_zero() {
+            let others: Vec<NodeId> = (0..self.config.n).filter(|&r| r != self.id).collect();
+            ctx.multicast(&others, msg.clone());
+        } else {
+            let tag = self.next_held;
+            self.next_held += 1;
+            self.held.insert(tag, msg);
+            ctx.set_timer(hold, TIMER_HELD_BASE + tag);
+        }
         self.handle_proposal(ctx, view, digest, block.len(), ctx.now.as_micros());
+    }
+
+    fn release_held(&mut self, ctx: &mut Context<HotStuffMessage>, tag: u64) {
+        if let Some(msg) = self.held.remove(&tag) {
+            let others: Vec<NodeId> = (0..self.config.n).filter(|&r| r != self.id).collect();
+            ctx.multicast(&others, msg);
+        }
     }
 
     fn handle_proposal(
@@ -178,7 +217,11 @@ impl Node for HotStuffNode {
         }
     }
 
-    fn on_timer(&mut self, _ctx: &mut Context<HotStuffMessage>, _timer: TimerId, _tag: u64) {}
+    fn on_timer(&mut self, ctx: &mut Context<HotStuffMessage>, _timer: TimerId, tag: u64) {
+        if tag >= TIMER_HELD_BASE {
+            self.release_held(ctx, tag - TIMER_HELD_BASE);
+        }
+    }
 }
 
 /// Configuration of a HotStuff experiment run.
@@ -192,6 +235,8 @@ pub struct HotStuffConfig {
     pub batch_size: usize,
     /// Virtual run duration (the paper uses 120 s).
     pub run_for: Duration,
+    /// Scripted protocol-level misbehavior (proposal-delay attacks).
+    pub misbehavior: MisbehaviorPlan,
 }
 
 impl HotStuffConfig {
@@ -202,6 +247,7 @@ impl HotStuffConfig {
             pacemaker,
             batch_size: 1000,
             run_for: Duration::from_secs(120),
+            misbehavior: MisbehaviorPlan::none(),
         }
     }
 }
@@ -211,6 +257,9 @@ impl HotStuffConfig {
 pub struct HotStuffReport {
     /// Throughput / latency summary measured at replica 0.
     pub summary: RunSummary,
+    /// Per-commit `(time s, latency ms)` timeline at the observer replica,
+    /// in commit order — the Fig 7-style latency timeline.
+    pub latency_timeline: Vec<(f64, f64)>,
     /// Number of views driven during the run.
     pub views: u64,
 }
@@ -225,7 +274,10 @@ pub fn run_hotstuff(
 ) -> HotStuffReport {
     let n = config.system.n;
     let nodes: Vec<HotStuffNode> = (0..n)
-        .map(|id| HotStuffNode::new(id, config.system, config.pacemaker, config.batch_size))
+        .map(|id| {
+            HotStuffNode::new(id, config.system, config.pacemaker, config.batch_size)
+                .with_delays(config.misbehavior.stages_for(id))
+        })
         .collect();
     let mut sim = Simulation::new(nodes, latency)
         .with_faults(faults)
@@ -237,14 +289,25 @@ pub fn run_hotstuff(
     let views = sim.node(0).highest_proposed.max(
         sim.nodes().map(|nd| nd.views.len() as u64).max().unwrap_or(0),
     );
+    // Observe at a replica that is not the scripted attacker: a delaying
+    // leader commits its own views early (it processes its proposal before
+    // holding the broadcast), which would hide the very latency the attack
+    // inflates everywhere else.
     let observer = (0..n)
-        .find(|&i| sim.node(i).stats.blocks() > 0)
+        .find(|&i| {
+            sim.node(i).stats.blocks() > 0 && config.misbehavior.stages_for(i).is_empty()
+        })
         .unwrap_or(0);
+    let latency_timeline = sim.node(observer).stats.latency_timeline().points().to_vec();
     let summary = sim
         .node_mut(observer)
         .stats
         .summary(config.run_for.as_micros() / 1_000_000);
-    HotStuffReport { summary, views }
+    HotStuffReport {
+        summary,
+        latency_timeline,
+        views,
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +333,62 @@ mod tests {
         // Commit latency ≈ 2–3 view rounds (≥ 100 ms at the leader).
         assert!(report.summary.mean_latency_ms >= 99.0);
         assert!(report.summary.mean_latency_ms < 400.0);
+    }
+
+    #[test]
+    fn latency_timeline_is_nonempty_monotone_and_consistent() {
+        let cfg = HotStuffConfig {
+            run_for: Duration::from_secs(20),
+            ..HotStuffConfig::new(4, Pacemaker::Fixed { leader: 0 })
+        };
+        let report = run_hotstuff(&cfg, uniform(4, 25), FaultPlan::none());
+        let tl = &report.latency_timeline;
+        assert_eq!(tl.len() as u64, report.summary.committed_blocks);
+        assert!(tl.windows(2).all(|w| w[0].0 <= w[1].0), "commit times must be monotone");
+        // On a quiet run, the timeline's mean matches the summary's mean.
+        let mean = tl.iter().map(|&(_, v)| v).sum::<f64>() / tl.len() as f64;
+        assert!(
+            (mean - report.summary.mean_latency_ms).abs() < 1.0,
+            "timeline mean {mean:.1} vs summary {:.1}",
+            report.summary.mean_latency_ms
+        );
+    }
+
+    #[test]
+    fn scripted_leader_delay_inflates_latency_protocol_side() {
+        let mk = |attack: bool| {
+            let mut cfg = HotStuffConfig {
+                run_for: Duration::from_secs(30),
+                ..HotStuffConfig::new(4, Pacemaker::Fixed { leader: 0 })
+            };
+            if attack {
+                cfg.misbehavior.delay_proposals_during(
+                    0,
+                    Duration::from_millis(500),
+                    SimTime::from_secs(10),
+                    SimTime::from_secs(20),
+                );
+            }
+            run_hotstuff(&cfg, uniform(4, 25), FaultPlan::none())
+        };
+        let clean = mk(false);
+        let attacked = mk(true);
+        let window_mean =
+            |r: &HotStuffReport, from: f64, to: f64| rsm::timeline_mean(&r.latency_timeline, from, to);
+        // During the stage every commit pays the 500 ms hold (several times
+        // over, since the three-chain stretches across held views)…
+        let clean_mid = window_mean(&clean, 12.0, 22.0);
+        let attacked_mid = window_mean(&attacked, 12.0, 22.0);
+        assert!(
+            attacked_mid > clean_mid + 400.0,
+            "hold should inflate latency: clean={clean_mid:.1}ms attacked={attacked_mid:.1}ms"
+        );
+        // …and once the stage closes the protocol drains back to clean latency.
+        let attacked_late = window_mean(&attacked, 25.0, 30.0);
+        assert!(
+            attacked_late < clean_mid * 2.0,
+            "latency should recover after the stage: {attacked_late:.1}ms"
+        );
     }
 
     #[test]

@@ -14,6 +14,18 @@
 //! the same successor tree — the simulation's stand-in for agreeing on the
 //! next configuration through the shared log) and, if it is the new root,
 //! resumes proposing after the configured reconfiguration delay.
+//!
+//! Scripted misbehavior: a replica with an active [`rsm::DelayStage`] holds
+//! every payload it disseminates down the tree (its proposals as root, its
+//! forwarded proposals as intermediate) while keeping proposal timestamps
+//! honest. Replicas detect the withholding from those timestamps — a
+//! proposal already older than the view timeout on arrival is *stale*, and
+//! repeated stale proposals fail the tree exactly like silence does — which
+//! is how the Fig 7 root-delay attack becomes observable (and recoverable)
+//! on the tree substrates. Staleness is always blamed on the root (per-hop
+//! attribution would have to trust attacker-supplied timestamps), so a
+//! delaying *intermediate* is excised only by the policy's own exclusion
+//! rules across reconfigurations, not by the staleness detector itself.
 
 use crate::policy::TreePolicy;
 use crate::tree::Tree;
@@ -22,7 +34,7 @@ use netsim::{
     Context, Duration, FaultPlan, LatencyModel, Node, NodeId, RateCounter, SimTime, Simulation,
     SimulationConfig, TimerId,
 };
-use rsm::{Block, BlockSource, CommitStats, RunSummary, SystemConfig};
+use rsm::{misbehavior, Block, BlockSource, CommitStats, DelayStage, MisbehaviorPlan, RunSummary, SystemConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -32,6 +44,15 @@ const TIMER_RECONFIG_DONE: u64 = 2;
 const TIMER_CHILD_BASE: u64 = 1_000;
 /// View-timeout timers encode the view as `TIMER_VIEW_BASE + view`.
 const TIMER_VIEW_BASE: u64 = 1_000_000_000;
+/// Held-payload timers (scripted delay attack) encode a release sequence.
+const TIMER_HELD_BASE: u64 = 2_000_000_000;
+/// Stale proposals tolerated before the tree is declared failed. Deliberately
+/// above the default pipeline depth (3): a delaying root's in-flight
+/// pipelined views arrive as one burst of stale proposals, and abandoning the
+/// tree mid-burst would clear the aggregation state their votes still need —
+/// the withheld views would never commit and the attack would look like a
+/// silent crash instead of the latency spike the paper measures (Fig 7).
+const STALE_STRIKE_LIMIT: u32 = 4;
 
 /// Messages exchanged by Kauri replicas.
 #[derive(Debug, Clone)]
@@ -94,6 +115,16 @@ struct AggState {
     digest: Digest,
 }
 
+/// A down-tree payload held back by an active delay stage. `held` is cleared
+/// eagerly on every epoch change (reconfiguration and tree adoption), so a
+/// payload that survives until its release timer is always routed on the
+/// replica's current tree.
+#[derive(Debug, Clone)]
+struct HeldPayload {
+    targets: Vec<usize>,
+    msg: KauriMessage,
+}
+
 /// One Kauri replica.
 pub struct KauriNode {
     id: usize,
@@ -115,6 +146,20 @@ pub struct KauriNode {
 
     // Intermediate state.
     aggregates: BTreeMap<u64, AggState>,
+
+    // Scripted delay attack: while a stage is active this replica holds
+    // every payload it disseminates down the tree (proposals as root,
+    // forwarded proposals as intermediate) by the stage's delay.
+    delays: Vec<DelayStage>,
+    held: BTreeMap<u64, HeldPayload>,
+    next_held: u64,
+    /// Consecutive proposals that arrived already older than the view
+    /// timeout — the root-delay detector (see `handle_proposal`).
+    stale_strikes: u32,
+    /// Highest view that contributed a stale strike: duplicate deliveries of
+    /// the same withheld view (possible while divergent trees re-converge)
+    /// must not double-count as "consecutive" strikes.
+    last_strike_view: u64,
 
     /// Commit statistics (recorded at the root that proposed the view).
     pub stats: CommitStats,
@@ -154,15 +199,55 @@ impl KauriNode {
             reconfiguring: false,
             last_progress: SimTime::ZERO,
             aggregates: BTreeMap::new(),
+            delays: Vec::new(),
+            held: BTreeMap::new(),
+            next_held: 0,
+            stale_strikes: 0,
+            last_strike_view: 0,
             stats: CommitStats::new(),
             throughput: RateCounter::new(Duration::from_secs(1)),
             reconfig_times: Vec::new(),
         }
     }
 
+    /// Install scripted proposal-delay stages (the protocol-level attack).
+    pub fn with_delays(mut self, delays: Vec<DelayStage>) -> Self {
+        self.delays = delays;
+        self
+    }
+
     /// The tree currently in use.
     pub fn tree(&self) -> &Tree {
         &self.tree
+    }
+
+    /// True while a scripted delay stage is active at `now`.
+    fn attacking(&self, now: SimTime) -> bool {
+        !misbehavior::hold_at(&self.delays, now).is_zero()
+    }
+
+    /// Send a payload down the tree, holding it first if a delay stage is
+    /// active: the scripted root/intermediate withholds the payloads it is
+    /// supposed to disseminate while its votes and aggregates (as a
+    /// follower) flow normally — the protocol-level delay attack.
+    fn send_down(&mut self, ctx: &mut Context<KauriMessage>, targets: Vec<usize>, msg: KauriMessage) {
+        let hold = misbehavior::hold_at(&self.delays, ctx.now);
+        if hold.is_zero() {
+            ctx.multicast(&targets, msg);
+            return;
+        }
+        let tag = self.next_held;
+        self.next_held += 1;
+        self.held.insert(tag, HeldPayload { targets, msg });
+        ctx.set_timer(hold, TIMER_HELD_BASE + tag);
+    }
+
+    fn release_held(&mut self, ctx: &mut Context<KauriMessage>, tag: u64) {
+        // Entries from a previous tree were cleared at the epoch change, so
+        // whatever is still here is routed on the current tree.
+        if let Some(held) = self.held.remove(&tag) {
+            ctx.multicast(&held.targets, held.msg);
+        }
     }
 
     fn is_root(&self) -> bool {
@@ -217,7 +302,8 @@ impl KauriNode {
                 epoch: self.epoch,
                 tree: Arc::new(self.tree.clone()),
             };
-            ctx.multicast(&self.tree.children_of(self.id), msg);
+            let children = self.tree.children_of(self.id);
+            self.send_down(ctx, children, msg);
             ctx.set_timer(self.policy.view_timeout(), TIMER_VIEW_BASE + view);
         }
     }
@@ -244,10 +330,48 @@ impl KauriNode {
             self.tree = (*tree).clone();
             self.epoch = epoch;
             self.aggregates.clear();
+            self.held.clear();
+            self.stale_strikes = 0;
+            self.last_strike_view = 0;
             self.reconfiguring = false;
         }
         self.highest_view_seen = self.highest_view_seen.max(view);
         self.last_progress = ctx.now;
+
+        // Root-delay detection: the proposal timestamp is the root's own
+        // (honest) claim of when the view was created, so a proposal that is
+        // already older than the view timeout on arrival means the payload
+        // was withheld somewhere above us. The crash detector (the progress
+        // timer) never sees this — delayed proposals still arrive, just
+        // late. After STALE_STRIKE_LIMIT consecutive stale proposals the
+        // replica declares the tree failed exactly as if the root had gone
+        // silent. The stale proposal is still forwarded and voted first, so
+        // the evidence reaches the leaves too. Staleness is attributed to
+        // the root, mirroring the progress-staleness rule: a receiver
+        // cannot tell *which* upstream hop held the payload without
+        // trusting per-hop timestamps the attacker itself would supply.
+        // When the root is the one delaying (the Fig 7 attack), every
+        // replica therefore strikes out on the same view with the same
+        // blame and lands on the same successor tree. When an overtly
+        // delaying *intermediate* is the culprit, only its subtree strikes
+        // and the blame still lands on the (innocent) root — the attacker
+        // is rotated out of its internal position only by the policy's own
+        // exclusion rules across reconfigurations (conformity bins make it
+        // internal in at most one bin; Kauri-sa excludes all internals of a
+        // failed tree). See ROADMAP for the per-hop attribution gap.
+        let age = ctx.now.since(SimTime::from_micros(timestamp_us));
+        if age > self.policy.view_timeout() {
+            // One strike per withheld view: duplicates re-delivered through
+            // a second parent must not fast-forward the limit (which is
+            // deliberately sized so a delaying root's in-flight burst still
+            // commits — see STALE_STRIKE_LIMIT).
+            if view > self.last_strike_view {
+                self.last_strike_view = view;
+                self.stale_strikes += 1;
+            }
+        } else {
+            self.stale_strikes = 0;
+        }
 
         let children = self.tree.children_of(self.id);
         if children.is_empty() {
@@ -255,6 +379,7 @@ impl KauriNode {
             if let Some(parent) = self.tree.parent(self.id) {
                 ctx.send(parent, KauriMessage::Vote { view, voter: self.id });
             }
+            self.maybe_declare_stale_failure(ctx);
             return;
         }
         // Intermediate: forward downwards and start aggregating — once per
@@ -273,12 +398,24 @@ impl KauriNode {
             epoch,
             tree,
         };
-        ctx.multicast(&children, msg);
+        // A scripted intermediate holds its forwarded payloads too.
+        self.send_down(ctx, children, msg);
         let agg = self.aggregates.entry(view).or_default();
         agg.digest = digest;
         agg.votes.insert(self.id);
         ctx.set_timer(self.policy.child_timeout(), TIMER_CHILD_BASE + view);
         self.maybe_forward_aggregate(ctx, view, false);
+        self.maybe_declare_stale_failure(ctx);
+    }
+
+    /// Declare the tree failed after repeated stale proposals (root-delay
+    /// detection). Called after the stale proposal has been processed, so
+    /// the evidence has already travelled down the tree.
+    fn maybe_declare_stale_failure(&mut self, ctx: &mut Context<KauriMessage>) {
+        if self.stale_strikes >= STALE_STRIKE_LIMIT && !self.is_root() && !self.reconfiguring {
+            self.stale_strikes = 0;
+            self.reconfigure(ctx, &[self.tree.root]);
+        }
     }
 
     fn maybe_forward_aggregate(&mut self, ctx: &mut Context<KauriMessage>, view: u64, timeout: bool) {
@@ -369,6 +506,15 @@ impl KauriNode {
         if !self.is_root() || self.reconfiguring {
             return;
         }
+        // A scripted attacker ignores its own view timeouts: a Byzantine
+        // root wants to *keep* the role it is abusing, and letting it
+        // honestly declare its own tree failed would fork the shared policy
+        // sequence (its `missing` set differs from the honest replicas',
+        // which all blame the root). Recovery comes from the honest side —
+        // the staleness strikes in `handle_proposal`.
+        if self.attacking(ctx.now) {
+            return;
+        }
         let failed = self
             .views
             .get(&view)
@@ -394,6 +540,9 @@ impl KauriNode {
         self.epoch += 1;
         self.reconfig_times.push(ctx.now);
         self.aggregates.clear();
+        self.held.clear();
+        self.stale_strikes = 0;
+        self.last_strike_view = 0;
         // Drop uncommitted views; fresh batches will be proposed on the new tree.
         self.views.retain(|_, s| s.committed);
         // The new root is legitimately silent while it runs the
@@ -457,6 +606,7 @@ impl Node for KauriNode {
                 self.next_view = self.highest_view_seen.max(self.next_view) + 1;
                 self.propose_next(ctx);
             }
+            t if t >= TIMER_HELD_BASE => self.release_held(ctx, t - TIMER_HELD_BASE),
             t if t >= TIMER_VIEW_BASE => self.handle_view_timeout(ctx, t - TIMER_VIEW_BASE),
             t if t >= TIMER_CHILD_BASE => {
                 self.maybe_forward_aggregate(ctx, t - TIMER_CHILD_BASE, true)
@@ -482,6 +632,8 @@ pub struct KauriConfig {
     /// Delay between a tree failure and the new root resuming proposals
     /// (models the configuration search, e.g. 1 s of simulated annealing).
     pub reconfig_delay: Duration,
+    /// Scripted protocol-level misbehavior (proposal-delay attacks).
+    pub misbehavior: MisbehaviorPlan,
 }
 
 impl KauriConfig {
@@ -495,6 +647,7 @@ impl KauriConfig {
             batch_size: 1000,
             run_for: Duration::from_secs(120),
             reconfig_delay: Duration::from_secs(1),
+            misbehavior: MisbehaviorPlan::none(),
         }
     }
 
@@ -511,6 +664,9 @@ pub struct KauriReport {
     pub summary: RunSummary,
     /// Per-second committed commands across the whole system.
     pub throughput_timeline: Vec<u64>,
+    /// Per-commit `(time s, latency ms)` timeline merged across every root
+    /// that served, in commit order — the Fig 7-style latency timeline.
+    pub latency_timeline: Vec<(f64, f64)>,
     /// Number of tree reconfigurations observed (max over replicas).
     pub reconfigurations: usize,
 }
@@ -544,6 +700,7 @@ pub fn run_kauri(
                 config.branch,
                 config.reconfig_delay,
             )
+            .with_delays(config.misbehavior.stages_for(id))
         })
         .collect();
 
@@ -562,6 +719,7 @@ pub fn run_kauri(
     let mut total_blocks = 0u64;
     let mut latency_weighted = 0.0;
     let mut timeline = vec![0u64; run_secs as usize + 1];
+    let mut latency_timeline = Vec::new();
     let mut reconfigurations = 0;
     for id in 0..n {
         let node = sim.node_mut(id);
@@ -569,6 +727,7 @@ pub fn run_kauri(
         total_commands += s.committed_commands;
         total_blocks += s.committed_blocks;
         latency_weighted += s.mean_latency_ms * s.committed_blocks as f64;
+        latency_timeline.extend_from_slice(node.stats.latency_timeline().points());
         for (i, &c) in node.throughput.buckets().iter().enumerate() {
             if i < timeline.len() {
                 timeline[i] += c;
@@ -576,6 +735,11 @@ pub fn run_kauri(
         }
         reconfigurations = reconfigurations.max(node.reconfig_times.len());
     }
+    // Each commit is recorded once (at the root that proposed the view);
+    // merge the per-root timelines into global commit order. The sort key is
+    // total because commit times and latencies are finite by construction.
+    latency_timeline
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite timeline points"));
     let mean_latency_ms = if total_blocks > 0 {
         latency_weighted / total_blocks as f64
     } else {
@@ -593,6 +757,7 @@ pub fn run_kauri(
     KauriReport {
         summary,
         throughput_timeline: timeline,
+        latency_timeline,
         reconfigurations,
     }
 }
@@ -644,6 +809,114 @@ mod tests {
             "pipelined {} vs unpipelined {}",
             piped.summary.throughput_ops,
             no_pipe.summary.throughput_ops
+        );
+    }
+
+    #[test]
+    fn latency_timeline_is_nonempty_monotone_and_consistent() {
+        let cfg = small_config(13, 20);
+        let report = run_kauri(&cfg, uniform(13, 20), FaultPlan::none(), |_| {
+            Box::new(KauriBinsPolicy::new(13, 3, 42))
+        });
+        let tl = &report.latency_timeline;
+        assert_eq!(tl.len() as u64, report.summary.committed_blocks);
+        assert!(tl.windows(2).all(|w| w[0].0 <= w[1].0), "commit times must be monotone");
+        // On a quiet run the timeline's mean matches the aggregated mean.
+        let mean = tl.iter().map(|&(_, v)| v).sum::<f64>() / tl.len() as f64;
+        assert!(
+            (mean - report.summary.mean_latency_ms).abs() < 1.0,
+            "timeline mean {mean:.1} vs summary {:.1}",
+            report.summary.mean_latency_ms
+        );
+    }
+
+    #[test]
+    fn delaying_root_is_detected_and_replaced() {
+        let n = 13;
+        let mut cfg = small_config(n, 60);
+        let probe_tree = KauriBinsPolicy::new(n, 3, 9).next_tree(n, 3);
+        // The initial root withholds every dissemination by more than the
+        // view timeout, from t = 10 s on, and never stops on its own.
+        cfg.misbehavior.delay_proposals_during(
+            probe_tree.root,
+            Duration::from_millis(2_500),
+            SimTime::from_secs(10),
+            SimTime::MAX,
+        );
+        let report = run_kauri(&cfg, uniform(n, 20), FaultPlan::none(), |_| {
+            Box::new(KauriBinsPolicy::new(n, 3, 9))
+        });
+        assert!(
+            report.reconfigurations >= 1,
+            "stale proposals must fail the tree"
+        );
+        let window = |from: f64, to: f64| -> Vec<f64> {
+            report
+                .latency_timeline
+                .iter()
+                .filter(|&&(t, _)| t >= from && t < to)
+                .map(|&(_, v)| v)
+                .collect()
+        };
+        // The withheld views that did commit show the hold as a latency spike…
+        let spike = window(10.0, 20.0).into_iter().fold(0.0f64, f64::max);
+        assert!(
+            spike > 2_000.0,
+            "withheld commits should carry the hold, max was {spike:.1}ms"
+        );
+        // …and the tail of the run is back to clean tree latency.
+        let late = window(40.0, 60.0);
+        assert!(!late.is_empty(), "no commits after recovery");
+        let late_mean = late.iter().sum::<f64>() / late.len() as f64;
+        assert!(
+            late_mean < 500.0,
+            "latency should recover after the root is replaced, got {late_mean:.1}ms"
+        );
+    }
+
+    #[test]
+    fn delaying_intermediate_holds_forwarded_payloads() {
+        // n = 7, branch 2: the tree is root + 2 intermediates + 4 leaves, so
+        // the quorum of 5 cannot form without the delayed subtree and the
+        // hold is visible in commit latency.
+        let n = 7;
+        let run = |attack: bool| {
+            let mut cfg = small_config(n, 20);
+            cfg.pipeline = 1;
+            let b = cfg.branch;
+            let probe_tree = KauriBinsPolicy::new(n, b, 7).next_tree(n, b);
+            let victim = probe_tree.intermediates[0];
+            if attack {
+                // A short, sub-timeout hold: latency inflates but nothing
+                // reconfigures (the hold stays under the view timeout, like
+                // the paper's covert performance adversary).
+                cfg.misbehavior.delay_proposals_during(
+                    victim,
+                    Duration::from_millis(300),
+                    SimTime::from_secs(5),
+                    SimTime::from_secs(15),
+                );
+            }
+            run_kauri(&cfg, uniform(n, 20), FaultPlan::none(), move |_| {
+                Box::new(KauriBinsPolicy::new(n, b, 7))
+            })
+        };
+        let clean = run(false);
+        let attacked = run(true);
+        assert_eq!(attacked.reconfigurations, 0, "sub-timeout holds stay covert");
+        let mean_in =
+            |r: &KauriReport, from: f64, to: f64| rsm::timeline_mean(&r.latency_timeline, from, to);
+        let clean_mid = mean_in(&clean, 5.0, 15.0);
+        let attacked_mid = mean_in(&attacked, 5.0, 15.0);
+        assert!(
+            attacked_mid > clean_mid + 200.0,
+            "held forwards should inflate commit latency: clean={clean_mid:.1}ms attacked={attacked_mid:.1}ms"
+        );
+        // Outside the stage the two runs are equally fast.
+        let attacked_late = mean_in(&attacked, 16.0, 20.0);
+        assert!(
+            attacked_late < clean_mid + 50.0,
+            "latency should return to clean once the stage closes: {attacked_late:.1}ms"
         );
     }
 

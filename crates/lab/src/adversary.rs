@@ -5,7 +5,7 @@
 //! attack → crash → recovery. Scripts are declarative; [`AdversaryScript::compile`]
 //! lowers them onto the concrete run: network-level stages become windowed
 //! faults in netsim's [`FaultPlan`], and protocol-level stages (the
-//! Pre-Prepare delay attack) become replica behaviours the PBFT harness
+//! proposal-delay attack) become replica behaviours every substrate runner
 //! installs. Targets may be symbolic (`OptimizedLeader`, tree intermediates,
 //! the sequence of tree roots) and are resolved against the scenario's
 //! topology at compile time, exactly the way the hand-written figure
@@ -23,6 +23,13 @@ pub enum Target {
     /// The replica the latency optimisation elects as leader over the
     /// scenario topology (the Fig 7 attacker: hit the optimised path).
     OptimizedLeader,
+    /// The run's initial proposer: the tree policy's first root on the tree
+    /// substrates, the leader of the first view elsewhere (replica 0 for
+    /// the fixed HotStuff leader and the initial PBFT leader, replica
+    /// `1 % n` for round-robin HotStuff, whose first proposed view is 1).
+    /// The Fig 7 attacker for substrates that do not elect an optimised
+    /// leader.
+    Root,
     /// The first `count` intermediate nodes of the tree the scenario's tree
     /// policy selects (the Fig 11 victims).
     TreeIntermediates {
@@ -34,9 +41,11 @@ pub enum Target {
 /// What a stage does while its window is open.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Attack {
-    /// The Pre-Prepare delay attack: the target delays its own proposals by
-    /// `delay` while it holds the leader role. Protocol-level on the PBFT
-    /// substrates; lowered to an outgoing-delay network fault elsewhere.
+    /// The proposal-delay attack: the target delays its own proposals (and,
+    /// on the tree substrates, its forwarded payloads) by `delay` while it
+    /// holds the leader/root role. Protocol-level on every substrate; a
+    /// substrate without the hook fails compilation instead of degrading to
+    /// a network fault.
     DelayProposals {
         /// The attacking replica.
         target: Target,
@@ -160,23 +169,29 @@ impl AdversaryScript {
             };
             match stage.attack {
                 Attack::DelayProposals { target, delay } => {
+                    // Protocol-level on every substrate: the attacker holds
+                    // its own proposals (and, on the trees, its forwarded
+                    // payloads) while its other messages flow normally. A
+                    // network-level outgoing delay is NOT an acceptable
+                    // stand-in — it also slows votes and heartbeats, and a
+                    // substrate gap hidden that way would masquerade as a
+                    // measured result. A substrate without the hook must
+                    // fail compilation loudly instead.
+                    assert!(
+                        ctx.substrate.protocol_delay_supported(),
+                        "substrate {} has no protocol-level proposal-delay hook; \
+                         wire rsm::MisbehaviorPlan through its runner (see \
+                         hotstuff::node / kauri::node) or script an explicit \
+                         network-level Attack::DelayOutgoing instead",
+                        ctx.substrate.label()
+                    );
                     for r in ctx.resolve(target) {
-                        if ctx.substrate.is_pbft() {
-                            out.delay_attacks.push(DelayAttack {
-                                replica: r,
-                                delay,
-                                from: stage.from,
-                                until: stage.until.unwrap_or(SimTime::MAX),
-                            });
-                        } else {
-                            // No protocol-level hook outside the PBFT
-                            // substrate: approximate at the network layer.
-                            out.faults.add_node_fault_during(
-                                r,
-                                NodeFault::OutgoingDelay(delay),
-                                window,
-                            );
-                        }
+                        out.delay_attacks.push(DelayAttack {
+                            replica: r,
+                            delay,
+                            from: stage.from,
+                            until: stage.until.unwrap_or(SimTime::MAX),
+                        });
                     }
                 }
                 Attack::InflateOutgoing { target, factor } => {
@@ -233,11 +248,11 @@ pub struct CompiledAdversary {
     /// Network-level faults, handed to the simulator.
     pub faults: FaultPlan,
     /// Protocol-level delay attacks, installed as replica behaviours by the
-    /// PBFT harness.
+    /// substrate runner (PBFT behaviours, `rsm::MisbehaviorPlan` elsewhere).
     pub delay_attacks: Vec<DelayAttack>,
 }
 
-/// A protocol-level Pre-Prepare delay attack, consumed by the PBFT harness.
+/// A protocol-level proposal-delay attack, consumed by the substrate runner.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DelayAttack {
     /// The attacking replica.
@@ -282,15 +297,32 @@ impl CompileContext<'_> {
                         .leader,
                 ]
             }
+            Target::Root => {
+                if self.substrate.is_tree() {
+                    vec![self.probe_tree().root]
+                } else if self.substrate == Substrate::HotStuffRr {
+                    // Round-robin proposes view 1 first: leader(1) = 1 % n.
+                    vec![1 % self.n]
+                } else {
+                    // The fixed HotStuff leader and the initial PBFT leader
+                    // are both replica 0 by construction.
+                    vec![0]
+                }
+            }
             Target::TreeIntermediates { count } => {
-                let mut policy = self
-                    .substrate
-                    .tree_policy(self.n, self.rtt.to_vec(), self.policy_seed);
-                let system = SystemConfig::new(self.n);
-                let tree = policy.next_tree(self.n, system.tree_branch_factor());
-                tree.intermediates.into_iter().take(count).collect()
+                self.probe_tree().intermediates.into_iter().take(count).collect()
             }
         }
+    }
+
+    /// The first tree the scenario's tree policy elects (tree substrates
+    /// only): targets are resolved against the exact tree the run will build.
+    fn probe_tree(&self) -> kauri::Tree {
+        let mut policy = self
+            .substrate
+            .tree_policy(self.n, self.rtt.to_vec(), self.policy_seed);
+        let system = SystemConfig::new(self.n);
+        policy.next_tree(self.n, system.tree_branch_factor())
     }
 
     /// The sequence of roots the tree policy elects, with the time each gets
@@ -384,23 +416,64 @@ mod tests {
             .is_some());
     }
 
+    /// The regression this PR exists for: `DelayProposals` must stay a
+    /// protocol-level behaviour on the tree substrates, never a silent
+    /// network-level approximation (which also slows votes and heartbeats
+    /// and misrepresents the paper's adversary).
     #[test]
-    fn delay_attack_degrades_to_net_fault_on_tree_substrate() {
+    fn delay_attack_is_protocol_level_on_tree_substrates() {
         let rtt = Topology::of(Deployment::Europe21).rtt_matrix(0);
-        let script = AdversaryScript::named("delay").at(
+        for substrate in [
+            Substrate::Kauri,
+            Substrate::KauriSa,
+            Substrate::OptiTree,
+            Substrate::OptiTreeNoPipeline,
+            Substrate::HotStuffFixed,
+            Substrate::HotStuffRr,
+        ] {
+            let script = AdversaryScript::named("delay").at(
+                SimTime::from_secs(5),
+                Attack::DelayProposals {
+                    target: Target::Replica(3),
+                    delay: Duration::from_millis(100),
+                },
+            );
+            let compiled = script.compile(&ctx(&rtt, 21, substrate));
+            assert_eq!(compiled.delay_attacks.len(), 1, "{}", substrate.label());
+            let atk = compiled.delay_attacks[0];
+            assert_eq!(atk.replica, 3);
+            assert_eq!(atk.until, SimTime::MAX, "open-ended stage");
+            // No network-level fault was emitted as a stand-in.
+            let d = compiled
+                .faults
+                .effective_delay(SimTime::from_secs(6), 3, 0, Duration::from_millis(10))
+                .unwrap();
+            assert_eq!(d.as_millis(), 10, "{}", substrate.label());
+        }
+    }
+
+    #[test]
+    fn root_target_resolves_to_probe_tree_root_on_trees() {
+        let rtt = Topology::of(Deployment::Europe21).rtt_matrix(0);
+        let script = AdversaryScript::named("root-delay").at(
             SimTime::from_secs(5),
             Attack::DelayProposals {
-                target: Target::Replica(3),
-                delay: Duration::from_millis(100),
+                target: Target::Root,
+                delay: Duration::from_millis(600),
             },
         );
-        let compiled = script.compile(&ctx(&rtt, 21, Substrate::OptiTree));
-        assert!(compiled.delay_attacks.is_empty());
-        let d = compiled
-            .faults
-            .effective_delay(SimTime::from_secs(6), 3, 0, Duration::from_millis(10))
-            .unwrap();
-        assert_eq!(d.as_millis(), 110);
+        let compiled = script.compile(&ctx(&rtt, 21, Substrate::OptiTreeNoPipeline));
+        // The attacker is the first tree's root, reproduced via the same
+        // seeded policy the run will use.
+        let mut policy = Substrate::OptiTreeNoPipeline.tree_policy(21, rtt.to_vec(), 7);
+        let expect = policy.next_tree(21, SystemConfig::new(21).tree_branch_factor()).root;
+        assert_eq!(compiled.delay_attacks[0].replica, expect);
+        // On non-tree substrates the initial proposer is the first view's
+        // leader: replica 0 for the fixed pacemaker, 1 % n for round-robin.
+        let hs = script.compile(&ctx(&rtt, 21, Substrate::HotStuffFixed));
+        assert_eq!(hs.delay_attacks[0].replica, 0);
+        let rr = script.compile(&ctx(&rtt, 21, Substrate::HotStuffRr));
+        assert_eq!(rr.delay_attacks[0].replica, 1);
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub mod scenario;
 pub mod topology;
 
 pub use adversary::{AdversaryScript, Attack, CompileContext, CompiledAdversary, DelayAttack, Stage, Target};
-pub use results::{ci95, mean, CellMetrics, CellReport, MetricSummary, PointReport, ScenarioReport};
+pub use results::{
+    ci95, mean, timeline_mean, CellMetrics, CellReport, MetricSummary, PointReport, ScenarioReport,
+};
 pub use runner::{run_and_report, run_sweep, LabArgs, SweepOptions};
 pub use scenario::{
     mix_seed, sample_seeds, CandidateTimingScenario, LatencyWindow, OverprovisionScenario, Point,

@@ -21,6 +21,8 @@ pub fn mean(values: &[f64]) -> f64 {
     }
 }
 
+pub use rsm::timeline_mean;
+
 /// Half-width of the 95% confidence interval of the mean.
 pub fn ci95(values: &[f64]) -> f64 {
     let n = values.len();

@@ -15,7 +15,7 @@
 //! stream from `mix_seed(seed, point)`.
 
 use crate::adversary::{AdversaryScript, CompileContext};
-use crate::results::{ci95, mean, CellMetrics};
+use crate::results::{ci95, mean, timeline_mean, CellMetrics};
 use crate::topology::Topology;
 use hotstuff::{run_hotstuff, HotStuffConfig, Pacemaker};
 use kauri::{run_kauri, KauriBinsPolicy, KauriConfig, TreePolicy};
@@ -103,6 +103,28 @@ impl Substrate {
             self,
             Substrate::Kauri | Substrate::KauriSa | Substrate::OptiTree | Substrate::OptiTreeNoPipeline
         )
+    }
+
+    /// True if the substrate implements the protocol-level proposal-delay
+    /// behaviour (`Attack::DelayProposals`). Every current substrate does —
+    /// the PBFT family through `ReplicaBehavior::DelayPropose`, HotStuff and
+    /// the trees through `rsm::MisbehaviorPlan`. The match is deliberately
+    /// exhaustive: adding a substrate forces an explicit decision here, and
+    /// answering `false` makes adversary compilation fail loudly instead of
+    /// silently substituting a network-level delay (see
+    /// `AdversaryScript::compile`).
+    pub fn protocol_delay_supported(&self) -> bool {
+        match self {
+            Substrate::BftSmart
+            | Substrate::Aware
+            | Substrate::OptiAware
+            | Substrate::HotStuffFixed
+            | Substrate::HotStuffRr
+            | Substrate::Kauri
+            | Substrate::KauriSa
+            | Substrate::OptiTree
+            | Substrate::OptiTreeNoPipeline => true,
+        }
     }
 
     fn pbft_policy(
@@ -262,7 +284,12 @@ impl ProtocolScenario {
         });
 
         let mut metrics = CellMetrics::new();
-        if substrate.is_pbft() {
+        // Every branch produces a latency-window closure, so `LatencyWindow`
+        // metrics work uniformly across substrates: the PBFT family reports
+        // client-observed latency (its clients are part of the simulation),
+        // HotStuff and the trees report the per-commit consensus-latency
+        // timeline their runners now expose.
+        let window_mean: Box<dyn Fn(f64, f64) -> f64> = if substrate.is_pbft() {
             let mut cfg = PbftHarnessConfig::new(n, f, self.workload.clients_for(n), rtt.clone())
                 .run_for(self.duration)
                 .with_faults(compiled.faults.clone());
@@ -282,12 +309,7 @@ impl ProtocolScenario {
                 .set("blocks", s.committed_blocks as f64)
                 .set("client_ops", report.client_completed.iter().sum::<u64>() as f64)
                 .set("reconfigurations", report.reconfigurations.len() as f64);
-            for w in &self.windows {
-                metrics.set(
-                    format!("lat_{}_ms", w.label),
-                    report.mean_client_latency(w.from_s, w.to_s),
-                );
-            }
+            Box::new(move |from, to| report.mean_client_latency(from, to))
         } else if substrate.is_tree() {
             let mut cfg = KauriConfig::new(n);
             cfg.run_for = self.duration;
@@ -297,6 +319,10 @@ impl ProtocolScenario {
             }
             if let Some(d) = self.reconfig_delay {
                 cfg.reconfig_delay = d;
+            }
+            for atk in &compiled.delay_attacks {
+                cfg.misbehavior
+                    .delay_proposals_during(atk.replica, atk.delay, atk.from, atk.until);
             }
             let rtt_for_policy = rtt.clone();
             let report = run_kauri(
@@ -322,6 +348,9 @@ impl ProtocolScenario {
                     .map(|(sec, &ops)| (sec as f64, ops as f64))
                     .collect(),
             );
+            metrics.set_series("latency_timeline", report.latency_timeline.clone());
+            let tl = report.latency_timeline;
+            Box::new(move |from, to| timeline_mean(&tl, from, to))
         } else {
             let pacemaker = match substrate {
                 Substrate::HotStuffFixed => Pacemaker::Fixed { leader: 0 },
@@ -330,6 +359,10 @@ impl ProtocolScenario {
             let mut cfg = HotStuffConfig::new(n, pacemaker);
             cfg.run_for = self.duration;
             cfg.batch_size = self.workload.batch_size;
+            for atk in &compiled.delay_attacks {
+                cfg.misbehavior
+                    .delay_proposals_during(atk.replica, atk.delay, atk.from, atk.until);
+            }
             let report = run_hotstuff(
                 &cfg,
                 Box::new(MatrixLatency::from_rtt_millis(n, &rtt)),
@@ -343,6 +376,12 @@ impl ProtocolScenario {
                 .set("p99_ms", s.p99_latency_ms)
                 .set("blocks", s.committed_blocks as f64)
                 .set("views", report.views as f64);
+            metrics.set_series("latency_timeline", report.latency_timeline.clone());
+            let tl = report.latency_timeline;
+            Box::new(move |from, to| timeline_mean(&tl, from, to))
+        };
+        for w in &self.windows {
+            metrics.set(format!("lat_{}_ms", w.label), window_mean(w.from_s, w.to_s));
         }
         metrics
     }

@@ -43,6 +43,30 @@ fn spec() -> ScenarioSpec {
     ScenarioSpec::new("determinism_probe", vec![3, 11, 42], ScenarioKind::Protocol(scenario))
 }
 
+/// The tree-substrate analogue: the protocol-level root-delay attack, the
+/// staleness-driven reconfiguration it triggers, and the per-commit latency
+/// timelines are all on the deterministic path.
+fn tree_spec() -> ScenarioSpec {
+    let mut scenario = ProtocolScenario::new(
+        vec![Substrate::Kauri, Substrate::OptiTree, Substrate::HotStuffRr],
+        vec![Topology::with_n(Deployment::Europe21, 13)],
+    )
+    .with_adversaries(vec![AdversaryScript::named("root-delay").during(
+        SimTime::from_secs(6),
+        SimTime::from_secs(12),
+        Attack::DelayProposals {
+            target: Target::Root,
+            delay: Duration::from_millis(2_500),
+        },
+    )])
+    .run_for(Duration::from_secs(15));
+    scenario.windows = vec![
+        LatencyWindow::new("clean", 1.0, 6.0),
+        LatencyWindow::new("attacked", 6.0, 12.0),
+    ];
+    ScenarioSpec::new("tree_determinism_probe", vec![0, 7], ScenarioKind::Protocol(scenario))
+}
+
 #[test]
 fn json_is_byte_identical_across_worker_counts() {
     let spec = spec();
@@ -57,6 +81,28 @@ fn json_is_byte_identical_across_worker_counts() {
     // And the whole thing is reproducible run-to-run, not just race-free.
     let again = run_sweep(&spec, &SweepOptions::serial()).to_json();
     assert_eq!(serial, again);
+}
+
+#[test]
+fn tree_delay_scenario_is_byte_identical_across_worker_counts() {
+    let spec = tree_spec();
+    let serial = run_sweep(&spec, &SweepOptions::serial()).to_json();
+    for threads in [2, 4, 8] {
+        let parallel = run_sweep(&spec, &SweepOptions::serial().with_threads(threads)).to_json();
+        assert_eq!(
+            serial, parallel,
+            "tree-delay JSON diverged between 1 and {threads} worker threads"
+        );
+    }
+    let again = run_sweep(&spec, &SweepOptions::serial()).to_json();
+    assert_eq!(serial, again);
+    // The protocol-level attack actually ran: windows are populated on every
+    // substrate (the HotStuff/tree timelines used to be PBFT-only).
+    let report = run_sweep(&spec, &SweepOptions::serial());
+    for p in &report.points {
+        assert!(p.metric("lat_clean_ms") > 0.0, "{}: clean window empty", p.label);
+        assert!(p.metric("lat_attacked_ms") > 0.0, "{}: attacked window empty", p.label);
+    }
 }
 
 #[test]

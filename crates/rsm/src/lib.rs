@@ -15,11 +15,16 @@
 //!   experiment harnesses.
 //! * [`BlockSource`] — saturated batch generation matching the paper's
 //!   "blocks of 1000 proposals, each without transaction payload" workload.
+//! * [`MisbehaviorPlan`] — scripted protocol-level misbehavior (the
+//!   proposal-delay attack) that every substrate installs as a replica
+//!   behaviour, so the same adversary script drives PBFT, HotStuff, and the
+//!   tree overlays.
 
 pub mod app;
 pub mod block;
 pub mod config;
 pub mod log;
+pub mod misbehavior;
 pub mod stats;
 pub mod workload;
 
@@ -27,5 +32,6 @@ pub use app::{Application, CounterApp, KvApp, NullApp};
 pub use block::{Block, Command};
 pub use config::{RoleAssignment, SystemConfig};
 pub use log::AppendLog;
-pub use stats::{CommitStats, RunSummary};
+pub use misbehavior::{DelayStage, MisbehaviorPlan};
+pub use stats::{timeline_mean, CommitStats, RunSummary};
 pub use workload::{BlockSource, WorkloadSpec};

@@ -8,6 +8,26 @@
 use netsim::{Duration, Histogram, RateCounter, SimTime, TimeSeries};
 use serde::Serialize;
 
+/// Mean value of a `(time s, value)` timeline over the window `[from, to)`
+/// seconds (0.0 when no point falls inside) — the windowed-latency helper
+/// shared by the substrate reports, `LatencyWindow` metrics, and the figure
+/// assertions.
+pub fn timeline_mean(points: &[(f64, f64)], from: f64, to: f64) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for &(t, v) in points {
+        if t >= from && t < to {
+            sum += v;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
 /// Per-replica commit statistics.
 #[derive(Debug, Clone)]
 pub struct CommitStats {
