@@ -1,0 +1,66 @@
+//! Throughput–latency curves under open-loop geo-distributed load, plus the
+//! load-under-delay-attack goodput comparison.
+//!
+//! Part 1 (`BENCH_load_latency.json`): one representative of each substrate
+//! family (BFT-SMaRt, HotStuff-fixed, Kauri, OptiTree) driven at each level
+//! of the offered-load grid. Below saturation, committed ≈ offered and p99
+//! sits at consensus latency; past the knee, committed throughput plateaus
+//! at the substrate's capacity, the bounded admission queue fills, p99 jumps
+//! to the queue-drain time, and the excess load is rejected.
+//!
+//! Part 2 (`BENCH_load_attack.json`): Poisson load while the optimised
+//! leader runs the proposal-delay attack mid-run. OptiAware reassigns the
+//! leader role and preserves goodput; Aware and HotStuff-fixed collapse
+//! until the attack stage ends.
+//!
+//! Usage: `sweep_load_latency [knee-run-secs] [n] [attack-run-secs]
+//!         [--seeds N] [--threads N] [--out DIR]`
+
+use bench::{load_attack_spec, load_latency_spec, LOAD_LEVELS};
+use lab::{run_and_report, sample_seeds, LabArgs};
+
+fn main() {
+    let args = LabArgs::parse();
+    let knee_secs = args.pos_or(1, 30);
+    let n = args.pos_or(2, 7) as usize;
+    let attack_secs = args.pos_or(3, 100);
+
+    let seeds = args.seeds_or(&sample_seeds(10_000, 2, 0x10AD));
+    let knee = load_latency_spec(knee_secs, n, &LOAD_LEVELS, seeds.clone());
+    println!(
+        "# Load sweep: {} cells ({} seeds), {} worker thread(s)",
+        knee.points().len() * knee.seeds.len(),
+        knee.seeds.len(),
+        args.threads
+    );
+    run_and_report(
+        &knee,
+        &args.sweep_options(),
+        &[
+            "offered_ops",
+            "committed_ops",
+            "goodput_ops",
+            "e2e_p50_ms",
+            "e2e_p99_ms",
+            "rejected",
+        ],
+    );
+
+    let attack = load_attack_spec(attack_secs, n, seeds);
+    println!(
+        "\n# Load under delay attack: {} cells",
+        attack.points().len() * attack.seeds.len()
+    );
+    run_and_report(
+        &attack,
+        &args.sweep_options(),
+        &[
+            "goodput_clean_ops",
+            "goodput_attack_ops",
+            "goodput_recovered_ops",
+            "lat_clean_ms",
+            "lat_attack_ms",
+            "rejected",
+        ],
+    );
+}

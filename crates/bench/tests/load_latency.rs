@@ -1,0 +1,147 @@
+//! Acceptance tests for the open-loop load subsystem: the throughput–latency
+//! sweep must show a monotone curve with a saturation knee on every
+//! substrate family, byte-identical across worker-thread counts, and the
+//! load-under-delay-attack scenario must show OptiAware preserving goodput
+//! where the fixed-role policies collapse.
+
+use bench::{load_attack_spec, load_latency_spec, LOAD_ATTACK_RATE};
+use lab::{run_sweep, ScenarioReport, SweepOptions};
+
+/// A reduced grid with the same shape as the full sweep: one load well
+/// below every substrate's capacity, one near the slowest substrate's knee,
+/// one far past every substrate's capacity (OptiTree, the fastest family,
+/// saturates around 8.5 k ops/s on this topology).
+const LOADS: [f64; 3] = [500.0, 2000.0, 16_000.0];
+
+fn curve<'r>(report: &'r ScenarioReport, substrate: &str) -> Vec<&'r lab::PointReport> {
+    LOADS
+        .iter()
+        .map(|&rate| {
+            let label = format!("{substrate} | poisson@{rate:.0}");
+            report
+                .point(&label)
+                .unwrap_or_else(|| panic!("missing point {label}"))
+        })
+        .collect()
+}
+
+#[test]
+fn load_sweep_shows_saturation_knee_on_every_substrate() {
+    let spec = load_latency_spec(20, 7, &LOADS, vec![1]);
+    let report = run_sweep(&spec, &SweepOptions::serial().with_threads(4));
+
+    for substrate in ["BFT-SMaRt", "HotStuff-fixed", "Kauri", "OptiTree"] {
+        let points = curve(&report, substrate);
+
+        // Committed throughput rises monotonically along the offered-load
+        // axis (the curve), and tracks offered load below saturation.
+        let committed: Vec<f64> = points.iter().map(|p| p.metric("committed_ops")).collect();
+        let offered: Vec<f64> = points.iter().map(|p| p.metric("offered_ops")).collect();
+        assert!(
+            committed.windows(2).all(|w| w[1] >= w[0] * 0.98),
+            "{substrate}: committed throughput must be monotone along the load axis: {committed:?}"
+        );
+        assert!(
+            committed[0] >= offered[0] * 0.9,
+            "{substrate}: below saturation committed ({}) must track offered ({})",
+            committed[0],
+            offered[0]
+        );
+
+        // The knee: at the top of the grid, committed throughput has
+        // plateaued *below* the offered load and the bounded queue rejects
+        // the excess…
+        let top = points.last().expect("top point");
+        assert!(
+            *committed.last().unwrap() < offered.last().unwrap() * 0.9,
+            "{substrate}: committed must plateau below offered at the top of the grid"
+        );
+        assert!(
+            top.metric("rejected") > 0.0,
+            "{substrate}: backpressure must reject load past the knee"
+        );
+
+        // …and end-to-end p99 has left the consensus-latency regime for the
+        // queue-drain regime.
+        let p99_low = points[0].metric("e2e_p99_ms");
+        let p99_top = top.metric("e2e_p99_ms");
+        assert!(p99_low > 0.0, "{substrate}: low-load p99 must be populated");
+        assert!(
+            p99_top >= 3.0 * p99_low,
+            "{substrate}: saturated p99 ({p99_top:.1} ms) must be ≥ 3× the low-load p99 ({p99_low:.1} ms)"
+        );
+
+        // Every point carries the client-side timelines for the BENCH json.
+        for p in &points {
+            let cell = &p.cells[0];
+            assert!(!cell.metrics.series["e2e_timeline"].is_empty());
+            assert!(!cell.metrics.series["goodput_timeline"].is_empty());
+            assert!(!cell.metrics.series["queue_depth_timeline"].is_empty());
+        }
+    }
+}
+
+#[test]
+fn load_sweep_json_is_byte_identical_across_thread_counts() {
+    let spec = load_latency_spec(10, 7, &[1000.0, 6000.0], vec![0, 1]);
+    let serial = run_sweep(&spec, &SweepOptions::serial());
+    let parallel = run_sweep(&spec, &SweepOptions::serial().with_threads(4));
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "BENCH_load_latency.json must not depend on --threads"
+    );
+}
+
+#[test]
+fn optiaware_preserves_goodput_under_the_delay_attack() {
+    let spec = load_attack_spec(90, 7, vec![1]);
+    let report = run_sweep(&spec, &SweepOptions::serial().with_threads(3));
+
+    // Everyone runs clean phases at the offered rate.
+    for substrate in ["Aware", "OptiAware", "HotStuff-fixed"] {
+        let p = report.point(substrate).expect("point exists");
+        assert!(
+            p.metric("goodput_clean_ops") > LOAD_ATTACK_RATE * 0.9,
+            "{substrate}: clean-phase goodput {} below the offered {LOAD_ATTACK_RATE}",
+            p.metric("goodput_clean_ops")
+        );
+    }
+
+    // During the attack the fixed-role policies collapse (the attacked
+    // leader's capacity is ~125/s and every commit blows the SLO), while
+    // OptiAware strips the attacker of the role and keeps serving.
+    let opti = report.metric("OptiAware", "goodput_attack_ops");
+    let aware = report.metric("Aware", "goodput_attack_ops");
+    let hotstuff = report.metric("HotStuff-fixed", "goodput_attack_ops");
+    assert!(
+        opti >= LOAD_ATTACK_RATE * 0.5,
+        "OptiAware must preserve most of the offered goodput under attack, got {opti:.0}/s"
+    );
+    assert!(
+        opti >= 2.0 * aware.max(1.0),
+        "OptiAware ({opti:.0}/s) must beat Aware ({aware:.0}/s) by ≥ 2× during the attack"
+    );
+    assert!(
+        opti >= 2.0 * hotstuff.max(1.0),
+        "OptiAware ({opti:.0}/s) must beat HotStuff-fixed ({hotstuff:.0}/s) by ≥ 2× during the attack"
+    );
+
+    // The collapse is visible as backpressure and blown deadlines, not as a
+    // silent accounting artefact.
+    assert!(report.metric("Aware", "rejected") > 0.0);
+    assert!(
+        report.metric("Aware", "lat_attack_ms") > 10.0 * report.metric("Aware", "lat_clean_ms"),
+        "the attacked fixed policy must show queue-drain latencies"
+    );
+
+    // Once the attack stage closes, everyone drains back to offered rate.
+    for substrate in ["Aware", "OptiAware", "HotStuff-fixed"] {
+        let p = report.point(substrate).expect("point exists");
+        assert!(
+            p.metric("goodput_recovered_ops") > LOAD_ATTACK_RATE * 0.8,
+            "{substrate}: post-attack goodput {} should recover",
+            p.metric("goodput_recovered_ops")
+        );
+    }
+}

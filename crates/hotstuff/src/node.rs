@@ -11,16 +11,23 @@
 //!    view `v + 1`.
 //!
 //! Batches come from a saturated [`rsm::BlockSource`], matching the paper's
-//! workload of 1000 empty commands per block.
+//! workload of 1000 empty commands per block — or, when the run is driven by
+//! an open-loop [`traffic::SharedTrafficQueue`], from the leader-side
+//! admission queue: the leader of the next view pulls a size-or-timeout
+//! batch, and when none is ready yet it parks the view and wakes up at the
+//! queue's next flush instant instead of proposing pre-filled blocks.
 
 use crate::pacemaker::Pacemaker;
 use crypto::{Digest, Hashable};
 use netsim::{Context, Duration, FaultPlan, LatencyModel, Node, NodeId, SimTime, Simulation, SimulationConfig, TimerId};
 use rsm::{misbehavior, Block, BlockSource, CommitStats, DelayStage, MisbehaviorPlan, RunSummary, SystemConfig};
 use std::collections::{BTreeMap, BTreeSet};
+use traffic::SharedTrafficQueue;
 
 /// Held-proposal timers encode a release sequence number in the tag.
 const TIMER_HELD_BASE: u64 = 1_000_000;
+/// Wake-up when the traffic queue's next batch becomes flushable.
+const TIMER_TRAFFIC_READY: u64 = 2;
 
 /// Messages exchanged by HotStuff replicas.
 #[derive(Debug, Clone)]
@@ -75,6 +82,13 @@ pub struct HotStuffNode {
     /// Proposals held by an active delay stage, keyed by release tag.
     held: BTreeMap<u64, HotStuffMessage>,
     next_held: u64,
+    /// Open-loop traffic source (`None` = the saturated paper workload).
+    traffic: Option<SharedTrafficQueue>,
+    /// View whose proposal is parked until the traffic queue can flush.
+    pending_view: Option<u64>,
+    /// Traffic batch ids by proposed view (proposer side), echoed to the
+    /// queue when the view commits so end-to-end latency can be accounted.
+    batch_ids: BTreeMap<u64, u64>,
     /// Commit statistics (consensus latency = proposal to three-chain commit).
     pub stats: CommitStats,
 }
@@ -93,6 +107,9 @@ impl HotStuffNode {
             delays: Vec::new(),
             held: BTreeMap::new(),
             next_held: 0,
+            traffic: None,
+            pending_view: None,
+            batch_ids: BTreeMap::new(),
             stats: CommitStats::new(),
         }
     }
@@ -100,6 +117,13 @@ impl HotStuffNode {
     /// Install scripted proposal-delay stages (the protocol-level attack).
     pub fn with_delays(mut self, delays: Vec<DelayStage>) -> Self {
         self.delays = delays;
+        self
+    }
+
+    /// Drive proposals from an open-loop traffic queue instead of the
+    /// saturated source.
+    pub fn with_traffic(mut self, traffic: Option<SharedTrafficQueue>) -> Self {
+        self.traffic = traffic;
         self
     }
 
@@ -111,8 +135,35 @@ impl HotStuffNode {
         if view <= self.highest_proposed {
             return;
         }
+        let commands = if let Some(queue) = &self.traffic {
+            match queue.try_batch(ctx.now) {
+                Some(batch) => {
+                    self.batch_ids.insert(view, batch.id);
+                    batch.commands
+                }
+                // A committed batch needs two successor views (three-chain):
+                // with an empty queue, an earlier command-bearing view would
+                // otherwise wait for the *next arrival burst* to commit. An
+                // empty flush block drives the chain instead; at most two
+                // are needed before every payload view has committed and
+                // the leader can park for real.
+                None if self.views.values().any(|e| !e.committed && e.commands > 0) => Vec::new(),
+                None => {
+                    // Nothing flushable, nothing in flight: park the view
+                    // and wake up when the queue's size or timeout condition
+                    // can next fire. (The chain is idle until then — no
+                    // other leader can make progress before this view.)
+                    self.pending_view = Some(self.pending_view.unwrap_or(0).max(view));
+                    if let Some(at) = queue.next_ready_at(ctx.now) {
+                        ctx.set_timer(at.since(ctx.now), TIMER_TRAFFIC_READY);
+                    }
+                    return;
+                }
+            }
+        } else {
+            self.batch.next_batch()
+        };
         self.highest_proposed = view;
-        let commands = self.batch.next_batch();
         let block = Block::new(Digest::ZERO, view, view, self.id, commands);
         let digest = block.digest();
         let msg = HotStuffMessage::Proposal {
@@ -167,8 +218,20 @@ impl HotStuffNode {
                 let entry = self.views.get_mut(&(view - 2)).expect("checked");
                 if !entry.committed {
                     entry.committed = true;
-                    self.stats
-                        .record_commit(entry.proposal_ts, ctx.now, entry.commands);
+                    // Empty chain-flush blocks (open-loop idle) carry no
+                    // commands and are not commits worth recording.
+                    if entry.commands > 0 {
+                        self.stats
+                            .record_commit(entry.proposal_ts, ctx.now, entry.commands);
+                    }
+                    // The proposer of the committed view reports the batch
+                    // back to the traffic queue (it is the only replica that
+                    // knows the batch id) for end-to-end accounting.
+                    if let Some(queue) = &self.traffic {
+                        if let Some(id) = self.batch_ids.remove(&(view - 2)) {
+                            queue.commit_batch(id, ctx.now);
+                        }
+                    }
                 }
             }
         }
@@ -220,6 +283,10 @@ impl Node for HotStuffNode {
     fn on_timer(&mut self, ctx: &mut Context<HotStuffMessage>, _timer: TimerId, tag: u64) {
         if tag >= TIMER_HELD_BASE {
             self.release_held(ctx, tag - TIMER_HELD_BASE);
+        } else if tag == TIMER_TRAFFIC_READY {
+            if let Some(view) = self.pending_view.take() {
+                self.propose(ctx, view);
+            }
         }
     }
 }
@@ -237,6 +304,9 @@ pub struct HotStuffConfig {
     pub run_for: Duration,
     /// Scripted protocol-level misbehavior (proposal-delay attacks).
     pub misbehavior: MisbehaviorPlan,
+    /// Open-loop traffic source shared by every (rotating) leader; `None`
+    /// keeps the saturated paper workload.
+    pub traffic: Option<SharedTrafficQueue>,
 }
 
 impl HotStuffConfig {
@@ -248,6 +318,7 @@ impl HotStuffConfig {
             batch_size: 1000,
             run_for: Duration::from_secs(120),
             misbehavior: MisbehaviorPlan::none(),
+            traffic: None,
         }
     }
 }
@@ -277,6 +348,7 @@ pub fn run_hotstuff(
         .map(|id| {
             HotStuffNode::new(id, config.system, config.pacemaker, config.batch_size)
                 .with_delays(config.misbehavior.stages_for(id))
+                .with_traffic(config.traffic.clone())
         })
         .collect();
     let mut sim = Simulation::new(nodes, latency)
@@ -388,6 +460,108 @@ mod tests {
         assert!(
             attacked_late < clean_mid * 2.0,
             "latency should recover after the stage: {attacked_late:.1}ms"
+        );
+    }
+
+    #[test]
+    fn open_loop_traffic_commits_offered_load_below_saturation() {
+        // 200 cmd/s offered against a capacity of thousands: every command
+        // should commit, and blocks should be timeout-flushed partials (the
+        // saturated source would commit 1000-command blocks instead).
+        let spec = rsm::TrafficSpec::poisson(200.0)
+            .with_clients(4)
+            .with_batching(100, Duration::from_millis(40));
+        let queue = SharedTrafficQueue::generate(
+            &spec,
+            &[1.0, 2.0, 5.0, 10.0],
+            99,
+            SimTime::from_secs(20),
+        );
+        let mut cfg = HotStuffConfig {
+            run_for: Duration::from_secs(22),
+            ..HotStuffConfig::new(4, Pacemaker::Fixed { leader: 0 })
+        };
+        cfg.traffic = Some(queue.clone());
+        let report = run_hotstuff(&cfg, uniform(4, 10), FaultPlan::none());
+        let tr = queue.report(20);
+        assert!(tr.offered > 3_000, "~4000 arrivals over 20 s, got {}", tr.offered);
+        assert_eq!(tr.rejected, 0, "no backpressure below saturation");
+        // All but the last in-flight views' worth of commands commit.
+        assert!(
+            tr.committed >= tr.offered - 300,
+            "committed {} of {}",
+            tr.committed,
+            tr.offered
+        );
+        assert_eq!(tr.committed, tr.goodput, "all commits meet a 1 s SLO here");
+        // Blocks are demand-sized, far below the saturated 1000.
+        let per_block =
+            report.summary.committed_commands as f64 / report.summary.committed_blocks as f64;
+        assert!(per_block < 150.0, "mean block size {per_block}");
+        // End-to-end latency includes ingress, batching wait, and commit.
+        assert!(tr.e2e_mean_ms > 40.0, "e2e mean {}", tr.e2e_mean_ms);
+    }
+
+    #[test]
+    fn bursty_traffic_tail_commits_before_the_next_burst() {
+        // On/off load with a 3 s silence between bursts: the final batch of
+        // each burst must commit via empty chain-flush blocks right away,
+        // not wait out the off-phase for two more batches to arrive.
+        let spec = rsm::TrafficSpec::poisson(0.0)
+            .with_arrivals(rsm::ArrivalProcess::OnOff {
+                rate: 800.0,
+                on: Duration::from_secs(1),
+                off: Duration::from_secs(3),
+            })
+            .with_clients(4)
+            .with_batching(100, Duration::from_millis(40))
+            .with_slo(Duration::from_secs(1));
+        let queue =
+            SharedTrafficQueue::generate(&spec, &[1.0; 4], 13, SimTime::from_secs(16));
+        let mut cfg = HotStuffConfig {
+            run_for: Duration::from_secs(18),
+            ..HotStuffConfig::new(4, Pacemaker::Fixed { leader: 0 })
+        };
+        cfg.traffic = Some(queue.clone());
+        run_hotstuff(&cfg, uniform(4, 10), FaultPlan::none());
+        let tr = queue.report(16);
+        assert!(tr.offered > 2_000, "four bursts of ~800, got {}", tr.offered);
+        assert!(
+            tr.committed >= tr.offered - 120,
+            "committed {} of {}",
+            tr.committed,
+            tr.goodput
+        );
+        // Without the chain flush every burst tail waits ~3 s and blows the
+        // 1 s SLO; with it, virtually everything is goodput.
+        assert!(
+            tr.goodput as f64 >= tr.committed as f64 * 0.95,
+            "burst tails must not wait out the off-phase: goodput {} of {} committed (p99 {:.0} ms)",
+            tr.goodput,
+            tr.committed,
+            tr.e2e_p99_ms
+        );
+    }
+
+    #[test]
+    fn round_robin_leaders_share_the_traffic_queue() {
+        let spec = rsm::TrafficSpec::poisson(500.0)
+            .with_clients(4)
+            .with_batching(50, Duration::from_millis(30));
+        let queue =
+            SharedTrafficQueue::generate(&spec, &[1.0; 4], 3, SimTime::from_secs(10));
+        let mut cfg = HotStuffConfig {
+            run_for: Duration::from_secs(12),
+            ..HotStuffConfig::new(4, Pacemaker::RoundRobin)
+        };
+        cfg.traffic = Some(queue.clone());
+        run_hotstuff(&cfg, uniform(4, 10), FaultPlan::none());
+        let tr = queue.report(10);
+        assert!(
+            tr.committed >= tr.offered.saturating_sub(200),
+            "rotating leaders must drain the shared queue: {} of {}",
+            tr.committed,
+            tr.offered
         );
     }
 

@@ -58,3 +58,7 @@ pub use scenario::{
     SuspicionAttackScenario, TreeSearchScenario,
 };
 pub use topology::{Deployment, Topology};
+
+// The offered-load surface scenario authors need alongside the axes.
+pub use rsm::{ArrivalProcess, BatchingPolicy, TrafficSpec};
+pub use traffic::TrafficReport;

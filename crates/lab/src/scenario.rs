@@ -30,9 +30,10 @@ use pbft::{AwarePolicy, PbftHarness, PbftHarnessConfig, ReconfigPolicy, StaticPo
 use rand::rngs::StdRng;
 use rand::seq::index;
 use rand::{Rng, SeedableRng};
-use rsm::{SystemConfig, WorkloadSpec};
+use rsm::{SystemConfig, TrafficSpec, WorkloadSpec};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
+use traffic::SharedTrafficQueue;
 
 /// Derive an independent RNG seed for a cell from the sweep seed and a salt
 /// (SplitMix64 finaliser), so cells never share RNG streams across threads.
@@ -190,8 +191,14 @@ pub struct ProtocolScenario {
     pub adversaries: Vec<AdversaryScript>,
     /// Virtual run duration.
     pub duration: Duration,
-    /// The client/batch workload.
+    /// The client/batch workload (saturated source; used when the traffic
+    /// axis is empty).
     pub workload: WorkloadSpec,
+    /// Offered-load axis. Empty = the paper's saturated workload. Non-empty
+    /// = every cell drives its substrate from an open-loop traffic queue
+    /// compiled from the cell's [`TrafficSpec`] — *every* substrate consumes
+    /// the queue; there is no per-substrate fallback to a saturated source.
+    pub traffics: Vec<TrafficSpec>,
     /// When measurement-driven policies may first reconfigure.
     pub optimize_after: SimTime,
     /// Delay between a tree failure and the next root resuming (models the
@@ -210,6 +217,7 @@ impl ProtocolScenario {
             adversaries: vec![AdversaryScript::clean()],
             duration: Duration::from_secs(120),
             workload: WorkloadSpec::saturated(),
+            traffics: Vec::new(),
             optimize_after: SimTime::from_secs(40),
             reconfig_delay: None,
             windows: Vec::new(),
@@ -223,6 +231,14 @@ impl ProtocolScenario {
         self
     }
 
+    /// Add an offered-load axis: every cell pulls proposals from an
+    /// open-loop traffic queue instead of the saturated source.
+    pub fn with_traffic_axis(mut self, traffics: Vec<TrafficSpec>) -> Self {
+        assert!(!traffics.is_empty(), "traffic axis must be non-empty");
+        self.traffics = traffics;
+        self
+    }
+
     /// Override the run duration.
     pub fn run_for(mut self, duration: Duration) -> Self {
         self.duration = duration;
@@ -230,34 +246,49 @@ impl ProtocolScenario {
     }
 
     fn points(&self) -> Vec<Point> {
+        // The traffic axis is optional: an empty list contributes one
+        // "no-traffic" slot so the grid shape is unchanged for saturated
+        // scenarios (and their point indices stay three-element).
+        let traffic_axis: Vec<Option<usize>> = if self.traffics.is_empty() {
+            vec![None]
+        } else {
+            (0..self.traffics.len()).map(Some).collect()
+        };
         let mut out = Vec::new();
         for (si, s) in self.substrates.iter().enumerate() {
             for (ti, t) in self.topologies.iter().enumerate() {
                 for (ai, a) in self.adversaries.iter().enumerate() {
-                    let mut parts = Vec::new();
-                    if self.substrates.len() > 1 {
-                        parts.push(s.label().to_string());
-                    }
-                    if self.topologies.len() > 1 {
-                        parts.push(t.label());
-                    }
-                    if self.adversaries.len() > 1 {
-                        parts.push(a.label.clone());
-                    }
-                    let label = if parts.is_empty() {
-                        s.label().to_string()
-                    } else {
-                        parts.join(" | ")
-                    };
-                    out.push(Point {
-                        label,
-                        params: BTreeMap::from([
+                    for tri in &traffic_axis {
+                        let mut parts = Vec::new();
+                        if self.substrates.len() > 1 {
+                            parts.push(s.label().to_string());
+                        }
+                        if self.topologies.len() > 1 {
+                            parts.push(t.label());
+                        }
+                        if self.adversaries.len() > 1 {
+                            parts.push(a.label.clone());
+                        }
+                        if self.traffics.len() > 1 {
+                            parts.push(self.traffics[tri.expect("axis present")].label());
+                        }
+                        let label = if parts.is_empty() {
+                            s.label().to_string()
+                        } else {
+                            parts.join(" | ")
+                        };
+                        let mut params = BTreeMap::from([
                             ("substrate".to_string(), s.label().to_string()),
                             ("topology".to_string(), t.label()),
                             ("adversary".to_string(), a.label.clone()),
-                        ]),
-                        idx: vec![si, ti, ai],
-                    });
+                        ]);
+                        let mut idx = vec![si, ti, ai];
+                        if let Some(tri) = tri {
+                            params.insert("traffic".to_string(), self.traffics[*tri].label());
+                            idx.push(*tri);
+                        }
+                        out.push(Point { label, params, idx });
+                    }
                 }
             }
         }
@@ -282,6 +313,23 @@ impl ProtocolScenario {
             substrate,
             policy_seed,
         });
+        let run_secs = self.duration.as_micros() / 1_000_000;
+
+        // Offered-load cells compile their TrafficSpec into a per-run queue:
+        // geo-placed clients (same city subset and replica placement as the
+        // topology's RTT matrix) feeding the leader-side admission queue
+        // every substrate pulls batches from.
+        let traffic = point.idx.get(3).map(|&tri| {
+            let spec = &self.traffics[tri];
+            let ingress =
+                topology.client_ingress_ms(spec.clients, seed, mix_seed(seed, 0xC11E_9701));
+            SharedTrafficQueue::generate(
+                spec,
+                &ingress,
+                mix_seed(seed, 0x7AFF_1C00),
+                SimTime::ZERO + self.duration,
+            )
+        });
 
         let mut metrics = CellMetrics::new();
         // Every branch produces a latency-window closure, so `LatencyWindow`
@@ -290,9 +338,19 @@ impl ProtocolScenario {
         // HotStuff and the trees report the per-commit consensus-latency
         // timeline their runners now expose.
         let window_mean: Box<dyn Fn(f64, f64) -> f64> = if substrate.is_pbft() {
-            let mut cfg = PbftHarnessConfig::new(n, f, self.workload.clients_for(n), rtt.clone())
+            // Open-loop cells replace the simulated closed-loop clients with
+            // the traffic queue's geo-placed population.
+            let clients = if traffic.is_some() {
+                0
+            } else {
+                self.workload.clients_for(n)
+            };
+            let mut cfg = PbftHarnessConfig::new(n, f, clients, rtt.clone())
                 .run_for(self.duration)
                 .with_faults(compiled.faults.clone());
+            if let Some(queue) = &traffic {
+                cfg = cfg.with_traffic(queue.clone());
+            }
             for atk in &compiled.delay_attacks {
                 cfg = cfg.with_delay_attacker_during(atk.replica, atk.delay, atk.from, atk.until);
             }
@@ -303,6 +361,7 @@ impl ProtocolScenario {
             let s = &report.replica_summary;
             metrics
                 .set("throughput_ops", s.throughput_ops)
+                .set("sustained_ops", s.sustained_ops)
                 .set("latency_ms", s.mean_latency_ms)
                 .set("p50_ms", s.p50_latency_ms)
                 .set("p99_ms", s.p99_latency_ms)
@@ -314,6 +373,7 @@ impl ProtocolScenario {
             let mut cfg = KauriConfig::new(n);
             cfg.run_for = self.duration;
             cfg.batch_size = self.workload.batch_size;
+            cfg.traffic = traffic.clone();
             if substrate == Substrate::OptiTreeNoPipeline {
                 cfg.pipeline = 1;
             }
@@ -334,6 +394,7 @@ impl ProtocolScenario {
             let s = &report.summary;
             metrics
                 .set("throughput_ops", s.throughput_ops)
+                .set("sustained_ops", s.sustained_ops)
                 .set("latency_ms", s.mean_latency_ms)
                 .set("p50_ms", s.p50_latency_ms)
                 .set("p99_ms", s.p99_latency_ms)
@@ -359,6 +420,7 @@ impl ProtocolScenario {
             let mut cfg = HotStuffConfig::new(n, pacemaker);
             cfg.run_for = self.duration;
             cfg.batch_size = self.workload.batch_size;
+            cfg.traffic = traffic.clone();
             for atk in &compiled.delay_attacks {
                 cfg.misbehavior
                     .delay_proposals_during(atk.replica, atk.delay, atk.from, atk.until);
@@ -371,6 +433,7 @@ impl ProtocolScenario {
             let s = &report.summary;
             metrics
                 .set("throughput_ops", s.throughput_ops)
+                .set("sustained_ops", s.sustained_ops)
                 .set("latency_ms", s.mean_latency_ms)
                 .set("p50_ms", s.p50_latency_ms)
                 .set("p99_ms", s.p99_latency_ms)
@@ -380,8 +443,47 @@ impl ProtocolScenario {
             let tl = report.latency_timeline;
             Box::new(move |from, to| timeline_mean(&tl, from, to))
         };
-        for w in &self.windows {
-            metrics.set(format!("lat_{}_ms", w.label), window_mean(w.from_s, w.to_s));
+        if let Some(queue) = &traffic {
+            // Client-side metrics: offered vs committed vs goodput, the
+            // end-to-end latency distribution, and queue-pressure evidence.
+            let tr = queue.report(run_secs);
+            metrics
+                .set("offered_ops", tr.offered_ops)
+                .set("committed_ops", tr.committed_ops)
+                .set("goodput_ops", tr.goodput_ops)
+                .set("rejected", tr.rejected as f64)
+                .set("e2e_mean_ms", tr.e2e_mean_ms)
+                .set("e2e_p50_ms", tr.e2e_p50_ms)
+                .set("e2e_p99_ms", tr.e2e_p99_ms)
+                .set("queue_depth_max", tr.max_depth as f64);
+            // In traffic mode, latency windows measure what the *client*
+            // sees — uniformly across substrates — and each window also
+            // reports its goodput rate. (Windows first: the timelines are
+            // moved, not re-cloned, into the series afterwards — the e2e
+            // timeline holds one point per command.)
+            for w in &self.windows {
+                metrics.set(
+                    format!("lat_{}_ms", w.label),
+                    timeline_mean(&tr.e2e_timeline, w.from_s, w.to_s),
+                );
+                let in_window: f64 = tr
+                    .goodput_timeline
+                    .iter()
+                    .filter(|&&(t, _)| t >= w.from_s && t < w.to_s)
+                    .map(|&(_, v)| v)
+                    .sum();
+                metrics.set(
+                    format!("goodput_{}_ops", w.label),
+                    in_window / (w.to_s - w.from_s).max(1e-9),
+                );
+            }
+            metrics.set_series("e2e_timeline", tr.e2e_timeline);
+            metrics.set_series("goodput_timeline", tr.goodput_timeline);
+            metrics.set_series("queue_depth_timeline", tr.depth_timeline);
+        } else {
+            for w in &self.windows {
+                metrics.set(format!("lat_{}_ms", w.label), window_mean(w.from_s, w.to_s));
+            }
         }
         metrics
     }
@@ -838,6 +940,55 @@ mod tests {
         let large = sc.run_cell(80);
         assert!(small.values["bytes_latency_vec"] < large.values["bytes_latency_vec"]);
         assert!(large.values["bytes_misbehavior"] > large.values["bytes_suspicions"]);
+    }
+
+    #[test]
+    fn traffic_axis_expands_points_and_params() {
+        let scenario = ProtocolScenario::new(
+            vec![Substrate::BftSmart, Substrate::Kauri],
+            vec![Topology::with_n(Deployment::Europe21, 7)],
+        )
+        .with_traffic_axis(vec![
+            rsm::TrafficSpec::poisson(500.0),
+            rsm::TrafficSpec::poisson(2000.0),
+        ]);
+        let spec = ScenarioSpec::new("unit", vec![0], ScenarioKind::Protocol(scenario));
+        let points = spec.points();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].label, "BFT-SMaRt | poisson@500");
+        assert_eq!(points[3].label, "Kauri | poisson@2000");
+        assert_eq!(points[1].params["traffic"], "poisson@2000");
+        assert_eq!(points[1].idx, vec![0, 0, 0, 1]);
+    }
+
+    /// Every substrate family must consume the traffic queue when the axis
+    /// is present: the cell reports offered/committed/goodput metrics, and a
+    /// sub-saturation load commits nearly everything on all of them.
+    #[test]
+    fn traffic_cells_commit_offered_load_on_every_substrate_family() {
+        let scenario = ProtocolScenario::new(
+            vec![Substrate::BftSmart, Substrate::HotStuffFixed, Substrate::Kauri],
+            vec![Topology::with_n(Deployment::Europe21, 7)],
+        )
+        .with_traffic_axis(vec![rsm::TrafficSpec::poisson(300.0)
+            .with_clients(16)
+            .with_batching(60, Duration::from_millis(40))])
+        .run_for(Duration::from_secs(15));
+        let spec = ScenarioSpec::new("unit", vec![0], ScenarioKind::Protocol(scenario));
+        for point in &spec.points() {
+            let m = spec.run_cell(point, 0);
+            let (offered, committed) = (m.values["offered_ops"], m.values["committed_ops"]);
+            assert!(offered > 200.0, "{}: offered {offered}", point.label);
+            assert!(
+                committed > offered * 0.85,
+                "{}: committed {committed} of offered {offered}",
+                point.label
+            );
+            assert_eq!(m.values["rejected"], 0.0, "{}", point.label);
+            assert!(m.values["e2e_p99_ms"] > 0.0);
+            assert!(!m.series["e2e_timeline"].is_empty());
+            assert!(!m.series["goodput_timeline"].is_empty());
+        }
     }
 
     #[test]

@@ -44,23 +44,34 @@ impl Deployment {
         }
     }
 
-    /// Build the replica-to-replica RTT matrix (ms) for `n` replicas of this
-    /// deployment, assigning replicas to cities round-robin (or at random for
-    /// the world-wide samples, where `seed` selects the draw).
-    pub fn rtt_matrix(&self, n: usize, seed: u64) -> Vec<f64> {
-        let ds = CityDataset::worldwide();
-        let subset = match self {
+    /// The city subset this deployment draws from.
+    pub fn city_subset(&self, ds: &CityDataset) -> Vec<usize> {
+        match self {
             Deployment::Europe21 => ds.europe21(),
             Deployment::NaEu43 => ds.na_eu43(),
             Deployment::Stellar56 => ds.stellar56(),
             Deployment::Global73 => ds.global73(),
             Deployment::WorldRandom | Deployment::WorldDistinct => (0..ds.len()).collect(),
-        };
-        let assignment = match self {
+        }
+    }
+
+    /// The cities `n` replicas of this deployment are placed in (round-robin,
+    /// or seeded random draws for the world-wide samples).
+    pub fn replica_cities(&self, ds: &CityDataset, n: usize, seed: u64) -> Vec<usize> {
+        let subset = self.city_subset(ds);
+        match self {
             Deployment::WorldRandom => ds.assign_random(&subset, n, seed),
             Deployment::WorldDistinct => ds.assign_distinct(&subset, n, seed),
             _ => ds.assign_round_robin(&subset, n),
-        };
+        }
+    }
+
+    /// Build the replica-to-replica RTT matrix (ms) for `n` replicas of this
+    /// deployment, assigning replicas to cities round-robin (or at random for
+    /// the world-wide samples, where `seed` selects the draw).
+    pub fn rtt_matrix(&self, n: usize, seed: u64) -> Vec<f64> {
+        let ds = CityDataset::worldwide();
+        let assignment = self.replica_cities(&ds, n, seed);
         let mut m = vec![0.0; n * n];
         for a in 0..n {
             for b in 0..n {
@@ -113,6 +124,18 @@ impl Topology {
     /// world-wide deployments).
     pub fn rtt_matrix(&self, seed: u64) -> Vec<f64> {
         self.deployment.rtt_matrix(self.n, seed)
+    }
+
+    /// Place `clients` open-loop clients on this topology's city subset and
+    /// return each client's one-way latency (ms) to its nearest replica —
+    /// the ingress leg open-loop requests pay before they can be batched.
+    /// `seed` must match the one used for [`Topology::rtt_matrix`] so the
+    /// replica placement agrees.
+    pub fn client_ingress_ms(&self, clients: usize, seed: u64, placement_seed: u64) -> Vec<f64> {
+        let ds = CityDataset::worldwide();
+        let subset = self.deployment.city_subset(&ds);
+        let replicas = self.deployment.replica_cities(&ds, self.n, seed);
+        traffic::client_ingress_ms(&ds, &subset, &replicas, clients, placement_seed)
     }
 }
 

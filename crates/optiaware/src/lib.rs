@@ -85,7 +85,13 @@ pub struct OptiAwarePolicy {
     current_score: f64,
     optimize_after: SimTime,
     improvement_factor: f64,
-    view: u64,
+    /// Leader terms seen so far: the monitor's "view" clock. Advances when
+    /// the replica's adopted configuration epoch changes — an actual leader
+    /// term — not once per commit, so the paper's term-denominated windows
+    /// apply unscaled.
+    terms: u64,
+    /// The configuration epoch the last `decide` call ran under.
+    last_epoch: Option<u64>,
 }
 
 impl OptiAwarePolicy {
@@ -97,25 +103,19 @@ impl OptiAwarePolicy {
             f,
             latency: LatencyMonitor::new(n),
             sensor: SuspicionSensor::new(id, delta),
-            // Views advance once per commit here (not once per leader term),
-            // and a reciprocation needs several commits to round-trip through
-            // the log — plus possibly a retry if the blob is lost to a leader
-            // change — so the crash window gets scaled accordingly.
-            // The paper's windows are counted in leader terms; views here
-            // advance once per commit, so both windows are scaled up: the
-            // reciprocation window must cover a log round-trip (plus a retry),
-            // and the stability window must dwarf the commit rate. The
-            // paper's w = 10 leader terms spans its whole 180 s experiment,
-            // so the commit-scaled equivalent must cover a run horizon too
-            // (~6000 commits ≈ 200 s at the typical 30 ms round): otherwise
-            // an excluded attacker is rehabilitated mid-run, re-elected by
-            // the optimiser, and re-excluded — an oscillation Fig 7 rules
-            // out.
-            monitor: SuspicionMonitor::new(
-                SuspicionMonitorParams::new(n, f)
-                    .with_reciprocation_views(8 * (f as u64 + 1))
-                    .with_window(6_000),
-            ),
+            // The monitor's clock counts *actual leader terms* (configuration
+            // epoch changes stamped on every `PbftRoundRecord` and mirrored
+            // by `decide`'s `current_epoch`), so the paper's windows apply
+            // with their own constants: reciprocation `f + 1` terms, and the
+            // default stability window `w = 10` terms — which spans a whole
+            // run (a 180 s experiment sees a handful of reconfigurations),
+            // exactly as the paper's `w = 10` covers its experiment. An
+            // excluded attacker therefore stays excluded for the run instead
+            // of being rehabilitated by a commit-rate-scaled clock. A
+            // reciprocation still has several commits to round-trip through
+            // the log before the window can close: terms only advance on
+            // reconfigurations, which are far sparser than commits.
+            monitor: SuspicionMonitor::new(SuspicionMonitorParams::new(n, f)),
             current_config: WeightConfig::initial(n, f),
             configs: BTreeMap::from([(0, (WeightConfig::initial(n, f), SimTime::ZERO))]),
             timeouts_cache: BTreeMap::new(),
@@ -123,7 +123,8 @@ impl OptiAwarePolicy {
             current_score: f64::INFINITY,
             optimize_after,
             improvement_factor: 0.9,
-            view: 0,
+            terms: 0,
+            last_epoch: None,
         }
     }
 
@@ -266,8 +267,14 @@ impl ReconfigPolicy for OptiAwarePolicy {
     }
 
     fn decide(&mut self, current_epoch: u64, now: SimTime) -> Option<WeightConfig> {
-        self.view += 1;
-        self.monitor.on_view(self.view);
+        // Advance the monitor's clock one *leader term* per adopted epoch.
+        // `on_view` is still consulted every commit (it is where expiry is
+        // evaluated), but the view number only moves on a real term change.
+        if self.last_epoch != Some(current_epoch) {
+            self.terms += 1;
+            self.last_epoch = Some(current_epoch);
+        }
+        self.monitor.on_view(self.terms);
         if now < self.optimize_after || !self.matrix_complete() {
             return None;
         }
@@ -507,6 +514,73 @@ mod tests {
             ..record.clone()
         };
         assert!(p.on_round(&unknown).is_empty());
+    }
+
+    /// Regression for the leader-term monitor clock: an excluded attacker
+    /// must not be rehabilitated mid-run. With the paper's `w = 10` windows
+    /// counted in *commits* (the old, pre-epoch behaviour), a few hundred
+    /// quiet commits would expire the suspicion edges and the optimiser
+    /// would re-elect the attacker; counted in *leader terms*, a whole run's
+    /// worth of commits and several reconfigurations stay inside the window.
+    #[test]
+    fn excluded_attacker_is_not_rehabilitated_mid_run() {
+        let n = 7;
+        let f = 2;
+        let mut p = OptiAwarePolicy::new(1, n, f, 1.0, SimTime::ZERO);
+        // Replica 0 has the fastest links: the optimiser's natural pick.
+        feed_matrix(&mut p, &uniformish(n, &[0, 1], 5.0, 80.0));
+        let first = p.decide(0, SimTime::from_secs(1)).expect("optimises");
+        assert_eq!(first.leader, 0);
+
+        // The delay attack plays out: three replicas suspect 0, and 0
+        // reciprocates (it is alive and processing the log).
+        for accuser in [1usize, 2, 3] {
+            let s = Suspicion {
+                kind: SuspicionKind::Slow,
+                accuser,
+                accused: 0,
+                round: 50,
+                phase: 1,
+                accuser_is_leader: false,
+            };
+            p.on_committed_measurement(0, &OptiAwareBlob::Suspicion(s).encode());
+            let rec = Suspicion {
+                kind: SuspicionKind::False,
+                accuser: 0,
+                accused: accuser,
+                round: 50,
+                phase: 1,
+                accuser_is_leader: false,
+            };
+            p.on_committed_measurement(0, &OptiAwareBlob::Suspicion(rec).encode());
+        }
+        let reconf = p
+            .decide(first.epoch, SimTime::from_secs(2))
+            .expect("excludes the attacker");
+        assert_ne!(reconf.leader, 0);
+        assert!(!p.candidates().contains(&0));
+
+        // A run's worth of quiet commits — thousands of `decide` calls —
+        // across several further adopted epochs (leader terms). The
+        // stability window is denominated in terms, so nothing expires and
+        // the attacker stays out of every configuration.
+        let mut epoch = reconf.epoch;
+        let mut t = 2_000u64;
+        for term in 0..4u64 {
+            for _ in 0..1_500 {
+                t += 30;
+                if let Some(cfg) = p.decide(epoch, SimTime::from_millis(t)) {
+                    assert_ne!(cfg.leader, 0, "attacker re-elected at term {term}");
+                    assert!(!cfg.special_roles().contains(&0));
+                    epoch = cfg.epoch;
+                }
+            }
+            epoch += 1; // an externally adopted reconfiguration = a new term
+        }
+        assert!(
+            !p.candidates().contains(&0),
+            "suspicion edges must survive the whole run: attacker rehabilitated"
+        );
     }
 
     #[test]

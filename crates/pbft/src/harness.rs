@@ -27,6 +27,10 @@ pub struct PbftHarnessConfig {
     pub behaviors: Vec<ReplicaBehavior>,
     /// Network-level faults (crashes, delay/inflation stages, drops).
     pub faults: FaultPlan,
+    /// Open-loop traffic source. When set, `clients` must be 0 (the load is
+    /// geo-placed open-loop clients compiled into the queue, not simulated
+    /// closed-loop client nodes) and leaders pull batches from the queue.
+    pub traffic: Option<traffic::SharedTrafficQueue>,
 }
 
 impl PbftHarnessConfig {
@@ -41,7 +45,19 @@ impl PbftHarnessConfig {
             rtt_matrix_ms,
             behaviors: vec![ReplicaBehavior::Correct; n],
             faults: FaultPlan::none(),
+            traffic: None,
         }
+    }
+
+    /// Drive the run from an open-loop traffic queue (replaces the
+    /// closed-loop clients).
+    pub fn with_traffic(mut self, traffic: traffic::SharedTrafficQueue) -> Self {
+        assert_eq!(
+            self.clients, 0,
+            "open-loop traffic replaces the simulated clients; configure clients = 0"
+        );
+        self.traffic = Some(traffic);
+        self
     }
 
     /// Make one replica perform the Pre-Prepare delay attack from `after` on.
@@ -155,13 +171,16 @@ impl PbftHarness {
         let n = config.n;
         let mut nodes: Vec<PbftNode> = Vec::with_capacity(n + config.clients);
         for id in 0..n {
-            nodes.push(PbftNode::Replica(ReplicaState::new(
-                id,
-                n,
-                config.f,
-                policy_factory(id),
-                config.behaviors[id].clone(),
-            )));
+            nodes.push(PbftNode::Replica(
+                ReplicaState::new(
+                    id,
+                    n,
+                    config.f,
+                    policy_factory(id),
+                    config.behaviors[id].clone(),
+                )
+                .with_traffic(config.traffic.clone()),
+            ));
         }
         for c in 0..config.clients {
             nodes.push(PbftNode::Client(ClientState::new(c as u64, n, config.f)));
@@ -296,6 +315,53 @@ mod tests {
             second > quiet * 2.0,
             "second stage should inflate again: second={second:.1}ms quiet={quiet:.1}ms"
         );
+    }
+
+    #[test]
+    fn open_loop_traffic_commits_offered_load_below_saturation() {
+        use netsim::Duration as D;
+        let spec = rsm::TrafficSpec::poisson(300.0)
+            .with_clients(4)
+            .with_batching(60, D::from_millis(40));
+        let queue = traffic::SharedTrafficQueue::generate(
+            &spec,
+            &[1.0, 5.0, 10.0, 20.0],
+            17,
+            SimTime::from_secs(20),
+        );
+        let config = PbftHarnessConfig::new(4, 1, 0, skewed_matrix(4))
+            .run_for(Duration::from_secs(22))
+            .with_traffic(queue.clone());
+        let report = PbftHarness::run(&config, "bft-smart", |_| Box::new(StaticPolicy));
+        let tr = queue.report(20);
+        assert!(tr.offered > 4_500, "~6000 arrivals, got {}", tr.offered);
+        assert_eq!(tr.rejected, 0, "no backpressure below saturation");
+        assert!(
+            tr.committed >= tr.offered - 200,
+            "committed {} of {}",
+            tr.committed,
+            tr.offered
+        );
+        // Rounds keep rolling (heartbeats between batches), and committed
+        // traffic blocks are demand-sized.
+        assert!(report.replica_summary.committed_blocks > 20);
+        assert!(report.client_completed.is_empty(), "no client nodes in traffic mode");
+        // e2e covers ingress + queueing + consensus + reply: well above the
+        // bare consensus latency, bounded by the batching delay + rounds.
+        assert!(tr.e2e_mean_ms > report.replica_summary.mean_latency_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "clients = 0")]
+    fn traffic_mode_rejects_simulated_clients() {
+        let spec = rsm::TrafficSpec::poisson(100.0).with_clients(2);
+        let queue = traffic::SharedTrafficQueue::generate(
+            &spec,
+            &[1.0, 1.0],
+            0,
+            SimTime::from_secs(1),
+        );
+        let _ = PbftHarnessConfig::new(4, 1, 2, skewed_matrix(4)).with_traffic(queue);
     }
 
     #[test]

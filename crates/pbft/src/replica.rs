@@ -16,6 +16,7 @@ use crypto::{Digest, Hashable};
 use netsim::{Context, Duration, FaultWindow, Node, NodeId, SimTime, TimerId, TimeSeries};
 use rsm::{Block, Command, CommitStats};
 use std::collections::{BTreeMap, BTreeSet};
+use traffic::SharedTrafficQueue;
 
 /// Timer tags used by replicas and clients.
 const TIMER_PROBE_START: u64 = 1;
@@ -104,6 +105,12 @@ pub struct ReplicaState {
     pending_records: Vec<PbftRoundRecord>,
     probe_nonce: u64,
     probe_rtts: Vec<f64>,
+    /// Open-loop traffic source (`None` = client-driven closed loop). When
+    /// set, the leader pulls size-or-timeout batches from the shared queue
+    /// instead of draining client requests, and no client nodes exist.
+    traffic: Option<SharedTrafficQueue>,
+    /// Traffic batch ids by proposed sequence number (proposer side).
+    traffic_batches: BTreeMap<u64, u64>,
     /// Statistics: consensus latency and throughput.
     pub stats: CommitStats,
     /// Reconfigurations this replica performed.
@@ -141,9 +148,18 @@ impl ReplicaState {
             pending_records: Vec::new(),
             probe_nonce: 0,
             probe_rtts: vec![f64::INFINITY; n],
+            traffic: None,
+            traffic_batches: BTreeMap::new(),
             stats: CommitStats::new(),
             reconfigs: Vec::new(),
         }
+    }
+
+    /// Drive proposals from an open-loop traffic queue instead of the
+    /// closed-loop clients.
+    pub fn with_traffic(mut self, traffic: Option<SharedTrafficQueue>) -> Self {
+        self.traffic = traffic;
+        self
     }
 
     /// The currently active configuration.
@@ -170,9 +186,24 @@ impl ReplicaState {
         // Leaders propose continuously: when no client requests or
         // measurements are pending, an empty heartbeat block keeps rounds
         // back-to-back, which is what the round-duration estimate `d_rnd`
-        // (and therefore suspicion condition (a)) assumes.
-        let take = self.pending_requests.len().min(self.batch_cap);
-        let commands: Vec<Command> = self.pending_requests.drain(..take).collect();
+        // (and therefore suspicion condition (a)) assumes. With an open-loop
+        // traffic source the same cadence holds: the leader attaches a batch
+        // whenever the queue's size-or-timeout rule has one ready and
+        // heartbeats otherwise, so batching never distorts round timing (and
+        // never triggers condition (a) against an honest, lightly-loaded
+        // leader).
+        let commands: Vec<Command> = if let Some(queue) = &self.traffic {
+            match queue.try_batch(ctx.now) {
+                Some(batch) => {
+                    self.traffic_batches.insert(self.next_seq, batch.id);
+                    batch.commands
+                }
+                None => Vec::new(),
+            }
+        } else {
+            let take = self.pending_requests.len().min(self.batch_cap);
+            self.pending_requests.drain(..take).collect()
+        };
         let block = Block::new(Digest::ZERO, self.next_seq, self.next_seq, self.id, commands);
         let measurements = std::mem::take(&mut self.pending_measurements);
 
@@ -359,19 +390,28 @@ impl ReplicaState {
                 .record_commit(instance.proposal_ts, ctx.now, instance.block.len());
         }
 
-        // Reply to clients and remember executed requests.
-        for cmd in &instance.block.commands {
-            self.committed_requests.insert((cmd.client, cmd.seq));
-            ctx.send(
-                self.client_node(cmd.client),
-                PbftMessage::Reply {
-                    client_seq: cmd.seq,
-                    replica: self.id,
-                },
-            );
+        if let Some(queue) = &self.traffic {
+            // Open-loop mode: no client nodes exist to reply to. The
+            // proposer (the only replica that knows the batch id) reports
+            // the commit so the queue can account end-to-end latency.
+            if let Some(id) = self.traffic_batches.remove(&seq) {
+                queue.commit_batch(id, ctx.now);
+            }
+        } else {
+            // Reply to clients and remember executed requests.
+            for cmd in &instance.block.commands {
+                self.committed_requests.insert((cmd.client, cmd.seq));
+                ctx.send(
+                    self.client_node(cmd.client),
+                    PbftMessage::Reply {
+                        client_seq: cmd.seq,
+                        replica: self.id,
+                    },
+                );
+            }
+            self.pending_requests
+                .retain(|c| !self.committed_requests.contains(&(c.client, c.seq)));
         }
-        self.pending_requests
-            .retain(|c| !self.committed_requests.contains(&(c.client, c.seq)));
 
         // Feed committed measurements to the policy (log order).
         let mut follow_ups = Vec::new();

@@ -15,6 +15,10 @@
 //!   experiment harnesses.
 //! * [`BlockSource`] — saturated batch generation matching the paper's
 //!   "blocks of 1000 proposals, each without transaction payload" workload.
+//! * [`TrafficSpec`] — the open-loop alternative: a declarative offered-load
+//!   description (arrival process, client population, size-or-timeout
+//!   batching, bounded queue, SLO) that the `traffic` crate compiles into
+//!   the admission queues substrates pull proposals from.
 //! * [`MisbehaviorPlan`] — scripted protocol-level misbehavior (the
 //!   proposal-delay attack) that every substrate installs as a replica
 //!   behaviour, so the same adversary script drives PBFT, HotStuff, and the
@@ -34,4 +38,4 @@ pub use config::{RoleAssignment, SystemConfig};
 pub use log::AppendLog;
 pub use misbehavior::{DelayStage, MisbehaviorPlan};
 pub use stats::{timeline_mean, CommitStats, RunSummary};
-pub use workload::{BlockSource, WorkloadSpec};
+pub use workload::{ArrivalProcess, BatchingPolicy, BlockSource, TrafficSpec, WorkloadSpec};

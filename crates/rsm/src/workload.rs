@@ -5,8 +5,16 @@
 //! blocks of 1000 empty commands (§7.3). [`BlockSource`] reproduces that
 //! setup: whenever the protocol asks for the next batch, a full block is
 //! available.
+//!
+//! [`TrafficSpec`] is the *open-loop* alternative: instead of an always-full
+//! source it describes an offered load — an [`ArrivalProcess`], a client
+//! population, a size-or-timeout [`BatchingPolicy`], and a bounded admission
+//! queue with an SLO deadline. The spec is pure data (this crate stays
+//! sampling-free); the `traffic` crate compiles it into the per-run arrival
+//! schedule and admission queue the substrates consume.
 
 use crate::block::Command;
+use netsim::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -119,6 +127,188 @@ impl WorkloadSpec {
     }
 }
 
+/// An open-loop arrival process: how request inter-arrival times are drawn.
+/// Rates are in commands per second of virtual time; sampling lives in the
+/// `traffic` crate (this is the declarative description a scenario carries).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant rate (exponential inter-arrivals).
+    Poisson {
+        /// Offered load in commands per second.
+        rate: f64,
+    },
+    /// Bursty on/off traffic: Poisson at `rate` during `on`, silent during
+    /// `off`, repeating. The long-run mean rate is `rate · on / (on + off)`.
+    OnOff {
+        /// Offered load during the on-phase.
+        rate: f64,
+        /// Length of the on-phase.
+        on: Duration,
+        /// Length of the off-phase.
+        off: Duration,
+    },
+    /// A linear ramp from `from` to `to` over `over`, constant afterwards —
+    /// the load pattern that walks a run across the saturation knee.
+    Ramp {
+        /// Initial rate.
+        from: f64,
+        /// Final rate.
+        to: f64,
+        /// Ramp duration.
+        over: Duration,
+    },
+    /// A sinusoidal day/night pattern: `mean · (1 + amplitude · sin(2πt/period))`.
+    Diurnal {
+        /// Mean rate over a whole period.
+        mean: f64,
+        /// Relative swing in `[0, 1)`.
+        amplitude: f64,
+        /// Period of one day.
+        period: Duration,
+    },
+}
+
+impl ArrivalProcess {
+    /// The peak instantaneous rate, used as the thinning envelope by the
+    /// sampler and as a sanity bound by capacity planning.
+    pub fn peak_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::OnOff { rate, .. } => rate,
+            ArrivalProcess::Ramp { from, to, .. } => from.max(to),
+            ArrivalProcess::Diurnal { mean, amplitude, .. } => mean * (1.0 + amplitude),
+        }
+    }
+
+    /// The long-run mean rate over a horizon of `secs` seconds.
+    pub fn mean_rate(&self, secs: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::OnOff { rate, on, off } => {
+                let cycle = on.as_secs_f64() + off.as_secs_f64();
+                if cycle == 0.0 {
+                    rate
+                } else {
+                    rate * on.as_secs_f64() / cycle
+                }
+            }
+            ArrivalProcess::Ramp { from, to, over } => {
+                let over = over.as_secs_f64();
+                if over == 0.0 || secs <= 0.0 {
+                    to
+                } else if secs <= over {
+                    // Mean of the linear segment covered so far.
+                    (from + (from + (to - from) * secs / over)) / 2.0
+                } else {
+                    // Average of the ramp segment and the constant tail.
+                    ((from + to) / 2.0 * over + to * (secs - over)) / secs
+                }
+            }
+            ArrivalProcess::Diurnal { mean, .. } => mean,
+        }
+    }
+
+    /// Compact label for sweep-axis names, e.g. `poisson@2000`.
+    pub fn label(&self) -> String {
+        match *self {
+            ArrivalProcess::Poisson { rate } => format!("poisson@{rate:.0}"),
+            ArrivalProcess::OnOff { rate, .. } => format!("onoff@{rate:.0}"),
+            ArrivalProcess::Ramp { from, to, .. } => format!("ramp@{from:.0}-{to:.0}"),
+            ArrivalProcess::Diurnal { mean, .. } => format!("diurnal@{mean:.0}"),
+        }
+    }
+}
+
+/// The leader-side size-or-timeout batching rule: a batch is flushed when it
+/// reaches `max_batch` commands *or* the oldest queued command has waited
+/// `max_delay`, whichever comes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchingPolicy {
+    /// Commands per batch at the size threshold.
+    pub max_batch: usize,
+    /// Longest a queued command may wait before a partial batch is flushed.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchingPolicy {
+    fn default() -> Self {
+        BatchingPolicy {
+            max_batch: 1000,
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+/// A declarative open-loop traffic workload: the offered-load counterpart of
+/// the saturated [`WorkloadSpec`]. Pure data — the `traffic` crate turns it
+/// into a seeded arrival schedule and a leader-side admission queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficSpec {
+    /// The arrival process generating requests.
+    pub arrivals: ArrivalProcess,
+    /// Number of geo-distributed clients the arrivals are spread over.
+    pub clients: usize,
+    /// The leader-side batching rule.
+    pub batching: BatchingPolicy,
+    /// Admission-queue bound: arrivals beyond this are rejected
+    /// (backpressure) instead of queued.
+    pub queue_capacity: usize,
+    /// End-to-end deadline: commands whose client-observed latency exceeds
+    /// it do not count towards *goodput*.
+    pub slo: Duration,
+}
+
+impl TrafficSpec {
+    /// Poisson arrivals at `rate` commands/s with library defaults:
+    /// 64 clients, 1000/50 ms batching, a 10 000-command queue, 1 s SLO.
+    pub fn poisson(rate: f64) -> Self {
+        TrafficSpec {
+            arrivals: ArrivalProcess::Poisson { rate },
+            clients: 64,
+            batching: BatchingPolicy::default(),
+            queue_capacity: 10_000,
+            slo: Duration::from_secs(1),
+        }
+    }
+
+    /// Replace the arrival process.
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Override the client-population size.
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        assert!(clients > 0, "traffic needs at least one client");
+        self.clients = clients;
+        self
+    }
+
+    /// Override the batching rule.
+    pub fn with_batching(mut self, max_batch: usize, max_delay: Duration) -> Self {
+        assert!(max_batch > 0, "batch size must be positive");
+        self.batching = BatchingPolicy { max_batch, max_delay };
+        self
+    }
+
+    /// Override the admission-queue bound.
+    pub fn with_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Override the goodput SLO deadline.
+    pub fn with_slo(mut self, slo: Duration) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Label for sweep-axis names, e.g. `poisson@2000`.
+    pub fn label(&self) -> String {
+        self.arrivals.label()
+    }
+}
+
 /// Generates randomized key-value operations for the quickstart example and
 /// integration tests, deterministically from a seed.
 #[derive(Debug)]
@@ -185,6 +375,64 @@ mod tests {
         let mut src = BlockSource::with_payload(5, 64);
         let batch = src.next_batch();
         assert!(batch.iter().all(|c| c.payload.len() == 64));
+    }
+
+    #[test]
+    fn arrival_process_rates() {
+        let p = ArrivalProcess::Poisson { rate: 1000.0 };
+        assert_eq!(p.peak_rate(), 1000.0);
+        assert_eq!(p.mean_rate(60.0), 1000.0);
+
+        let oo = ArrivalProcess::OnOff {
+            rate: 2000.0,
+            on: Duration::from_secs(1),
+            off: Duration::from_secs(3),
+        };
+        assert_eq!(oo.peak_rate(), 2000.0);
+        assert_eq!(oo.mean_rate(60.0), 500.0);
+
+        let r = ArrivalProcess::Ramp {
+            from: 100.0,
+            to: 900.0,
+            over: Duration::from_secs(10),
+        };
+        assert_eq!(r.peak_rate(), 900.0);
+        // Over the ramp itself the mean is the midpoint…
+        assert_eq!(r.mean_rate(10.0), 500.0);
+        // …and the constant tail pulls it towards `to`.
+        assert!((r.mean_rate(20.0) - 700.0).abs() < 1e-9);
+
+        let d = ArrivalProcess::Diurnal {
+            mean: 400.0,
+            amplitude: 0.5,
+            period: Duration::from_secs(30),
+        };
+        assert_eq!(d.peak_rate(), 600.0);
+        assert_eq!(d.mean_rate(120.0), 400.0);
+    }
+
+    #[test]
+    fn traffic_spec_builders_and_labels() {
+        let t = TrafficSpec::poisson(2000.0)
+            .with_clients(32)
+            .with_batching(200, Duration::from_millis(25))
+            .with_capacity(4000)
+            .with_slo(Duration::from_millis(800));
+        assert_eq!(t.clients, 32);
+        assert_eq!(t.batching.max_batch, 200);
+        assert_eq!(t.batching.max_delay.as_millis(), 25);
+        assert_eq!(t.queue_capacity, 4000);
+        assert_eq!(t.slo.as_millis(), 800);
+        assert_eq!(t.label(), "poisson@2000");
+        assert_eq!(
+            t.with_arrivals(ArrivalProcess::Ramp {
+                from: 10.0,
+                to: 90.0,
+                over: Duration::from_secs(5)
+            })
+            .label(),
+            "ramp@10-90"
+        );
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! # traffic — open-loop geo-distributed client load for every substrate
+//!
+//! The paper's throughput experiments keep leaders saturated with pre-filled
+//! batches ([`rsm::BlockSource`]); this crate provides the *offered-load*
+//! counterpart, so experiments can ask throughput–latency questions (where
+//! is the saturation knee? what happens to goodput under attack?) instead of
+//! only saturation-point questions:
+//!
+//! * [`ArrivalSampler`] — deterministic per-seed sampling of the open-loop
+//!   arrival processes declared by [`rsm::ArrivalProcess`] (Poisson, on/off
+//!   bursty, ramp, diurnal), via exponential inter-arrivals and thinning.
+//! * [`placement::client_ingress_ms`] — client populations placed on
+//!   [`netsim::CityDataset`] cities, so every request pays a realistic
+//!   one-way latency to its nearest replica before it can be batched (and
+//!   the reply pays it back).
+//! * [`TrafficQueue`] — the leader-side admission queue: bounded
+//!   (backpressure rejects arrivals beyond capacity) with size-or-timeout
+//!   batching ([`rsm::BatchingPolicy`]), handed to substrates as a
+//!   [`SharedTrafficQueue`] they pull [`TrafficBatch`]es from instead of a
+//!   saturated source.
+//! * [`TrafficReport`] — offered/committed/goodput accounting with
+//!   end-to-end latency percentiles and timelines, where *goodput* counts
+//!   only commands whose client-observed latency met the
+//!   [`rsm::TrafficSpec`] SLO deadline.
+
+pub mod placement;
+pub mod queue;
+pub mod sampler;
+
+pub use placement::client_ingress_ms;
+pub use queue::{ScheduledArrival, SharedTrafficQueue, TrafficBatch, TrafficQueue, TrafficReport};
+pub use sampler::ArrivalSampler;

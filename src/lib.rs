@@ -10,6 +10,8 @@
 //!   misbehavior.
 //! * [`rsm`] — commands, blocks, applications, the append-only log, and
 //!   run statistics.
+//! * [`traffic`] — open-loop geo-distributed client load: arrival
+//!   processes, the leader-side admission queue, goodput accounting.
 //! * [`optilog`] — the sensor/monitor framework: latency matrix, suspicion
 //!   graph, candidate selection, simulated annealing, configuration monitor.
 //! * [`pbft`] — the BFT-SMaRt/Wheat/Aware substrate.
@@ -30,3 +32,4 @@ pub use optilog;
 pub use optitree;
 pub use pbft;
 pub use rsm;
+pub use traffic;

@@ -1,0 +1,109 @@
+//! Distribution sampling (stand-in for the `rand_distr` / `rand 0.8`
+//! `distributions` surface the workspace uses).
+//!
+//! Only the exponential distribution is implemented: it is the inter-arrival
+//! law of a Poisson process, which the `traffic` crate's open-loop arrival
+//! generators (and their thinning-based non-homogeneous variants) sample on
+//! every request. Centralising it here keeps call sites from hand-rolling
+//! `-ln(u)/λ` — and from getting the open/closed interval edge wrong, where
+//! `u = 1.0` would produce `ln(0) = -inf`.
+
+use crate::RngCore;
+
+/// A value distribution that can be sampled with any [`RngCore`].
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The exponential distribution `Exp(λ)`, mean `1/λ`.
+///
+/// Sampling uses inversion: `-ln(1 - u) / λ` with `u` uniform in `[0, 1)`,
+/// so the argument of `ln` lies in `(0, 1]` and the sample is always finite
+/// and non-negative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Create `Exp(λ)`.
+    ///
+    /// # Panics
+    /// If `lambda` is not strictly positive and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "Exp rate must be positive and finite, got {lambda}"
+        );
+        Exp { lambda }
+    }
+
+    /// The rate parameter λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The distribution mean `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random bits → uniform in [0, 1); 1 - u ∈ (0, 1].
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        -(1.0 - unit).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn exp_samples_are_finite_and_nonnegative() {
+        let d = Exp::new(3.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!(x.is_finite() && x >= 0.0, "bad sample {x}");
+        }
+    }
+
+    #[test]
+    fn exp_mean_matches_one_over_lambda() {
+        for lambda in [0.5, 2.0, 250.0] {
+            let d = Exp::new(lambda);
+            let mut rng = StdRng::seed_from_u64(7);
+            let n = 200_000;
+            let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+            let mean = sum / n as f64;
+            let expect = 1.0 / lambda;
+            assert!(
+                (mean - expect).abs() < expect * 0.02,
+                "λ={lambda}: mean {mean} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn exp_sampling_is_seed_deterministic() {
+        let d = Exp::new(100.0);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| d.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exp_rejects_nonpositive_rate() {
+        Exp::new(0.0);
+    }
+}

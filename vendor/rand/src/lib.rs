@@ -3,12 +3,14 @@
 //! The build environment has no access to crates.io, so the workspace vendors
 //! the small slice of the `rand` 0.8 API it actually uses: [`rngs::StdRng`]
 //! seeded via [`SeedableRng::seed_from_u64`], the [`Rng`] extension methods
-//! `gen_range` / `gen_bool`, and [`seq::SliceRandom`] for `shuffle` /
-//! `choose`. The generator is xoshiro256++ seeded through SplitMix64 — the
+//! `gen_range` / `gen_bool`, [`seq::SliceRandom`] for `shuffle` / `choose`,
+//! and [`distributions::Exp`] for exponential inter-arrival sampling.
+//! The generator is xoshiro256++ seeded through SplitMix64 — the
 //! same construction `rand`'s `SmallRng` family uses — which is deterministic
 //! across platforms and of ample quality for simulation workloads. It is
 //! **not** cryptographically secure; nothing in this workspace needs it to be.
 
+pub mod distributions;
 pub mod rngs;
 pub mod seq;
 
