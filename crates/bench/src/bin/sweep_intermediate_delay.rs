@@ -1,0 +1,40 @@
+//! The intermediate-delay sweep: an overtly-delaying intermediate withholds
+//! its forwarded payloads mid-run on the tree substrates. The §6.4
+//! reciprocal suspicion pairs committed through the configuration log rotate
+//! the delayer out of internal positions while the innocent root keeps its
+//! role — the `root_retained` / `attacker_internal_final` metrics and the
+//! windowed latency land in `BENCH_intermediate_delay.json`.
+//!
+//! Usage: `sweep_intermediate_delay [run-seconds] [n] [--seeds N] [--threads N] [--out DIR]`
+
+use bench::intermediate_delay_spec;
+use lab::{run_and_report, sample_seeds, LabArgs};
+
+fn main() {
+    let args = LabArgs::parse();
+    let run_secs = args.pos_or(1, 120);
+    let n = args.pos_or(2, 13) as usize;
+
+    let seeds = args.seeds_or(&sample_seeds(10_000, 4, 0x1D7E));
+    let spec = intermediate_delay_spec(run_secs, n, seeds);
+    let cells = spec.points().len() * spec.seeds.len();
+    println!(
+        "# Intermediate-delay sweep: {} cells ({} seeds), {} worker thread(s)",
+        cells,
+        spec.seeds.len(),
+        args.threads
+    );
+    run_and_report(
+        &spec,
+        &args.sweep_options(),
+        &[
+            "lat_clean_ms",
+            "lat_attack_ms",
+            "lat_recovered_ms",
+            "reconfigurations",
+            "initial_root_excluded",
+            "attacker_internal_final",
+            "committed_pairs",
+        ],
+    );
+}

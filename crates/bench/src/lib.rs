@@ -82,6 +82,45 @@ pub fn tree_delay_attack_spec(run_secs: u64, n: usize, seeds: Vec<u64>) -> Scena
     ScenarioSpec::new("sweep_tree_delay_attack", seeds, ScenarioKind::Protocol(scenario))
 }
 
+/// The Fig 7 counterpart this repo adds: an overtly-delaying *intermediate*
+/// (not the root) withholds every payload it forwards for the middle of the
+/// run, on the three tree substrates. Under the old root-blame staleness
+/// rule this deposed one innocent root after another; with the §6.4
+/// reciprocal suspicion pairs flowing through the replicated configuration
+/// log, the evidence implicates the delayer itself: conformity binning
+/// (Kauri), exclude-all-internals (Kauri-sa), and pair-driven candidate
+/// exclusion (OptiTree) all rotate the attacker out of internal positions
+/// while the innocent root keeps its role — which the `root_retained` /
+/// `attacker_internal_final` metrics assert per cell.
+///
+/// Phases scale with `run_secs` (floor 60 s): the overt hold runs from
+/// `run/3` to `run·3/4`. Windows: `clean` (pre-attack), `attack` (the two
+/// seconds after onset), `recovered` (the final sixth).
+pub fn intermediate_delay_spec(run_secs: u64, n: usize, seeds: Vec<u64>) -> ScenarioSpec {
+    assert!(run_secs >= 60, "phases need at least a 60 s run, got {run_secs}");
+    let attack_start = run_secs / 3;
+    let attack_end = run_secs * 3 / 4;
+    let mut scenario = ProtocolScenario::new(
+        vec![Substrate::Kauri, Substrate::KauriSa, Substrate::OptiTree],
+        vec![Topology::with_n(Deployment::Europe21, n)],
+    )
+    .with_adversaries(vec![AdversaryScript::named("intermediate-delay").during(
+        SimTime::from_secs(attack_start),
+        SimTime::from_secs(attack_end),
+        Attack::DelayProposals {
+            target: Target::TreeIntermediates { count: 1 },
+            delay: Duration::from_millis(TREE_DELAY_OVERT_MS),
+        },
+    )])
+    .run_for(Duration::from_secs(run_secs));
+    scenario.windows = vec![
+        LatencyWindow::new("clean", (run_secs / 12) as f64, attack_start as f64),
+        LatencyWindow::new("attack", attack_start as f64, attack_start as f64 + 2.0),
+        LatencyWindow::new("recovered", (run_secs - run_secs / 6) as f64, run_secs as f64),
+    ];
+    ScenarioSpec::new("intermediate_delay", seeds, ScenarioKind::Protocol(scenario))
+}
+
 /// Commands per batch in the load sweeps: small enough that every substrate
 /// saturates inside the swept load range on the 7-replica Europe sample.
 pub const LOAD_BATCH: usize = 100;

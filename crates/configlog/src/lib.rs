@@ -1,0 +1,33 @@
+//! # configlog — the replicated role-configuration log
+//!
+//! OptiLog's central discipline is that *role assignments are replicated
+//! decisions*: leader weights, voting weights, and tree shapes must be
+//! adopted by every honest replica at the same log position, and the
+//! misbehavior evidence that drives them (reciprocal suspicion pairs, §6.4)
+//! must flow through the same ordered channel. This crate is the
+//! protocol-agnostic subsystem all substrates share:
+//!
+//! * [`ConfigCommand`] — the entries ordered through a substrate's own
+//!   commit path: a full role configuration for a new epoch, an explicit
+//!   exclusion set, or a [`SuspicionPair`] evidence record.
+//! * [`ConfigLog`] — the epoch-monotone adoption state machine. Replicas
+//!   apply *committed* commands in log order; a configuration is adopted
+//!   only when its command commits with an epoch above the current one, and
+//!   the log keeps the full epoch → configuration history (with local
+//!   adoption times) that boundary-round bookkeeping and per-epoch timeout
+//!   judging need.
+//! * A query API ([`ConfigLog::pairs`], [`ConfigLog::excluded`],
+//!   [`ConfigLog::get`]) the suspicion monitors judge against.
+//!
+//! The log is generic over the configuration payload `C`: the PBFT family
+//! instantiates it with its weight configuration, the tree overlays with
+//! their dissemination tree. Because adoption is a pure function of the
+//! committed command sequence, any two replicas that apply the same
+//! committed prefix hold identical adopted configurations — the property
+//! the proptests in `tests/` pin down.
+
+pub mod command;
+pub mod log;
+
+pub use command::{ConfigCommand, PhaseFilter, SuspicionPair};
+pub use log::{AdoptedConfig, ConfigLog};

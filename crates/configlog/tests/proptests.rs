@@ -1,0 +1,137 @@
+//! Property tests for the replicated configuration log: adoption is a pure,
+//! epoch-monotone function of the committed command order, so replicas that
+//! apply the same prefix agree on every adopted configuration.
+
+use configlog::{ConfigCommand, ConfigLog, SuspicionPair};
+use netsim::{Duration, SimTime};
+use proptest::prelude::*;
+
+type Cmd = ConfigCommand<u64>;
+
+/// Decode one generated tuple into a command: `kind` selects the variant,
+/// the remaining fields parameterize it (the vendored proptest offers
+/// ranges/tuples/vec, so variants are decoded rather than `prop_oneof`'d).
+fn decode(kind: u8, epoch: u64, value: u64, a: usize, b: usize) -> Cmd {
+    match kind % 3 {
+        0 => ConfigCommand::Config {
+            epoch,
+            config: value,
+        },
+        1 => ConfigCommand::Exclude {
+            epoch,
+            replicas: vec![a, b],
+        },
+        _ => ConfigCommand::Pair(SuspicionPair {
+            accuser: a,
+            accused: b,
+            round: value % 100,
+            phase: (epoch % 3) as u32 + 1,
+            reciprocal: value.is_multiple_of(2),
+        }),
+    }
+}
+
+fn decode_all(raw: &[(u8, u64, u64, usize, usize)]) -> Vec<Cmd> {
+    raw.iter()
+        .map(|&(k, e, v, a, b)| decode(k, e, v, a, b))
+        .collect()
+}
+
+/// The replica-independent adoption outcome: (epoch, config, seq) history,
+/// current epoch, exclusions, and pair count — everything except the local
+/// adoption clock.
+type Outcome = (Vec<(u64, u64, u64)>, u64, Vec<usize>, usize);
+
+fn outcome(log: &ConfigLog<u64>) -> Outcome {
+    (
+        log.epochs().map(|a| (a.epoch, a.config, a.seq)).collect(),
+        log.epoch(),
+        log.excluded().iter().copied().collect(),
+        log.pairs().len(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The adopted epoch never decreases, and every adoption strictly
+    /// increases it.
+    #[test]
+    fn epoch_is_monotone(
+        raw in prop::collection::vec((0u8..3, 0u64..20, 0u64..1000, 0usize..13, 0usize..13), 0..40)
+    ) {
+        let mut log = ConfigLog::new(0u64, 6);
+        let mut last = log.epoch();
+        for (i, cmd) in decode_all(&raw).into_iter().enumerate() {
+            let adopted = log.apply(cmd, SimTime::from_millis(i as u64)).map(|a| a.epoch);
+            prop_assert!(log.epoch() >= last, "epoch went backwards");
+            if let Some(e) = adopted {
+                prop_assert!(e > last, "adoption must strictly raise the epoch");
+                prop_assert_eq!(e, log.epoch());
+            }
+            last = log.epoch();
+        }
+    }
+
+    /// Convergence: replicas applying the same committed order — at
+    /// arbitrary, different local times — hold identical adopted
+    /// configurations, exclusions, and pair evidence.
+    #[test]
+    fn same_committed_order_same_adoption(
+        raw in prop::collection::vec((0u8..3, 0u64..20, 0u64..1000, 0usize..13, 0usize..13), 0..40),
+        skew_ms in 0u64..10_000
+    ) {
+        let mut a = ConfigLog::new(0u64, 6);
+        let mut b = ConfigLog::new(0u64, 6);
+        for (i, cmd) in decode_all(&raw).into_iter().enumerate() {
+            let t = SimTime::from_millis(i as u64 * 5);
+            a.apply(cmd.clone(), t);
+            b.apply(cmd, t + Duration::from_millis(skew_ms));
+        }
+        prop_assert_eq!(outcome(&a), outcome(&b));
+        // Only the local adoption clock may differ between the replicas.
+        for (ea, eb) in a.epochs().zip(b.epochs()) {
+            prop_assert_eq!(ea.epoch, eb.epoch);
+            prop_assert_eq!(ea.config, eb.config);
+            prop_assert_eq!(ea.seq, eb.seq);
+        }
+    }
+
+    /// Stale redeliveries are inert: re-applying an already-superseded
+    /// configuration command mid-stream changes no adopted state.
+    #[test]
+    fn stale_redelivery_is_inert(
+        raw in prop::collection::vec((0u8..3, 0u64..20, 0u64..1000, 0usize..13, 0usize..13), 1..30),
+        dup_at in 0usize..30
+    ) {
+        let cmds = decode_all(&raw);
+        let mut clean = ConfigLog::new(0u64, 6);
+        for (i, cmd) in cmds.iter().enumerate() {
+            clean.apply(cmd.clone(), SimTime::from_millis(i as u64));
+        }
+        // Replay the sequence, injecting a duplicate of an earlier Config
+        // command (necessarily stale at that point) mid-stream.
+        let dup_at = dup_at % cmds.len().max(1);
+        let dup = cmds
+            .iter()
+            .take(dup_at)
+            .rev()
+            .find(|c| matches!(c, ConfigCommand::Config { .. }))
+            .cloned();
+        let mut noisy = ConfigLog::new(0u64, 6);
+        for (i, cmd) in cmds.iter().enumerate() {
+            if i == dup_at {
+                if let Some(d) = dup.clone() {
+                    noisy.apply(d, SimTime::from_millis(i as u64));
+                }
+            }
+            noisy.apply(cmd.clone(), SimTime::from_millis(i as u64));
+        }
+        let history_clean: Vec<(u64, u64)> =
+            clean.epochs().map(|a| (a.epoch, a.config)).collect();
+        let history_noisy: Vec<(u64, u64)> =
+            noisy.epochs().map(|a| (a.epoch, a.config)).collect();
+        prop_assert_eq!(history_clean, history_noisy);
+        prop_assert_eq!(clean.epoch(), noisy.epoch());
+    }
+}

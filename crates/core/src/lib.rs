@@ -45,6 +45,11 @@ pub mod pipeline;
 pub mod suspicion;
 pub mod timing;
 
+// The replicated configuration log every substrate adopts role configs
+// through (weights, trees, suspicion-pair evidence) — re-exported so policy
+// crates reach the whole pipeline from one place.
+pub use configlog::{AdoptedConfig, ConfigCommand, ConfigLog, PhaseFilter, SuspicionPair};
+
 pub use annealing::{Annealer, AnnealingParams, SearchSpace};
 pub use candidates::{CandidateSelection, CandidateSelector, SelectionStrategy};
 pub use config::{ConfigDecision, ConfigMonitor, ConfigMonitorParams, ConfigProposal};

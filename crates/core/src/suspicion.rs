@@ -21,6 +21,7 @@
 use crate::candidates::{CandidateSelection, CandidateSelector, SelectionStrategy};
 use crate::graph::SuspicionGraph;
 use crate::timing::RoundTimeouts;
+use configlog::PhaseFilter;
 use netsim::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -71,6 +72,28 @@ impl Suspicion {
     /// Wire size in bytes using the compact encoding of §7.8.
     pub fn wire_bytes(&self) -> usize {
         1 + 2 + 2 + 8 + 1
+    }
+
+    /// Lift a committed reciprocal suspicion pair (tree-staleness evidence
+    /// replicated through the configuration log, §6.4) into the monitor's
+    /// vocabulary: a forward pair is a `⟨Slow, receiver d upstream⟩`
+    /// suspicion, a reciprocation the matching `⟨False, …⟩`. The pair's
+    /// topology depth rides in as the phase, so the causal filter keeps the
+    /// root-most evidence of one withheld payload and drops its echoes
+    /// further down the tree.
+    pub fn from_pair(pair: &configlog::SuspicionPair) -> Suspicion {
+        Suspicion {
+            kind: if pair.reciprocal {
+                SuspicionKind::False
+            } else {
+                SuspicionKind::Slow
+            },
+            accuser: pair.accuser,
+            accused: pair.accused,
+            round: pair.round,
+            phase: pair.phase,
+            accuser_is_leader: false,
+        }
     }
 }
 
@@ -278,8 +301,9 @@ pub struct SuspicionMonitor {
     current_view: u64,
     /// View in which the last new suspicion was accepted.
     last_suspicion_view: u64,
-    /// Causal filter: lowest phase accepted per round.
-    round_min_phase: BTreeMap<u64, u32>,
+    /// Causal filter: lowest phase accepted per round (shared with the
+    /// tree substrates' pair-trigger path via `configlog`).
+    phase_filter: PhaseFilter,
     /// Rounds in which the round's leader raised a suspicion (leader-chain filter).
     leader_suspected_round: BTreeSet<u64>,
     /// Count of accepted (non-filtered) suspicions, for diagnostics.
@@ -300,7 +324,7 @@ impl SuspicionMonitor {
             next_order: 0,
             current_view: 0,
             last_suspicion_view: 0,
-            round_min_phase: BTreeMap::new(),
+            phase_filter: PhaseFilter::new(),
             leader_suspected_round: BTreeSet::new(),
             accepted: 0,
             filtered: 0,
@@ -381,12 +405,10 @@ impl SuspicionMonitor {
         }
 
         // Causal filtering: keep only the earliest-phase suspicion per round.
-        let entry = self.round_min_phase.entry(s.round).or_insert(s.phase);
-        if s.phase > *entry {
+        if !self.phase_filter.accept(s.round, s.phase) {
             self.filtered += 1;
             return;
         }
-        *entry = (*entry).min(s.phase);
 
         // Leader-chain filter: a leader suspicion in round i filters
         // proposal-timestamp suspicions in round i+1.
@@ -604,6 +626,30 @@ mod tests {
         assert_eq!(rec.accused, 5);
         assert!(sensor.reciprocate(&incoming).is_none(), "only once per accuser");
         assert!(sensor.reciprocate(&slow(5, 3, 7, 1)).is_none(), "not about us");
+    }
+
+    #[test]
+    fn pair_lifts_to_slow_and_reciprocation_to_false() {
+        let pair = configlog::SuspicionPair {
+            accuser: 4,
+            accused: 1,
+            round: 12,
+            phase: 2,
+            reciprocal: false,
+        };
+        let s = Suspicion::from_pair(&pair);
+        assert_eq!(s.kind, SuspicionKind::Slow);
+        assert_eq!((s.accuser, s.accused, s.round, s.phase), (4, 1, 12, 2));
+        let r = Suspicion::from_pair(&pair.reciprocation());
+        assert_eq!(r.kind, SuspicionKind::False);
+        assert_eq!((r.accuser, r.accused), (1, 4));
+        // The lifted pair drives the monitor exactly like a native mutual
+        // suspicion: the pair stays in the graph as one excluded edge.
+        let mut m = monitor(7, 2);
+        m.on_suspicion(&s);
+        m.on_suspicion(&r);
+        assert_eq!(m.edge_count(), 1);
+        assert_eq!(m.selection().estimate_u, 1);
     }
 
     // ---- monitor tests ----------------------------------------------------

@@ -8,27 +8,42 @@
 //! root; the root commits the view once it has collected the vote threshold.
 //! The root pipelines several views concurrently (§6.1.1).
 //!
+//! Role configuration as log content: every replica carries a
+//! [`ConfigLog<Tree>`] — the replicated configuration log — and *adopts* a
+//! tree only once its [`ConfigCommand`] commits. The proposing root commits
+//! its epoch's tree command with the first view that gathers the vote
+//! threshold and ships the committed command prefix inside every proposal;
+//! receivers apply new committed entries in order, so all replicas converge
+//! on the same epoch → tree history. A proposal's own `tree` field is pure
+//! routing metadata for that view (the epoch's *proposed* configuration):
+//! replicas forward and vote on it without mutating their durable state, so
+//! the old embed-a-higher-epoch-tree adoption shortcut is gone.
+//!
 //! Fault handling: every replica re-arms a progress timer whenever it sees a
 //! new proposal. If the timer fires, the replica advances to the next tree of
 //! its [`TreePolicy`] (all replicas share the policy seed, so they compute
-//! the same successor tree — the simulation's stand-in for agreeing on the
-//! next configuration through the shared log) and, if it is the new root,
-//! resumes proposing after the configured reconfiguration delay.
+//! the same successor tree) and, if it is the new root, resumes proposing
+//! after the configured reconfiguration delay. The successor tree is
+//! *pending* until its command commits through the new tree itself.
 //!
 //! Scripted misbehavior: a replica with an active [`rsm::DelayStage`] holds
 //! every payload it disseminates down the tree (its proposals as root, its
 //! forwarded proposals as intermediate) while keeping proposal timestamps
 //! honest. Replicas detect the withholding from those timestamps — a
 //! proposal already older than the view timeout on arrival is *stale*, and
-//! repeated stale proposals fail the tree exactly like silence does — which
-//! is how the Fig 7 root-delay attack becomes observable (and recoverable)
-//! on the tree substrates. Staleness is always blamed on the root (per-hop
-//! attribution would have to trust attacker-supplied timestamps), so a
-//! delaying *intermediate* is excised only by the policy's own exclusion
-//! rules across reconfigurations, not by the staleness detector itself.
+//! repeated stale proposals fail the tree exactly like silence does. Blame
+//! is no longer pinned on the root: the striking receiver emits a reciprocal
+//! suspicion *pair* `(receiver, upstream)` (§6.4) that travels to the
+//! proposer and commits through the configuration log, where every replica's
+//! policy judges the identical committed evidence. Conformity binning (and
+//! OptiTree's pair-driven candidate exclusion) then rotates the member that
+//! keeps reappearing across pairs — the actual delayer — out of internal
+//! positions, while an innocent root under an overtly-delaying intermediate
+//! is exonerated.
 
 use crate::policy::TreePolicy;
 use crate::tree::Tree;
+use configlog::{ConfigCommand, ConfigLog, PhaseFilter, SuspicionPair};
 use crypto::{Digest, Hashable};
 use netsim::{
     Context, Duration, FaultPlan, LatencyModel, Node, NodeId, RateCounter, SimTime, Simulation,
@@ -56,6 +71,11 @@ const TIMER_HELD_BASE: u64 = 2_000_000_000;
 /// the withheld views would never commit and the attack would look like a
 /// silent crash instead of the latency spike the paper measures (Fig 7).
 const STALE_STRIKE_LIMIT: u32 = 4;
+/// Past tree epochs retained in the configuration log.
+const TREE_EPOCH_HISTORY: usize = 64;
+
+/// A configuration-log command over trees.
+pub type TreeCommand = ConfigCommand<Tree>;
 
 /// Messages exchanged by Kauri replicas.
 #[derive(Debug, Clone)]
@@ -72,13 +92,16 @@ pub enum KauriMessage {
         timestamp_us: u64,
         /// Tree epoch the proposal belongs to.
         epoch: u64,
-        /// The tree the proposal travels on (shared, so per-hop clones are
-        /// pointer-sized). Replicas behind on `epoch` adopt it — the
-        /// simulation's stand-in for the new configuration being agreed
-        /// through the replicated log. Without adoption, replicas that
-        /// reconfigure at different local times diverge, and divergent
-        /// trees can route a proposal in a cycle.
+        /// The tree the proposal travels on — the epoch's *proposed*
+        /// configuration, used purely to route this view (shared, so per-hop
+        /// clones are pointer-sized). Receivers never adopt it from here;
+        /// adoption flows exclusively from `committed`.
         tree: Arc<Tree>,
+        /// The proposer's committed configuration-log prefix. Replicas apply
+        /// entries they have not seen, in order — this is how a tree
+        /// configuration (and the suspicion-pair evidence) reaches every
+        /// replica as *committed log content*.
+        committed: Arc<Vec<(u64, TreeCommand)>>,
     },
     /// A leaf's vote, sent to its parent.
     Vote {
@@ -98,6 +121,20 @@ pub enum KauriMessage {
         /// The aggregating replica.
         aggregator: usize,
     },
+    /// Suspicion-pair evidence routed to the current proposer for inclusion
+    /// in the log (the ordered channel misbehavior evidence flows through).
+    Evidence {
+        /// The pair commands to commit.
+        cmds: Vec<TreeCommand>,
+    },
+    /// The proposer's committed prefix, broadcast whenever it grows: the
+    /// commit notification that lets every replica apply newly committed
+    /// configuration entries (and act on them — e.g. a pair-triggered
+    /// reconfiguration) without waiting for the next proposal to route by.
+    Committed {
+        /// The full committed configuration-log prefix.
+        prefix: Arc<Vec<(u64, TreeCommand)>>,
+    },
 }
 
 /// Root-side state of one in-flight view.
@@ -111,6 +148,9 @@ struct ViewState {
     /// Traffic batch carried by the view (proposer side), echoed to the
     /// queue on commit for end-to-end accounting.
     batch_id: Option<u64>,
+    /// Configuration commands (pair evidence) riding this view; appended to
+    /// the committed log when the view commits.
+    cmds: Vec<TreeCommand>,
 }
 
 /// Intermediate-side state of one view.
@@ -119,6 +159,9 @@ struct AggState {
     votes: BTreeSet<usize>,
     forwarded: bool,
     digest: Digest,
+    /// The tree the view's proposal routed on (aggregates travel back up the
+    /// same tree, even while the replica's durable tree differs).
+    tree: Option<Arc<Tree>>,
 }
 
 /// A down-tree payload held back by an active delay stage. `held` is cleared
@@ -135,8 +178,14 @@ struct HeldPayload {
 pub struct KauriNode {
     id: usize,
     system: SystemConfig,
+    /// Operating tree: what this replica routes and detects on. Equals the
+    /// adopted tree except in the transition window after a local failure
+    /// detection, when it is the *pending* successor awaiting commitment.
     tree: Tree,
+    /// Operating epoch (pending until its command commits).
     epoch: u64,
+    /// The replicated configuration log: committed, adopted state.
+    config: ConfigLog<Tree>,
     policy: Box<dyn TreePolicy>,
     batch: BlockSource,
     pipeline: usize,
@@ -149,6 +198,31 @@ pub struct KauriNode {
     highest_view_seen: u64,
     reconfiguring: bool,
     last_progress: SimTime,
+    /// Serialized committed prefix shipped in proposals; rebuilt lazily when
+    /// the log grows.
+    committed_wire: Arc<Vec<(u64, TreeCommand)>>,
+    /// Evidence commands awaiting inclusion in the next proposed view.
+    pending_cmds: Vec<TreeCommand>,
+
+    // Evidence state (all replicas).
+    /// Own pairs not yet observed committed; re-sent to the operating root
+    /// after every reconfiguration or adoption.
+    outbox: Vec<SuspicionPair>,
+    /// Pair keys already applied from the committed log (dedup across
+    /// proposer changes, which may renumber the wire prefix).
+    seen_pairs: BTreeSet<(usize, usize, u64, bool)>,
+    /// (accuser, round) pairs this replica already reciprocated.
+    reciprocated: BTreeSet<(usize, u64)>,
+    /// Fast path: the last wire prefix fully applied (pointer identity).
+    last_wire: Option<Arc<Vec<(u64, TreeCommand)>>>,
+    /// Causal filter over committed pairs: a pair raised directly under the
+    /// root explains — and filters — the deeper echoes the same withheld
+    /// payload caused, so only the round's root-most evidence seen so far
+    /// can trigger a reconfiguration (same first-committed-wins semantics
+    /// as the suspicion monitor's filter). Reset at every epoch change:
+    /// round numbers are only comparable within one epoch, since a new
+    /// proposer may reuse view numbers.
+    pair_filter: PhaseFilter,
 
     // Intermediate state.
     aggregates: BTreeMap<u64, AggState>,
@@ -164,12 +238,15 @@ pub struct KauriNode {
     /// replica is the current root.
     traffic: Option<SharedTrafficQueue>,
     /// Consecutive proposals that arrived already older than the view
-    /// timeout — the root-delay detector (see `handle_proposal`).
+    /// timeout — the withheld-payload detector (see `handle_proposal`).
     stale_strikes: u32,
     /// Highest view that contributed a stale strike: duplicate deliveries of
     /// the same withheld view (possible while divergent trees re-converge)
     /// must not double-count as "consecutive" strikes.
     last_strike_view: u64,
+    /// Upstream hop of the latest stale proposal (the pair's accused) and
+    /// the receiver's depth at observation (the pair's causal-filter phase).
+    last_stale_upstream: Option<(usize, u32)>,
 
     /// Commit statistics (recorded at the root that proposed the view).
     pub stats: CommitStats,
@@ -196,6 +273,7 @@ impl KauriNode {
         KauriNode {
             id,
             system,
+            config: ConfigLog::new(tree.clone(), TREE_EPOCH_HISTORY),
             tree,
             epoch: 0,
             policy,
@@ -208,6 +286,13 @@ impl KauriNode {
             highest_view_seen: 0,
             reconfiguring: false,
             last_progress: SimTime::ZERO,
+            committed_wire: Arc::new(Vec::new()),
+            pending_cmds: Vec::new(),
+            outbox: Vec::new(),
+            seen_pairs: BTreeSet::new(),
+            reciprocated: BTreeSet::new(),
+            last_wire: None,
+            pair_filter: PhaseFilter::new(),
             aggregates: BTreeMap::new(),
             delays: Vec::new(),
             held: BTreeMap::new(),
@@ -215,6 +300,7 @@ impl KauriNode {
             traffic: None,
             stale_strikes: 0,
             last_strike_view: 0,
+            last_stale_upstream: None,
             stats: CommitStats::new(),
             throughput: RateCounter::new(Duration::from_secs(1)),
             reconfig_times: Vec::new(),
@@ -234,9 +320,19 @@ impl KauriNode {
         self
     }
 
-    /// The tree currently in use.
+    /// The tree currently in use (operating state).
     pub fn tree(&self) -> &Tree {
         &self.tree
+    }
+
+    /// The replicated configuration log (committed, adopted state).
+    pub fn config_log(&self) -> &ConfigLog<Tree> {
+        &self.config
+    }
+
+    /// The tree policy (for end-of-run diagnostics).
+    pub fn policy(&self) -> &dyn TreePolicy {
+        self.policy.as_ref()
     }
 
     /// True while a scripted delay stage is active at `now`.
@@ -292,6 +388,234 @@ impl KauriNode {
         ctx.set_timer(self.progress_window(), TIMER_PROGRESS);
     }
 
+    /// Rebuild the wire copy of the committed prefix if the log grew.
+    fn refresh_wire(&mut self) {
+        if self.committed_wire.len() as u64 != self.config.len() {
+            self.committed_wire = Arc::new(
+                self.config
+                    .commands_from(0)
+                    .map(|(seq, cmd)| (seq, cmd.clone()))
+                    .collect(),
+            );
+        }
+    }
+
+    /// Apply one committed configuration command to the replicated log and
+    /// the policy. Content-addressed dedup (epoch monotonicity for configs,
+    /// pair keys for evidence) makes redeliveries — and prefixes renumbered
+    /// by a proposer change — harmless. Returns the accused replica when
+    /// the command was a fresh, causally-unfiltered pair against an
+    /// internal node of the operating tree — the committed evidence that
+    /// triggers a coordinated reconfiguration (every replica applies the
+    /// same entry and reaches the same verdict).
+    fn apply_committed(
+        &mut self,
+        ctx: &mut Context<KauriMessage>,
+        cmd: &TreeCommand,
+    ) -> Option<usize> {
+        match cmd {
+            ConfigCommand::Config { epoch, .. } => {
+                if *epoch <= self.config.epoch() {
+                    return None; // stale or duplicate: epoch-monotone rule
+                }
+                let adopted = self
+                    .config
+                    .apply(cmd.clone(), ctx.now)
+                    .expect("epoch above current always adopts")
+                    .clone();
+                self.policy.on_adopted_epoch(adopted.epoch);
+                // The causal filter resets at every *committed* adoption —
+                // a log-ordered event, identical at every replica — so the
+                // filter stays a pure function of the committed prefix
+                // (resetting at the local reconfigure instant would let
+                // replicas whose trigger was gated reach different verdicts
+                // on the same later pair).
+                self.pair_filter.reset();
+                if adopted.epoch > self.epoch {
+                    // This replica was behind (it never locally detected the
+                    // failure, or its pending tree lost the race): sync the
+                    // operating state onto the committed configuration —
+                    // the only way a tree is ever adopted. In-flight
+                    // aggregation state is deliberately kept: this replica
+                    // may already be aggregating views *of the adopted
+                    // epoch* (routed via their proposals' carried trees),
+                    // and each entry pins the tree it routes on, so stale
+                    // old-epoch entries are inert rather than harmful.
+                    let behind = adopted.epoch - self.epoch;
+                    self.abandon_uncommitted_views(ctx.now);
+                    self.epoch = adopted.epoch;
+                    self.held.clear();
+                    self.stale_strikes = 0;
+                    self.last_strike_view = 0;
+                    self.reconfiguring = false;
+                    self.last_progress = ctx.now;
+                    // Keep the shared policy sequence aligned: consume the
+                    // trees the detecting replicas consumed (their failure
+                    // inputs differ per replica, but the committed evidence
+                    // below is what drives exclusions identically).
+                    for _ in 0..behind {
+                        let _ = self.policy.next_tree(self.system.n, self.branch);
+                    }
+                    self.tree = adopted.config; // the committed tree, not the catch-up's
+                    if self.is_root() {
+                        self.propose_next(ctx);
+                    }
+                } else if adopted.epoch == self.epoch {
+                    // Our own pending epoch committed (the normal case): the
+                    // operating tree was already in place; the committed copy
+                    // is authoritative.
+                    self.tree = adopted.config;
+                }
+                None
+            }
+            ConfigCommand::Pair(pair) => {
+                if !self.seen_pairs.insert(pair.key()) {
+                    return None;
+                }
+                self.config.apply(cmd.clone(), ctx.now);
+                self.policy.on_committed_pair(pair);
+                // Committed: stop re-sending it.
+                self.outbox.retain(|p| p.key() != pair.key());
+                // Condition (c): reciprocate a pair accusing this replica,
+                // once per (accuser, round) — turning the one-way suspicion
+                // into the mutual pair §6.4 exclusion acts on.
+                if pair.accused == self.id
+                    && !pair.reciprocal
+                    && self.reciprocated.insert((pair.accuser, pair.round))
+                {
+                    self.outbox.push(pair.reciprocation());
+                }
+                if pair.reciprocal {
+                    return None;
+                }
+                // Causal filter: only the round's root-most pair may act.
+                if !self.pair_filter.accept(pair.round, pair.phase) {
+                    return None;
+                }
+                // Committed evidence against a *current* internal node:
+                // the configuration must rotate. All replicas apply this
+                // entry (at their own local times) and reconfigure off the
+                // same tree — role rotation through the log, not through
+                // any replica's private blame. Replicas already operating
+                // ahead of the committed epoch (a pending local detection)
+                // do not compound it: they converge on whatever commits.
+                let internal = self.tree.root == pair.accused
+                    || self.tree.intermediates.contains(&pair.accused);
+                (internal && !self.reconfiguring && self.epoch == self.config.epoch())
+                    .then_some(pair.accused)
+            }
+            ConfigCommand::Exclude { .. } => {
+                self.config.apply(cmd.clone(), ctx.now);
+                None
+            }
+        }
+    }
+
+    /// Apply every unseen entry of a proposal's committed prefix, flush any
+    /// evidence the application generated (reciprocations), and perform the
+    /// single coordinated reconfiguration the entries may have triggered.
+    fn apply_committed_prefix(
+        &mut self,
+        ctx: &mut Context<KauriMessage>,
+        committed: &Arc<Vec<(u64, TreeCommand)>>,
+    ) {
+        if self
+            .last_wire
+            .as_ref()
+            .is_some_and(|w| Arc::ptr_eq(w, committed))
+        {
+            return; // fast path: this exact prefix was already applied
+        }
+        let mut accused = Vec::new();
+        for (_, cmd) in committed.iter() {
+            if let Some(a) = self.apply_committed(ctx, cmd) {
+                accused.push(a);
+            }
+        }
+        self.last_wire = Some(committed.clone());
+        self.flush_evidence(ctx);
+        if !accused.is_empty() {
+            self.reconfigure(ctx, &accused);
+        }
+    }
+
+    /// File a suspicion pair for eventual commitment: enters the outbox
+    /// unless it was already committed or is already waiting there.
+    fn file_pair(&mut self, pair: SuspicionPair) {
+        if !self.seen_pairs.contains(&pair.key())
+            && !self.outbox.iter().any(|p| p.key() == pair.key())
+        {
+            self.outbox.push(pair);
+        }
+    }
+
+    /// The §6.4 pair a receiver files against its upstream hop in `tree`,
+    /// with the receiver's depth as the causal-filter phase.
+    fn pair_against_upstream(&self, tree: &Tree, round: u64) -> Option<SuspicionPair> {
+        let upstream = tree.parent(self.id)?;
+        Some(SuspicionPair {
+            accuser: self.id,
+            accused: upstream,
+            round,
+            phase: if upstream == tree.root { 1 } else { 2 },
+            reciprocal: false,
+        })
+    }
+
+    /// Send the outbox to the replica currently able to commit it (the
+    /// operating root); a root enqueues its own evidence directly. The
+    /// outbox is cleared only when the pairs are seen *committed*, so
+    /// evidence survives proposer changes by being re-flushed after every
+    /// reconfiguration and adoption.
+    fn flush_evidence(&mut self, ctx: &mut Context<KauriMessage>) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let cmds: Vec<TreeCommand> = self
+            .outbox
+            .iter()
+            .map(|p| ConfigCommand::Pair(*p))
+            .collect();
+        if self.is_root() {
+            self.enqueue_pending(cmds);
+        } else {
+            ctx.send(self.tree.root, KauriMessage::Evidence { cmds });
+        }
+    }
+
+    /// Root side: queue evidence commands for the next proposed view,
+    /// skipping anything already committed or already queued.
+    fn enqueue_pending(&mut self, cmds: Vec<TreeCommand>) {
+        for cmd in cmds {
+            let ConfigCommand::Pair(pair) = &cmd else {
+                continue; // only pair evidence travels via Evidence messages
+            };
+            if self.seen_pairs.contains(&pair.key()) {
+                continue;
+            }
+            let queued = self.pending_cmds.iter().any(|c| match c {
+                ConfigCommand::Pair(p) => p.key() == pair.key(),
+                _ => false,
+            });
+            if !queued {
+                self.pending_cmds.push(cmd);
+            }
+        }
+    }
+
+    /// Return the uncommitted views' traffic batches to the client
+    /// population (bounded retries) before dropping them.
+    fn abandon_uncommitted_views(&mut self, now: SimTime) {
+        if let Some(queue) = &self.traffic {
+            for state in self.views.values().filter(|s| !s.committed) {
+                if let Some(id) = state.batch_id {
+                    queue.retry_batch(id, now);
+                }
+            }
+        }
+        self.views.retain(|_, s| s.committed);
+    }
+
     fn propose_next(&mut self, ctx: &mut Context<KauriMessage>) {
         if !self.is_root() || self.reconfiguring {
             return;
@@ -321,6 +645,8 @@ impl KauriNode {
             self.next_view += 1;
             let block = Block::new(Digest::ZERO, view, view, self.id, commands);
             let digest = block.digest();
+            // Evidence commands ride the view and commit with it.
+            let cmds = std::mem::take(&mut self.pending_cmds);
             self.views.insert(
                 view,
                 ViewState {
@@ -330,8 +656,10 @@ impl KauriNode {
                     missing: BTreeSet::new(),
                     committed: false,
                     batch_id,
+                    cmds,
                 },
             );
+            self.refresh_wire();
             let msg = KauriMessage::Proposal {
                 view,
                 digest,
@@ -339,6 +667,7 @@ impl KauriNode {
                 timestamp_us: ctx.now.as_micros(),
                 epoch: self.epoch,
                 tree: Arc::new(self.tree.clone()),
+                committed: self.committed_wire.clone(),
             };
             let children = self.tree.children_of(self.id);
             self.send_down(ctx, children, msg);
@@ -356,47 +685,39 @@ impl KauriNode {
         timestamp_us: u64,
         epoch: u64,
         tree: Arc<Tree>,
+        committed: Arc<Vec<(u64, TreeCommand)>>,
     ) {
         if epoch < self.epoch {
             return;
         }
-        if epoch > self.epoch {
-            // The proposing root runs a newer configuration: adopt it (the
-            // stand-in for reading the agreed configuration from the log).
-            // Local policy state keeps its own sequence; it only matters if
-            // this replica later initiates a reconfiguration itself.
-            self.tree = (*tree).clone();
-            self.epoch = epoch;
-            self.aggregates.clear();
-            self.held.clear();
-            self.stale_strikes = 0;
-            self.last_strike_view = 0;
-            self.reconfiguring = false;
+        // Adoption happens here and only here: apply the committed prefix.
+        // The proposal's `tree` is never installed from the message — a
+        // replica that is behind routes this view on the carried tree and
+        // catches up once the epoch's command appears in the prefix.
+        self.apply_committed_prefix(ctx, &committed);
+        if epoch < self.epoch {
+            // The prefix carried an adoption past the proposal's own epoch.
+            return;
         }
         self.highest_view_seen = self.highest_view_seen.max(view);
         self.last_progress = ctx.now;
 
-        // Root-delay detection: the proposal timestamp is the root's own
-        // (honest) claim of when the view was created, so a proposal that is
-        // already older than the view timeout on arrival means the payload
-        // was withheld somewhere above us. The crash detector (the progress
-        // timer) never sees this — delayed proposals still arrive, just
-        // late. After STALE_STRIKE_LIMIT consecutive stale proposals the
-        // replica declares the tree failed exactly as if the root had gone
-        // silent. The stale proposal is still forwarded and voted first, so
-        // the evidence reaches the leaves too. Staleness is attributed to
-        // the root, mirroring the progress-staleness rule: a receiver
-        // cannot tell *which* upstream hop held the payload without
-        // trusting per-hop timestamps the attacker itself would supply.
-        // When the root is the one delaying (the Fig 7 attack), every
-        // replica therefore strikes out on the same view with the same
-        // blame and lands on the same successor tree. When an overtly
-        // delaying *intermediate* is the culprit, only its subtree strikes
-        // and the blame still lands on the (innocent) root — the attacker
-        // is rotated out of its internal position only by the policy's own
-        // exclusion rules across reconfigurations (conformity bins make it
-        // internal in at most one bin; Kauri-sa excludes all internals of a
-        // failed tree). See ROADMAP for the per-hop attribution gap.
+        // Withheld-payload detection: the proposal timestamp is the root's
+        // own (honest) claim of when the view was created, so a proposal
+        // that is already older than the view timeout on arrival means the
+        // payload was withheld somewhere above us. The crash detector (the
+        // progress timer) never sees this — delayed proposals still arrive,
+        // just late. After STALE_STRIKE_LIMIT consecutive stale proposals
+        // the replica declares the tree failed exactly as if the root had
+        // gone silent. The stale proposal is still forwarded and voted
+        // first, so the evidence reaches the leaves too. A receiver cannot
+        // tell *which* upstream hop held the payload without trusting
+        // per-hop timestamps the attacker itself would supply — so instead
+        // of blaming the root it records the §6.4 reciprocal pair
+        // (receiver, upstream) for the configuration log; the receiver's
+        // depth rides along as the causal-filter phase, letting a pair
+        // raised directly under the root explain (and filter) the echoes
+        // the same hold causes further down.
         let age = ctx.now.since(SimTime::from_micros(timestamp_us));
         if age > self.policy.view_timeout() {
             // One strike per withheld view: duplicates re-delivered through
@@ -406,15 +727,21 @@ impl KauriNode {
             if view > self.last_strike_view {
                 self.last_strike_view = view;
                 self.stale_strikes += 1;
+                self.last_stale_upstream = tree.parent(self.id).map(|up| {
+                    let depth = if up == tree.root { 1 } else { 2 };
+                    (up, depth)
+                });
             }
         } else {
             self.stale_strikes = 0;
         }
 
-        let children = self.tree.children_of(self.id);
+        // Route on the proposal's own tree, not the durable one: votes and
+        // forwards for a view always follow the tree it was proposed on.
+        let children = tree.children_of(self.id);
         if children.is_empty() {
             // Leaf: vote to parent.
-            if let Some(parent) = self.tree.parent(self.id) {
+            if let Some(parent) = tree.parent(self.id) {
                 ctx.send(parent, KauriMessage::Vote { view, voter: self.id });
             }
             self.maybe_declare_stale_failure(ctx);
@@ -434,48 +761,83 @@ impl KauriNode {
             commands,
             timestamp_us,
             epoch,
-            tree,
+            tree: tree.clone(),
+            committed,
         };
         // A scripted intermediate holds its forwarded payloads too.
         self.send_down(ctx, children, msg);
         let agg = self.aggregates.entry(view).or_default();
         agg.digest = digest;
         agg.votes.insert(self.id);
+        agg.tree = Some(tree);
         ctx.set_timer(self.policy.child_timeout(), TIMER_CHILD_BASE + view);
         self.maybe_forward_aggregate(ctx, view, false);
         self.maybe_declare_stale_failure(ctx);
     }
 
-    /// Declare the tree failed after repeated stale proposals (root-delay
-    /// detection). Called after the stale proposal has been processed, so
-    /// the evidence has already travelled down the tree.
+    /// React to repeated stale proposals. Called after the stale proposal
+    /// has been processed, so the evidence has already travelled down the
+    /// tree. The receiver records the §6.4 reciprocal pair
+    /// (receiver, upstream); what else happens depends on where the
+    /// receiver sits:
+    ///
+    /// * Directly under the root (phase 1): consensus itself is being
+    ///   stalled at the source, so the replica also declares the tree
+    ///   failed — liveness cannot wait for evidence to commit through the
+    ///   very pipeline being withheld. The declaration carries no blame.
+    /// * Deeper (phase 2): only this subtree is starved — the tree at
+    ///   large still commits (a single subtree cannot break the quorum),
+    ///   so the replica keeps participating and lets the committed pair
+    ///   trigger the *coordinated* rotation in `apply_committed`.
     fn maybe_declare_stale_failure(&mut self, ctx: &mut Context<KauriMessage>) {
         if self.stale_strikes >= STALE_STRIKE_LIMIT && !self.is_root() && !self.reconfiguring {
             self.stale_strikes = 0;
-            self.reconfigure(ctx, &[self.tree.root]);
+            let Some((upstream, depth)) = self.last_stale_upstream.take() else {
+                return;
+            };
+            let pair = SuspicionPair {
+                accuser: self.id,
+                accused: upstream,
+                round: self.last_strike_view,
+                phase: depth,
+                reciprocal: false,
+            };
+            self.file_pair(pair);
+            if depth == 1 {
+                self.reconfigure(ctx, &[]);
+            } else {
+                self.flush_evidence(ctx);
+            }
         }
     }
 
     fn maybe_forward_aggregate(&mut self, ctx: &mut Context<KauriMessage>, view: u64, timeout: bool) {
-        let children: BTreeSet<usize> = self.tree.children_of(self.id).into_iter().collect();
-        let Some(agg) = self.aggregates.get_mut(&view) else {
-            return;
+        let (forwarded, votes, view_tree) = match self.aggregates.get(&view) {
+            Some(a) => (a.forwarded, a.votes.clone(), a.tree.clone()),
+            None => return,
         };
-        if agg.forwarded {
+        if forwarded {
             return;
         }
-        let have_all = children.iter().all(|c| agg.votes.contains(c));
+        // Aggregate on the tree the view routed on (falling back to the
+        // durable tree for votes that arrived without a proposal).
+        let tree = view_tree.as_deref().unwrap_or(&self.tree);
+        let children: BTreeSet<usize> = tree.children_of(self.id).into_iter().collect();
+        let have_all = children.iter().all(|c| votes.contains(c));
         if !have_all && !timeout {
             return;
         }
-        agg.forwarded = true;
-        let voters: Vec<usize> = agg.votes.iter().copied().collect();
+        let parent = tree.parent(self.id);
+        if let Some(a) = self.aggregates.get_mut(&view) {
+            a.forwarded = true;
+        }
+        let voters: Vec<usize> = votes.iter().copied().collect();
         let missing: Vec<usize> = children
             .iter()
             .copied()
-            .filter(|c| !agg.votes.contains(c))
+            .filter(|c| !votes.contains(c))
             .collect();
-        if let Some(parent) = self.tree.parent(self.id) {
+        if let Some(parent) = parent {
             ctx.send(
                 parent,
                 KauriMessage::Aggregate {
@@ -534,16 +896,59 @@ impl KauriNode {
         if !state.committed && state.voters.len() >= threshold {
             state.committed = true;
             let (ts, commands, batch_id) = (state.proposal_ts, state.commands, state.batch_id);
+            self.commit_config_payload(ctx, view);
             self.stats.record_commit(ts, ctx.now, commands);
             self.throughput.record(ctx.now, commands as u64);
             // The proposing root reports the committed batch back to the
             // traffic queue for end-to-end accounting. Batches in views a
-            // reconfiguration discards are never reported: they were lost,
-            // which is exactly what goodput should see.
+            // reconfiguration discards are retried by the client population
+            // (see `abandon_uncommitted_views`).
             if let (Some(queue), Some(id)) = (&self.traffic, batch_id) {
                 queue.commit_batch(id, ctx.now);
             }
             self.propose_next(ctx);
+        }
+    }
+
+    /// The role-config commit path: the first committed view of a new
+    /// operating epoch commits the epoch's tree command, and the evidence
+    /// commands the view carried commit with it. The grown prefix is
+    /// broadcast as the commit notification (and keeps riding every later
+    /// proposal), and only then does the root act on any reconfiguration
+    /// the committed evidence triggered — so the evidence always reaches
+    /// the other replicas even if this root stops proposing right after.
+    fn commit_config_payload(&mut self, ctx: &mut Context<KauriMessage>, view: u64) {
+        let before = self.config.len();
+        let mut accused = Vec::new();
+        if self.config.epoch() < self.epoch {
+            let cmd = ConfigCommand::Config {
+                epoch: self.epoch,
+                config: self.tree.clone(),
+            };
+            self.apply_committed(ctx, &cmd);
+        }
+        let cmds = self
+            .views
+            .get_mut(&view)
+            .map(|s| std::mem::take(&mut s.cmds))
+            .unwrap_or_default();
+        for cmd in cmds {
+            if let Some(a) = self.apply_committed(ctx, &cmd) {
+                accused.push(a);
+            }
+        }
+        if self.config.len() > before {
+            self.refresh_wire();
+            let others: Vec<usize> = (0..self.system.n).filter(|&r| r != self.id).collect();
+            ctx.multicast(
+                &others,
+                KauriMessage::Committed {
+                    prefix: self.committed_wire.clone(),
+                },
+            );
+        }
+        if !accused.is_empty() {
+            self.reconfigure(ctx, &accused);
         }
     }
 
@@ -575,6 +980,23 @@ impl KauriNode {
                         .collect()
                 })
                 .unwrap_or_default();
+            // §6.4 pairs on view failures: the root observed the omission,
+            // so it pairs itself with each unresponsive *internal* node of
+            // the failed tree and feeds the pairs through the log (the
+            // local `on_view_failure` below keeps the immediate exclusion
+            // the policies already perform; the committed pairs are the
+            // shared evidence the other replicas' monitors converge on).
+            for internal in self.tree.internal_nodes() {
+                if internal != self.id && missing.contains(&internal) {
+                    self.file_pair(SuspicionPair {
+                        accuser: self.id,
+                        accused: internal,
+                        round: view,
+                        phase: 1,
+                        reciprocal: false,
+                    });
+                }
+            }
             self.reconfigure(ctx, &missing);
         }
     }
@@ -588,8 +1010,13 @@ impl KauriNode {
         self.held.clear();
         self.stale_strikes = 0;
         self.last_strike_view = 0;
-        // Drop uncommitted views; fresh batches will be proposed on the new tree.
-        self.views.retain(|_, s| s.committed);
+        // (The pair filter is NOT reset here: local reconfigures happen at
+        // replica-specific instants, and the filter must remain a pure
+        // function of the committed prefix — it resets on committed epoch
+        // adoptions instead.)
+        // Dropped views return their batches to the clients (bounded
+        // retries); fresh batches will be proposed on the new tree.
+        self.abandon_uncommitted_views(ctx.now);
         // The new root is legitimately silent while it runs the
         // reconfiguration search (reconfig_delay): start the staleness clock
         // only once it could have proposed, or every replica walks off to
@@ -602,6 +1029,9 @@ impl KauriNode {
         } else {
             self.reconfiguring = false;
         }
+        // Evidence (including what this failure produced) goes to whoever
+        // can now commit it.
+        self.flush_evidence(ctx);
     }
 }
 
@@ -624,7 +1054,17 @@ impl Node for KauriNode {
                 timestamp_us,
                 epoch,
                 tree,
-            } => self.handle_proposal(ctx, view, digest, commands, timestamp_us, epoch, tree),
+                committed,
+            } => self.handle_proposal(
+                ctx,
+                view,
+                digest,
+                commands,
+                timestamp_us,
+                epoch,
+                tree,
+                committed,
+            ),
             KauriMessage::Vote { view, voter } => self.handle_vote(ctx, view, voter),
             KauriMessage::Aggregate {
                 view,
@@ -632,6 +1072,17 @@ impl Node for KauriNode {
                 missing,
                 aggregator,
             } => self.handle_aggregate(ctx, view, voters, missing, aggregator),
+            KauriMessage::Evidence { cmds } => {
+                // Only the replica currently proposing can order evidence;
+                // senders re-flush after reconfigurations, so evidence that
+                // reaches a non-root is simply dropped here.
+                if self.is_root() {
+                    self.enqueue_pending(cmds);
+                }
+            }
+            KauriMessage::Committed { prefix } => {
+                self.apply_committed_prefix(ctx, &prefix);
+            }
         }
     }
 
@@ -639,9 +1090,39 @@ impl Node for KauriNode {
         match tag {
             TIMER_PROGRESS => {
                 // No proposal seen for a whole progress window: if we are not
-                // the (live) root, assume the tree failed and move on.
+                // the (live) root, assume the tree failed and move on — the
+                // crash detector. Root silence while the shared traffic
+                // queue has nothing flushable is *legitimate* (an `OnOff`
+                // burst gap, or the end of the schedule), not failure: the
+                // staleness clock is pushed forward instead of striking.
                 let stale = ctx.now.since(self.last_progress) >= self.progress_window();
-                if stale && !self.is_root() {
+                let idle = self
+                    .traffic
+                    .as_ref()
+                    .is_some_and(|q| !q.has_flushable(ctx.now));
+                if stale && idle {
+                    self.last_progress = ctx.now;
+                } else if stale && !self.is_root() {
+                    // Silence is ambiguous: the root may be dead, or an
+                    // upstream hop may be withholding everything it should
+                    // forward. Before walking, file the §6.4 pair
+                    // (self, upstream) with the *current* root: if the tree
+                    // at large is still committing (a withholding
+                    // intermediate starves only its own subtree), the pair
+                    // commits within a round trip and the whole cluster
+                    // rotates coordinately off the committed evidence —
+                    // instead of this subtree deposing an innocent root on
+                    // its own. If the root really is dead the evidence is
+                    // re-flushed to its successor, and walking now (with
+                    // the crash-blame the policies expect) preserves
+                    // liveness exactly as before.
+                    let tree = self.tree.clone();
+                    if let Some(pair) =
+                        self.pair_against_upstream(&tree, self.highest_view_seen + 1)
+                    {
+                        self.file_pair(pair);
+                        self.flush_evidence(ctx);
+                    }
                     self.reconfigure(ctx, &[self.tree.root]);
                 }
                 self.arm_progress_timer(ctx);
@@ -719,6 +1200,16 @@ pub struct KauriReport {
     pub latency_timeline: Vec<(f64, f64)>,
     /// Number of tree reconfigurations observed (max over replicas).
     pub reconfigurations: usize,
+    /// The tree replica 0's configuration log holds at the end of the run
+    /// (the last *committed* configuration).
+    pub final_tree: Tree,
+    /// Tree epochs replica 0 adopted through the log (excluding genesis).
+    pub adopted_epochs: usize,
+    /// Suspicion pairs committed through the log (replica 0's view).
+    pub committed_pairs: Vec<SuspicionPair>,
+    /// Replicas replica 0's policy excludes from internal positions at the
+    /// end of the run.
+    pub excluded: Vec<usize>,
 }
 
 /// Run Kauri (or any [`TreePolicy`]-driven variant) over a latency model.
@@ -813,11 +1304,31 @@ pub fn run_kauri(
         committed_blocks: total_blocks,
         committed_commands: total_commands,
     };
+    // Configuration-log diagnostics from the best-informed replica: the
+    // longest committed log (lowest id on ties). A replica crashed by the
+    // fault plan freezes early and must not be the vantage point, or the
+    // report would show the genesis tree for a run that in fact rotated.
+    let observer_id = (0..n)
+        .max_by_key(|&id| {
+            let log = sim.node_mut(id).config_log();
+            (log.len(), log.epoch(), std::cmp::Reverse(id))
+        })
+        .expect("at least one replica");
+    let observer = sim.node_mut(observer_id);
+    let log = observer.config_log();
+    let final_tree = log.current().config.clone();
+    let adopted_epochs = log.epochs().filter(|a| a.epoch > 0).count();
+    let committed_pairs = log.pairs().to_vec();
+    let excluded = observer.policy().excluded();
     KauriReport {
         summary,
         throughput_timeline: timeline,
         latency_timeline,
         reconfigurations,
+        final_tree,
+        adopted_epochs,
+        committed_pairs,
+        excluded,
     }
 }
 
@@ -846,6 +1357,10 @@ mod tests {
         assert!(report.summary.committed_blocks > 50, "{}", report.summary.committed_blocks);
         assert!(report.summary.throughput_ops > 1_000.0);
         assert_eq!(report.reconfigurations, 0, "no faults, no reconfiguration");
+        // Clean run: no reconfiguration, so the genesis tree never needs a
+        // committed successor and no evidence ever flows.
+        assert_eq!(report.adopted_epochs, 0);
+        assert!(report.committed_pairs.is_empty());
         // Tree latency: proposal down two hops, votes up two hops ≈ 4 one-way
         // delays = 80 ms.
         assert!(report.summary.mean_latency_ms >= 75.0);
@@ -908,6 +1423,24 @@ mod tests {
         assert!(
             report.reconfigurations >= 1,
             "stale proposals must fail the tree"
+        );
+        // The successor tree was adopted through the committed log, and the
+        // staleness evidence is reciprocal pairs, not root blame: the pairs
+        // accuse the delayer's downstream-visible hops, with the attacker
+        // (here the root itself) as the accused of every phase-1 pair.
+        assert!(report.adopted_epochs >= 1, "adoption must flow through the log");
+        assert!(
+            !report.committed_pairs.is_empty(),
+            "staleness must leave committed pair evidence"
+        );
+        assert!(
+            report
+                .committed_pairs
+                .iter()
+                .filter(|p| !p.reciprocal && p.phase == 1)
+                .all(|p| p.accused == probe_tree.root),
+            "phase-1 pairs name the withholding root: {:?}",
+            report.committed_pairs
         );
         let window = |from: f64, to: f64| -> Vec<f64> {
             report
@@ -1034,8 +1567,9 @@ mod tests {
         });
         assert!(report.reconfigurations >= 1);
         let tr = queue.report(40);
-        // The blackout around the crash loses some batches, but the tail of
-        // the run commits at the offered rate again.
+        // The blackout around the crash loses throughput, but the batches
+        // in flight when the tree failed are *retried* by the clients, so
+        // the tail of the run commits at the offered rate again.
         let late: f64 = tr
             .goodput_timeline
             .iter()
@@ -1050,10 +1584,89 @@ mod tests {
     }
 
     #[test]
+    fn reconfiguration_retries_dropped_batches() {
+        // The root crashes: the views in flight (their batches included) die
+        // with the old tree, and the client retry path re-enqueues them —
+        // nearly everything offered before and after the blackout commits.
+        let n = 13;
+        let probe_tree = KauriBinsPolicy::new(n, 3, 9).next_tree(n, 3);
+        let spec = rsm::TrafficSpec::poisson(200.0)
+            .with_clients(4)
+            .with_batching(50, Duration::from_millis(40));
+        let queue = traffic::SharedTrafficQueue::generate(
+            &spec,
+            &[1.0; 4],
+            5,
+            SimTime::from_secs(35),
+        );
+        let mut cfg = small_config(n, 50);
+        cfg.traffic = Some(queue.clone());
+        let mut faults = FaultPlan::none();
+        faults.crash(probe_tree.root, SimTime::from_secs(10));
+        let report = run_kauri(&cfg, uniform(n, 20), faults, |_| {
+            Box::new(KauriBinsPolicy::new(n, 3, 9))
+        });
+        assert!(report.reconfigurations >= 1);
+        let tr = queue.report(50);
+        assert!(tr.retried > 0, "the dropped views' batches must be retried");
+        // A retried batch is counted once: commits can never exceed offers.
+        assert!(tr.committed <= tr.offered);
+        assert!(
+            tr.committed + tr.abandoned >= tr.offered - spec.batching.max_batch as u64,
+            "retries must recover the dropped batches: committed {} + abandoned {} of {}",
+            tr.committed,
+            tr.abandoned,
+            tr.offered
+        );
+    }
+
+    #[test]
+    fn onoff_burst_gap_is_not_read_as_a_silent_root() {
+        // An OnOff process whose off-phase (12 s) dwarfs the progress window
+        // (6 s): without the flushable-work guard every replica would walk
+        // off to the next tree mid-gap and the run would show spurious
+        // reconfigurations.
+        let n = 13;
+        let spec = rsm::TrafficSpec::poisson(300.0)
+            .with_arrivals(rsm::ArrivalProcess::OnOff {
+                rate: 300.0,
+                on: Duration::from_secs(6),
+                off: Duration::from_secs(12),
+            })
+            .with_clients(4)
+            .with_batching(60, Duration::from_millis(40));
+        let queue = traffic::SharedTrafficQueue::generate(
+            &spec,
+            &[1.0; 4],
+            5,
+            SimTime::from_secs(38),
+        );
+        let mut cfg = small_config(n, 40);
+        cfg.traffic = Some(queue.clone());
+        let report = run_kauri(&cfg, uniform(n, 20), FaultPlan::none(), |_| {
+            Box::new(KauriBinsPolicy::new(n, 3, 9))
+        });
+        assert_eq!(
+            report.reconfigurations, 0,
+            "a burst gap with no flushable work must not strike the root"
+        );
+        let tr = queue.report(40);
+        assert!(tr.offered > 1_000, "bursts offered load, got {}", tr.offered);
+        assert!(
+            tr.committed >= tr.offered - 200,
+            "bursty offered load must commit: {} of {}",
+            tr.committed,
+            tr.offered
+        );
+    }
+
+    #[test]
     fn crashed_intermediate_triggers_reconfiguration_and_recovery() {
         let cfg = small_config(13, 30);
         // The initial conformity tree for seed 7 has some intermediate; crash
-        // one of its internal nodes shortly after start.
+        // one of its internal nodes shortly after start. One crashed subtree
+        // (4 of 13) leaves exactly a quorum, so views keep committing — the
+        // tree absorbs the crash without failing.
         let probe_tree = KauriBinsPolicy::new(13, 3, 7).next_tree(13, 3);
         let victim = probe_tree.intermediates[0];
         let mut faults = FaultPlan::none();
@@ -1069,6 +1682,44 @@ mod tests {
     }
 
     #[test]
+    fn view_failure_commits_pairs_against_unresponsive_intermediates() {
+        // Crash *two* intermediates: their subtrees (8 of 13) break the
+        // quorum of 9, the root's view timeout fires, and the root feeds
+        // §6.4 pairs (root, unresponsive-internal) through the log — the
+        // replicas left waiting converge on the committed evidence instead
+        // of any out-of-band blame.
+        let cfg = small_config(13, 30);
+        let probe_tree = KauriBinsPolicy::new(13, 3, 7).next_tree(13, 3);
+        let (v1, v2) = (probe_tree.intermediates[0], probe_tree.intermediates[1]);
+        let mut faults = FaultPlan::none();
+        faults.crash(v1, SimTime::from_secs(5));
+        faults.crash(v2, SimTime::from_secs(5));
+        let report = run_kauri(&cfg, uniform(13, 20), faults, |_| {
+            Box::new(KauriBinsPolicy::new(13, 3, 7))
+        });
+        assert!(report.reconfigurations >= 1, "quorum loss must fail the tree");
+        assert!(report.adopted_epochs >= 1, "the successor tree must commit");
+        let late: u64 = report.throughput_timeline[15..].iter().sum();
+        assert!(late > 0, "no progress after the crash: {:?}", report.throughput_timeline);
+        for victim in [v1, v2] {
+            assert!(
+                report
+                    .committed_pairs
+                    .iter()
+                    .any(|p| p.accused == victim && !p.reciprocal),
+                "view failure must leave committed pair evidence against \
+                 intermediate {victim}: {:?}",
+                report.committed_pairs
+            );
+        }
+        // Crashed replicas cannot reciprocate: their pairs stay one-way.
+        assert!(report
+            .committed_pairs
+            .iter()
+            .all(|p| !(p.reciprocal && (p.accuser == v1 || p.accuser == v2))));
+    }
+
+    #[test]
     fn root_crash_is_survived_via_progress_timer() {
         let cfg = small_config(13, 40);
         let probe_tree = KauriBinsPolicy::new(13, 3, 9).next_tree(13, 3);
@@ -1081,5 +1732,37 @@ mod tests {
         assert!(report.reconfigurations >= 1, "replicas must move to a new tree");
         let late: u64 = report.throughput_timeline[25..].iter().sum();
         assert!(late > 0, "no progress after root crash: {:?}", report.throughput_timeline);
+        // The successor tree reached every replica as committed log content.
+        assert!(report.adopted_epochs >= 1);
+        assert_ne!(report.final_tree.root, root, "the crashed root cannot lead");
+    }
+
+    /// The acceptance property of the configuration-log migration: a replica
+    /// never adopts a tree whose command has not committed. A replica that
+    /// misses the local failure detection (modelled here by a replica whose
+    /// progress view is fed by the new tree's proposals) still converges —
+    /// through the committed prefix, not through any epoch-in-proposal
+    /// shortcut.
+    #[test]
+    fn trees_are_adopted_only_through_committed_commands() {
+        let n = 13;
+        let probe_tree = KauriBinsPolicy::new(n, 3, 9).next_tree(n, 3);
+        let mut faults = FaultPlan::none();
+        faults.crash(probe_tree.root, SimTime::from_secs(8));
+        let cfg = small_config(n, 30);
+        // Run once to observe: every replica's config log must agree on the
+        // adopted epochs (committed data is identical everywhere).
+        let report = run_kauri(&cfg, uniform(n, 20), faults, |_| {
+            Box::new(KauriBinsPolicy::new(n, 3, 9))
+        });
+        assert!(report.adopted_epochs >= 1);
+        assert_ne!(report.final_tree.root, probe_tree.root);
+        // The committed successor is the shared policy's next tree, i.e. the
+        // adoption came from the log replaying the same committed command at
+        // every replica.
+        let mut policy = KauriBinsPolicy::new(n, 3, 9);
+        let _ = policy.next_tree(n, 3);
+        let successor = policy.next_tree(n, 3);
+        assert_eq!(report.final_tree, successor);
     }
 }

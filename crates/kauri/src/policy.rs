@@ -7,6 +7,7 @@
 //! candidate set, and adjusts the vote threshold by the fault estimate `u`.
 
 use crate::tree::{conformity_bins, Tree};
+use configlog::SuspicionPair;
 use netsim::Duration;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -38,6 +39,24 @@ pub trait TreePolicy: Send {
     /// Notification that a view failed, with the replicas the root is missing
     /// votes from (lets latency-aware policies update suspicions).
     fn on_view_failure(&mut self, missing: &[usize]);
+
+    /// A reciprocal suspicion pair committed through the replicated
+    /// configuration log (§6.4). Committed pairs are identical at every
+    /// replica, so pair-driven exclusion decisions converge without any
+    /// out-of-band blame channel. Default: ignore (Kauri's conformity bins
+    /// already guarantee the attacker is internal in at most one bin).
+    fn on_committed_pair(&mut self, _pair: &SuspicionPair) {}
+
+    /// A tree configuration for `epoch` committed through the log and
+    /// adopted — a real leader term, the clock suspicion windows are
+    /// denominated in. Default: ignore.
+    fn on_adopted_epoch(&mut self, _epoch: u64) {}
+
+    /// Replicas this policy currently excludes from internal positions
+    /// (diagnostics / reports). Default: none.
+    fn excluded(&self) -> Vec<usize> {
+        Vec::new()
+    }
 
     /// Short label for reports.
     fn name(&self) -> &'static str;

@@ -384,6 +384,11 @@ impl ProtocolScenario {
                 cfg.misbehavior
                     .delay_proposals_during(atk.replica, atk.delay, atk.from, atk.until);
             }
+            // The run's initial tree, reproduced through the same seeded
+            // policy: the reference for the role-retention metrics below.
+            let initial_tree = substrate
+                .tree_policy(n, rtt.clone(), policy_seed)
+                .next_tree(n, SystemConfig::new(n).tree_branch_factor());
             let rtt_for_policy = rtt.clone();
             let report = run_kauri(
                 &cfg,
@@ -400,6 +405,39 @@ impl ProtocolScenario {
                 .set("p99_ms", s.p99_latency_ms)
                 .set("blocks", s.committed_blocks as f64)
                 .set("reconfigurations", report.reconfigurations as f64);
+            // Role bookkeeping from the configuration log: the suspicion-
+            // pair evidence committed through it, the policy's exclusions,
+            // and whether roles survived where they should (an innocent
+            // root keeps its role; a scripted delayer does not keep an
+            // internal position).
+            let yes_no = |b: bool| if b { 1.0 } else { 0.0 };
+            metrics
+                .set("committed_pairs", report.committed_pairs.len() as f64)
+                .set("adopted_epochs", report.adopted_epochs as f64)
+                .set("excluded_count", report.excluded.len() as f64)
+                .set(
+                    "root_retained",
+                    yes_no(report.final_tree.root == initial_tree.root),
+                )
+                .set(
+                    "initial_root_excluded",
+                    yes_no(report.excluded.contains(&initial_tree.root)),
+                );
+            if let Some(atk) = compiled.delay_attacks.first() {
+                metrics
+                    .set("attacker_excluded", yes_no(report.excluded.contains(&atk.replica)))
+                    .set(
+                        "attacker_internal_final",
+                        yes_no(report.final_tree.internal_nodes().contains(&atk.replica)),
+                    )
+                    .set(
+                        "pairs_accuse_attacker",
+                        yes_no(report
+                            .committed_pairs
+                            .iter()
+                            .any(|p| !p.reciprocal && p.accused == atk.replica)),
+                    );
+            }
             metrics.set_series(
                 "throughput_timeline",
                 report
@@ -989,6 +1027,43 @@ mod tests {
             assert!(!m.series["e2e_timeline"].is_empty());
             assert!(!m.series["goodput_timeline"].is_empty());
         }
+    }
+
+    /// Tree cells report the configuration-log role bookkeeping: adopted
+    /// epochs, committed pairs, exclusions, and — when a delay attack is
+    /// scripted — whether the attacker kept an internal position.
+    #[test]
+    fn tree_cells_report_role_config_metrics() {
+        let scenario = ProtocolScenario::new(
+            vec![Substrate::Kauri],
+            vec![Topology::with_n(Deployment::Europe21, 13)],
+        )
+        .with_adversaries(vec![AdversaryScript::named("mid-delay").during(
+            SimTime::from_secs(10),
+            SimTime::from_secs(25),
+            crate::Attack::DelayProposals {
+                target: crate::Target::TreeIntermediates { count: 1 },
+                delay: Duration::from_millis(2_500),
+            },
+        )])
+        .run_for(Duration::from_secs(30));
+        let spec = ScenarioSpec::new("unit", vec![1], ScenarioKind::Protocol(scenario));
+        let m = spec.run_cell(&spec.points()[0], 1);
+        for key in [
+            "committed_pairs",
+            "adopted_epochs",
+            "excluded_count",
+            "root_retained",
+            "initial_root_excluded",
+            "attacker_excluded",
+            "attacker_internal_final",
+            "pairs_accuse_attacker",
+        ] {
+            assert!(m.values.contains_key(key), "missing metric {key}");
+        }
+        assert!(m.values["committed_pairs"] >= 1.0);
+        assert_eq!(m.values["pairs_accuse_attacker"], 1.0);
+        assert_eq!(m.values["attacker_internal_final"], 0.0);
     }
 
     #[test]

@@ -20,17 +20,18 @@
 
 use netsim::{Duration, SimTime};
 use optilog::{
-    LatencyMonitor, LatencyVector, MessageTimeout, RoundObservation, RoundTimeouts, Suspicion,
-    SuspicionMonitor, SuspicionMonitorParams, SuspicionSensor,
+    ConfigCommand, ConfigLog, LatencyMonitor, LatencyVector, MessageTimeout, RoundObservation,
+    RoundTimeouts, Suspicion, SuspicionMonitor, SuspicionMonitorParams, SuspicionSensor,
 };
 use pbft::score::optimize_configuration;
 use pbft::{predict_message_delays, predict_round_latency, PbftRoundRecord, ReconfigPolicy, WeightConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// How many past configuration epochs to keep for judging in-flight round
-/// records. Records older than the window are skipped (they are also long
-/// past their observation hold, so this only bounds memory).
+/// How many past configuration epochs the replicated configuration log
+/// retains for judging in-flight round records. Records older than the
+/// window are skipped (they are also long past their observation hold, so
+/// this only bounds memory).
 const EPOCH_HISTORY: usize = 4;
 
 /// Measurement blobs OptiAware replicates through the ordered log.
@@ -69,17 +70,20 @@ pub struct OptiAwarePolicy {
     sensor: SuspicionSensor,
     monitor: SuspicionMonitor,
     current_config: WeightConfig,
-    /// Past configurations by epoch (with the time this replica adopted
-    /// each), kept so a round record proposed under epoch `e` is judged
-    /// against epoch `e`'s timeouts — even when it is evaluated after a
-    /// reconfiguration. This removes the old post-reconfiguration
-    /// observation blackout (a 2x grace hold during which the sensor was
-    /// blind).
-    configs: BTreeMap<u64, (WeightConfig, SimTime)>,
-    /// Per-epoch timeouts derived from `configs` and the latency matrix,
-    /// with the worst-case observation hold across them. Rebuilt only when
-    /// the matrix or the config set changes — deriving timeouts is O(n²)
-    /// and `observation_hold` is consulted on every commit.
+    /// The replicated configuration log: the epoch → configuration history
+    /// (with the time this replica adopted each epoch), kept so a round
+    /// record proposed under epoch `e` is judged against epoch `e`'s
+    /// timeouts — even when it is evaluated after a reconfiguration. This
+    /// removes the old post-reconfiguration observation blackout (a 2x
+    /// grace hold during which the sensor was blind). Weight
+    /// configurations enter it only through `decide` — the deterministic
+    /// function of committed log content — so identical logs yield
+    /// identical histories at every replica.
+    config_log: ConfigLog<WeightConfig>,
+    /// Per-epoch timeouts derived from the config log and the latency
+    /// matrix, with the worst-case observation hold across them. Rebuilt
+    /// only when the matrix or the config set changes — deriving timeouts
+    /// is O(n²) and `observation_hold` is consulted on every commit.
     timeouts_cache: BTreeMap<u64, RoundTimeouts>,
     cached_hold: Duration,
     current_score: f64,
@@ -117,7 +121,7 @@ impl OptiAwarePolicy {
             // reconfigurations, which are far sparser than commits.
             monitor: SuspicionMonitor::new(SuspicionMonitorParams::new(n, f)),
             current_config: WeightConfig::initial(n, f),
-            configs: BTreeMap::from([(0, (WeightConfig::initial(n, f), SimTime::ZERO))]),
+            config_log: ConfigLog::new(WeightConfig::initial(n, f), EPOCH_HISTORY),
             timeouts_cache: BTreeMap::new(),
             cached_hold: Duration::ZERO,
             current_score: f64::INFINITY,
@@ -157,9 +161,9 @@ impl OptiAwarePolicy {
     /// whenever the latency matrix gains a vector or the config set changes.
     fn rebuild_timeout_caches(&mut self) {
         self.timeouts_cache = self
-            .configs
-            .iter()
-            .map(|(&e, (c, _))| (e, self.round_timeouts_for(c)))
+            .config_log
+            .epochs()
+            .map(|a| (a.epoch, self.round_timeouts_for(&a.config)))
             .collect();
         self.cached_hold = self
             .timeouts_cache
@@ -206,14 +210,15 @@ impl ReconfigPolicy for OptiAwarePolicy {
 
     fn on_round(&mut self, record: &PbftRoundRecord) -> Vec<Vec<u8>> {
         // Judge the round against the configuration it was proposed under.
-        // Rounds from epochs no longer tracked cannot be judged fairly.
-        let Some(adopted) = self.configs.get(&record.epoch).map(|(_, t)| *t) else {
+        // Rounds from epochs the log no longer retains cannot be judged
+        // fairly.
+        let Some(adopted) = self.config_log.adopted_at(record.epoch) else {
             return Vec::new();
         };
         // The boundary round (whose predecessor ran under another epoch)
         // straddles the leader handover: its quorum assembled under a mix of
         // old and new weights, so its timings belong to neither epoch.
-        if record.prev_epoch != Some(record.epoch) {
+        if ConfigLog::<WeightConfig>::is_boundary_round(record.epoch, record.prev_epoch) {
             return Vec::new();
         }
         match self.timeouts_cache.get(&record.epoch) {
@@ -305,11 +310,16 @@ impl ReconfigPolicy for OptiAwarePolicy {
         if current_invalid || improves {
             self.current_config = config.clone();
             self.current_score = score;
-            self.configs.insert(config.epoch, (config.clone(), now));
-            while self.configs.len() > EPOCH_HISTORY {
-                let oldest = *self.configs.keys().next().expect("non-empty");
-                self.configs.remove(&oldest);
-            }
+            // The new configuration enters the replicated configuration log
+            // (epoch-monotone adoption with the history pruning and
+            // adoption-time bookkeeping the round judging needs).
+            self.config_log.apply(
+                ConfigCommand::Config {
+                    epoch: config.epoch,
+                    config: config.clone(),
+                },
+                now,
+            );
             self.rebuild_timeout_caches();
             Some(config)
         } else {

@@ -256,11 +256,17 @@ pub struct TrafficSpec {
     /// End-to-end deadline: commands whose client-observed latency exceeds
     /// it do not count towards *goodput*.
     pub slo: Duration,
+    /// How many times a client re-submits a command whose batch was dropped
+    /// (e.g. by a tree reconfiguration discarding in-flight views) before
+    /// giving up. Retried commands re-enter the admission queue and are
+    /// accounted once, with their original send time.
+    pub max_retries: u32,
 }
 
 impl TrafficSpec {
     /// Poisson arrivals at `rate` commands/s with library defaults:
-    /// 64 clients, 1000/50 ms batching, a 10 000-command queue, 1 s SLO.
+    /// 64 clients, 1000/50 ms batching, a 10 000-command queue, 1 s SLO,
+    /// 3 client retries for dropped batches.
     pub fn poisson(rate: f64) -> Self {
         TrafficSpec {
             arrivals: ArrivalProcess::Poisson { rate },
@@ -268,6 +274,7 @@ impl TrafficSpec {
             batching: BatchingPolicy::default(),
             queue_capacity: 10_000,
             slo: Duration::from_secs(1),
+            max_retries: 3,
         }
     }
 
@@ -300,6 +307,13 @@ impl TrafficSpec {
     /// Override the goodput SLO deadline.
     pub fn with_slo(mut self, slo: Duration) -> Self {
         self.slo = slo;
+        self
+    }
+
+    /// Override the client retry bound for dropped batches (0 = dropped
+    /// batches are lost, the pre-retry behaviour).
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
         self
     }
 

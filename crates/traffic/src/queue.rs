@@ -57,11 +57,22 @@ struct Arrival {
     reply_ms: f64,
 }
 
+/// A batch handed out but not yet committed.
+#[derive(Debug, Clone)]
+struct InFlight {
+    /// When the batch was dispatched (starts the client retry clock).
+    at: SimTime,
+    /// Arrival indices in the batch.
+    idxs: Vec<u64>,
+}
+
 /// The admission queue for one run.
 #[derive(Debug)]
 pub struct TrafficQueue {
     batching: BatchingPolicy,
     capacity: usize,
+    /// The goodput SLO; also anchors the client retry clock.
+    slo: Duration,
     /// The full schedule, sorted by ingress time.
     arrivals: Vec<Arrival>,
     /// Next schedule entry not yet admitted or rejected.
@@ -69,10 +80,18 @@ pub struct TrafficQueue {
     /// Admitted commands (indices into `arrivals`) waiting to be batched.
     waiting: VecDeque<u64>,
     /// Batches handed out but not yet committed.
-    in_flight: BTreeMap<u64, Vec<u64>>,
+    in_flight: BTreeMap<u64, InFlight>,
     next_batch_id: u64,
     admitted: u64,
     rejected: u64,
+    /// Client retry bound for dropped batches.
+    max_retries: u32,
+    /// Per-command (arrival index) retry counts.
+    retries: BTreeMap<u64, u32>,
+    /// Commands re-enqueued after their batch was dropped.
+    retried: u64,
+    /// Commands whose retry budget ran out (lost for good).
+    abandoned: u64,
     stats: CommitStats,
     depth_timeline: Vec<(f64, f64)>,
     max_depth: usize,
@@ -105,6 +124,7 @@ impl TrafficQueue {
         TrafficQueue {
             batching,
             capacity,
+            slo,
             arrivals,
             cursor: 0,
             waiting: VecDeque::new(),
@@ -112,10 +132,20 @@ impl TrafficQueue {
             next_batch_id: 0,
             admitted: 0,
             rejected: 0,
+            max_retries: 3,
+            retries: BTreeMap::new(),
+            retried: 0,
+            abandoned: 0,
             stats: CommitStats::new().with_slo(slo),
             depth_timeline: Vec::new(),
             max_depth: 0,
         }
+    }
+
+    /// Override the client retry bound (see [`rsm::TrafficSpec::max_retries`]).
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
     }
 
     /// Compile a [`TrafficSpec`] into a queue: sample the arrival process up
@@ -140,6 +170,7 @@ impl TrafficQueue {
             });
         }
         Self::from_schedule(spec.batching, spec.queue_capacity, spec.slo, schedule)
+            .with_max_retries(spec.max_retries)
     }
 
     /// Total requests the schedule offers.
@@ -147,9 +178,30 @@ impl TrafficQueue {
         self.arrivals.len() as u64
     }
 
+    /// The client retry clock: a batch that has been in flight this long is
+    /// presumed lost (e.g. its proposer crashed with the views holding it)
+    /// and its commands are re-submitted. Generous relative to the SLO so a
+    /// slow-but-alive proposer never races its own clients.
+    fn retry_timeout(&self) -> Duration {
+        self.slo * 4
+    }
+
     /// Move every arrival whose ingress instant has passed into the waiting
-    /// queue, rejecting those that find it full.
+    /// queue, rejecting those that find it full; then let clients whose
+    /// batch has been in flight beyond the retry clock re-submit — the
+    /// backstop for batches lost at a *crashed* proposer, which can never
+    /// return them itself.
     fn admit(&mut self, now: SimTime) {
+        let timeout = self.retry_timeout();
+        let expired: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, f)| f.at + timeout <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            self.retry_batch(id, now);
+        }
         while self
             .arrivals
             .get(self.cursor)
@@ -186,7 +238,7 @@ impl TrafficQueue {
             .collect();
         let id = self.next_batch_id;
         self.next_batch_id += 1;
-        self.in_flight.insert(id, idxs);
+        self.in_flight.insert(id, InFlight { at: now, idxs });
         self.depth_timeline
             .push((now.as_secs_f64(), self.waiting.len() as f64));
         Some(TrafficBatch { id, commands })
@@ -223,14 +275,59 @@ impl TrafficQueue {
         Some(at.max(now + tick))
     }
 
+    /// True when [`TrafficQueue::try_batch`] would return a batch at `now`:
+    /// the waiting queue holds a full batch or its oldest command has waited
+    /// out the batching delay. Tree substrates consult this before reading
+    /// root silence as failure — an `OnOff` burst gap longer than a progress
+    /// window must not look like a crashed root.
+    pub fn has_flushable(&mut self, now: SimTime) -> bool {
+        self.admit(now);
+        let Some(oldest) = self.waiting.front().map(|&i| self.arrivals[i as usize].ingress)
+        else {
+            return false;
+        };
+        self.waiting.len() >= self.batching.max_batch || now >= oldest + self.batching.max_delay
+    }
+
+    /// The batch carrying `id` was dropped before committing (e.g. a tree
+    /// reconfiguration discarded the in-flight view): the client population
+    /// re-submits every command still inside its retry budget, re-enqueued
+    /// at the front of the waiting queue (they are the oldest outstanding
+    /// work). Commands keep their original send time, so an eventual commit
+    /// is accounted once, with the full client-observed latency including
+    /// the lost round trip.
+    pub fn retry_batch(&mut self, id: u64, _now: SimTime) {
+        let Some(flight) = self.in_flight.remove(&id) else {
+            return;
+        };
+        let mut requeue = Vec::new();
+        for i in flight.idxs {
+            let tries = self.retries.entry(i).or_insert(0);
+            if *tries < self.max_retries {
+                *tries += 1;
+                requeue.push(i);
+            } else {
+                self.abandoned += 1;
+            }
+        }
+        self.retried += requeue.len() as u64;
+        // Front of the queue, original order preserved: retried commands are
+        // older than anything still waiting. Capacity is not re-checked —
+        // these commands were already admitted once.
+        for &i in requeue.iter().rev() {
+            self.waiting.push_front(i);
+        }
+        self.max_depth = self.max_depth.max(self.waiting.len());
+    }
+
     /// Report that the block carrying batch `id` committed at `committed`:
     /// every command in it is accounted with its client-observed latency
     /// (ingress leg + queueing + consensus + reply leg) against the SLO.
     pub fn commit_batch(&mut self, id: u64, committed: SimTime) {
-        let Some(idxs) = self.in_flight.remove(&id) else {
+        let Some(flight) = self.in_flight.remove(&id) else {
             return;
         };
-        for i in idxs {
+        for i in flight.idxs {
             let a = self.arrivals[i as usize];
             let e2e = committed.since(a.send) + Duration::from_millis_f64(a.reply_ms);
             self.stats.record_client_commit(e2e, committed);
@@ -245,6 +342,16 @@ impl TrafficQueue {
     /// Requests rejected by backpressure so far.
     pub fn rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// Commands re-enqueued after a dropped batch so far.
+    pub fn retried(&self) -> u64 {
+        self.retried
+    }
+
+    /// Commands lost for good after exhausting their retry budget.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
     }
 
     /// Current waiting-queue depth.
@@ -267,6 +374,8 @@ impl TrafficQueue {
             offered,
             admitted: self.admitted,
             rejected: self.rejected,
+            retried: self.retried,
+            abandoned: self.abandoned,
             committed,
             goodput,
             offered_ops: offered as f64 / secs,
@@ -298,6 +407,11 @@ pub struct TrafficReport {
     pub admitted: u64,
     /// Requests rejected by backpressure.
     pub rejected: u64,
+    /// Commands re-enqueued after their batch was dropped (each counted per
+    /// retry, so one command retried twice contributes 2).
+    pub retried: u64,
+    /// Commands lost after exhausting the retry budget.
+    pub abandoned: u64,
     /// Requests whose batch committed.
     pub committed: u64,
     /// Committed requests that met the SLO.
@@ -357,6 +471,16 @@ impl SharedTrafficQueue {
     /// See [`TrafficQueue::commit_batch`].
     pub fn commit_batch(&self, id: u64, committed: SimTime) {
         self.lock().commit_batch(id, committed)
+    }
+
+    /// See [`TrafficQueue::retry_batch`].
+    pub fn retry_batch(&self, id: u64, now: SimTime) {
+        self.lock().retry_batch(id, now)
+    }
+
+    /// See [`TrafficQueue::has_flushable`].
+    pub fn has_flushable(&self, now: SimTime) -> bool {
+        self.lock().has_flushable(now)
     }
 
     /// See [`TrafficQueue::report`].
@@ -558,5 +682,74 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn capacity_below_batch_size_is_rejected() {
         TrafficQueue::from_schedule(policy(100, 50), 10, Duration::from_secs(1), vec![]);
+    }
+
+    #[test]
+    fn dropped_batch_is_retried_and_committed_once() {
+        let mut q = TrafficQueue::from_schedule(
+            policy(3, 1000),
+            100,
+            Duration::from_secs(10),
+            steady(3, 10),
+        );
+        let b = q.try_batch(SimTime::from_millis(20)).expect("full batch");
+        assert_eq!(b.commands.len(), 3);
+        // The view carrying the batch is discarded by a reconfiguration:
+        // the clients re-submit, and the next flush carries the same
+        // commands in their original order.
+        q.retry_batch(b.id, SimTime::from_millis(500));
+        assert_eq!(q.retried(), 3);
+        assert_eq!(q.depth(), 3);
+        let b2 = q.try_batch(SimTime::from_millis(600)).expect("retry flush");
+        let seqs: Vec<u64> = b2.commands.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        q.commit_batch(b2.id, SimTime::from_millis(700));
+        // Committing the stale original id later changes nothing — the
+        // retried batch is accounted exactly once, with the original send
+        // times (e2e spans the lost round trip).
+        q.commit_batch(b.id, SimTime::from_millis(900));
+        let report = q.report(1);
+        assert_eq!(report.committed, 3);
+        assert_eq!(report.retried, 3);
+        assert_eq!(report.abandoned, 0);
+        assert!(report.e2e_mean_ms >= 650.0, "e2e includes the retry detour");
+    }
+
+    #[test]
+    fn retry_budget_bounds_resubmission() {
+        let mut q = TrafficQueue::from_schedule(
+            policy(2, 1000),
+            100,
+            Duration::from_secs(10),
+            steady(2, 1),
+        )
+        .with_max_retries(2);
+        for round in 0..3 {
+            let b = q
+                .try_batch(SimTime::from_millis(10 + round * 10))
+                .unwrap_or_else(|| panic!("flush {round}"));
+            q.retry_batch(b.id, SimTime::from_millis(15 + round * 10));
+        }
+        // Two retries allowed; the third drop abandons both commands.
+        assert_eq!(q.retried(), 4);
+        assert_eq!(q.abandoned(), 2);
+        assert!(q.try_batch(SimTime::from_secs(5)).is_none(), "nothing left");
+        assert_eq!(q.report(1).committed, 0);
+    }
+
+    #[test]
+    fn has_flushable_tracks_try_batch_without_draining() {
+        let mut q = TrafficQueue::from_schedule(
+            policy(5, 50),
+            100,
+            Duration::from_secs(10),
+            steady(3, 10),
+        );
+        assert!(!q.has_flushable(SimTime::from_millis(5)), "partial and fresh");
+        assert!(q.has_flushable(SimTime::from_millis(55)), "timeout path");
+        assert!(q.try_batch(SimTime::from_millis(55)).is_some());
+        // Drained and schedule exhausted: never flushable again — the idle
+        // signal the tree staleness clock keys off.
+        assert!(!q.has_flushable(SimTime::from_secs(9)));
     }
 }

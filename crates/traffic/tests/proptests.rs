@@ -96,8 +96,11 @@ proptest! {
     }
 
     /// Conservation law of the admission queue: every offered command is
-    /// eventually admitted or rejected, every admitted command is batched or
-    /// still waiting, and nothing is created or lost.
+    /// eventually admitted or rejected, and every admitted command is
+    /// batched, re-batched after a client retry, or still waiting — nothing
+    /// is created or lost. (This driver never commits, so every dispatched
+    /// batch eventually rides the client retry clock back into the queue
+    /// until its budget runs out.)
     #[test]
     fn queue_conserves_commands(
         rate in 200.0f64..4000.0,
@@ -121,6 +124,21 @@ proptest! {
             }
         }
         prop_assert_eq!(q.admitted() + q.rejected(), q.offered());
+        prop_assert_eq!(batched + q.depth() as u64, q.admitted() + q.retried());
+
+        // With prompt commits the retry clock never fires and the original
+        // law holds exactly.
+        let mut q = TrafficQueue::generate(&spec, &ingress, seed, SimTime::from_secs(10));
+        let mut batched = 0u64;
+        let mut now = SimTime::ZERO;
+        while let Some(at) = q.next_ready_at(now) {
+            now = at;
+            if let Some(b) = q.try_batch(now) {
+                batched += b.commands.len() as u64;
+                q.commit_batch(b.id, now);
+            }
+        }
+        prop_assert_eq!(q.retried(), 0);
         prop_assert_eq!(batched + q.depth() as u64, q.admitted());
     }
 }

@@ -12,6 +12,9 @@
 //!   run statistics.
 //! * [`traffic`] — open-loop geo-distributed client load: arrival
 //!   processes, the leader-side admission queue, goodput accounting.
+//! * [`configlog`] — the replicated role-configuration log: epoch-monotone
+//!   adoption of weight/tree configurations and suspicion-pair evidence,
+//!   ordered through each substrate's own commit path.
 //! * [`optilog`] — the sensor/monitor framework: latency matrix, suspicion
 //!   graph, candidate selection, simulated annealing, configuration monitor.
 //! * [`pbft`] — the BFT-SMaRt/Wheat/Aware substrate.
@@ -23,6 +26,7 @@
 //!
 //! See `examples/quickstart.rs` for a first end-to-end run.
 
+pub use configlog;
 pub use crypto;
 pub use hotstuff;
 pub use kauri;
