@@ -1,53 +1,102 @@
-//! Criterion bench comparing one second of simulated consensus for the three
-//! protocol substrates (supports the Fig 9 shape at micro scale).
+//! Criterion bench timing one second of simulated consensus for all four
+//! substrate families (BFT-SMaRt/PBFT, HotStuff, Kauri, OptiTree) at
+//! n ∈ {7, 25, 100} replicas, with an events/sec engine-throughput metric.
+//!
+//! Replicas are placed on the Europe21 city sample (round-robin, so any `n`
+//! is valid). Each benchmark simulates `sim_run_for(n)` of virtual time —
+//! one second at n ∈ {7, 25}, a quarter second at n = 100 so the big
+//! configurations stay inside CI smoke time. Before timing, each
+//! configuration prints one `events:` line (simulator events processed and
+//! events/sec over a probe run) — the engine-throughput view of the same
+//! runs; `bench_engine` records the wheel-vs-heap comparison to
+//! `BENCH_engine.json`.
+//!
+//! Run with `cargo bench --bench protocol_throughput`.
 
 use bench::Deployment;
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hotstuff::{run_hotstuff, HotStuffConfig, Pacemaker};
 use kauri::{run_kauri, KauriBinsPolicy, KauriConfig, TreePolicy};
 use netsim::{Duration, FaultPlan, MatrixLatency};
 use optitree::OptiTreePolicy;
+use pbft::{PbftHarness, PbftHarnessConfig, StaticPolicy};
 use rsm::SystemConfig;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [7, 25, 100];
+
+fn sim_run_for(n: usize) -> Duration {
+    if n >= 100 {
+        Duration::from_millis(250)
+    } else {
+        Duration::from_secs(1)
+    }
+}
+
+fn latency(n: usize, rtt: &[f64]) -> Box<MatrixLatency> {
+    Box::new(MatrixLatency::from_rtt_millis(n, rtt))
+}
+
+fn run_pbft(n: usize, rtt: &[f64]) -> u64 {
+    let f = (n - 1) / 3;
+    let cfg = PbftHarnessConfig::new(n, f, 2 * n, rtt.to_vec()).run_for(sim_run_for(n));
+    PbftHarness::run(&cfg, "static", |_| Box::new(StaticPolicy)).events
+}
+
+fn run_hotstuff_bench(n: usize, rtt: &[f64]) -> u64 {
+    let mut cfg = HotStuffConfig::new(n, Pacemaker::Fixed { leader: 0 });
+    cfg.run_for = sim_run_for(n);
+    run_hotstuff(&cfg, latency(n, rtt), FaultPlan::none()).events
+}
+
+fn run_kauri_bench(n: usize, rtt: &[f64]) -> u64 {
+    let mut cfg = KauriConfig::new(n);
+    cfg.run_for = sim_run_for(n);
+    run_kauri(&cfg, latency(n, rtt), FaultPlan::none(), |_| {
+        Box::new(KauriBinsPolicy::new(n, 4, 1)) as Box<dyn TreePolicy>
+    })
+    .events
+}
+
+fn run_optitree_bench(n: usize, rtt: &[f64]) -> u64 {
+    let system = SystemConfig::new(n);
+    let mut cfg = KauriConfig::new(n);
+    cfg.run_for = sim_run_for(n);
+    let rtt_owned = rtt.to_vec();
+    run_kauri(&cfg, latency(n, rtt), FaultPlan::none(), move |_| {
+        Box::new(OptiTreePolicy::new(system, rtt_owned.clone(), 7)) as Box<dyn TreePolicy>
+    })
+    .events
+}
+
+type FamilyRunner = fn(usize, &[f64]) -> u64;
 
 fn bench_protocols(c: &mut Criterion) {
-    let n = 21;
-    let rtt = Deployment::Europe21.rtt_matrix(n, 0);
-    let system = SystemConfig::new(n);
-    let mut group = c.benchmark_group("protocol_1s_europe21");
+    let families: [(&str, FamilyRunner); 4] = [
+        ("pbft_static", run_pbft),
+        ("hotstuff_fixed", run_hotstuff_bench),
+        ("kauri_pipeline", run_kauri_bench),
+        ("optitree_pipeline", run_optitree_bench),
+    ];
+    let mut group = c.benchmark_group("protocol_throughput_europe21");
     group.sample_size(10);
-
-    group.bench_function("hotstuff_fixed", |b| {
-        b.iter(|| {
-            let mut cfg = HotStuffConfig::new(n, Pacemaker::Fixed { leader: 0 });
-            cfg.run_for = Duration::from_secs(1);
-            run_hotstuff(&cfg, Box::new(MatrixLatency::from_rtt_millis(n, &rtt)), FaultPlan::none())
-        })
-    });
-    group.bench_function("kauri_pipeline", |b| {
-        b.iter(|| {
-            let mut cfg = KauriConfig::new(n);
-            cfg.run_for = Duration::from_secs(1);
-            run_kauri(
-                &cfg,
-                Box::new(MatrixLatency::from_rtt_millis(n, &rtt)),
-                FaultPlan::none(),
-                |_| Box::new(KauriBinsPolicy::new(n, 4, 1)) as Box<dyn TreePolicy>,
-            )
-        })
-    });
-    group.bench_function("optitree_pipeline", |b| {
-        b.iter(|| {
-            let mut cfg = KauriConfig::new(n);
-            cfg.run_for = Duration::from_secs(1);
-            let rtt_clone = rtt.clone();
-            run_kauri(
-                &cfg,
-                Box::new(MatrixLatency::from_rtt_millis(n, &rtt)),
-                FaultPlan::none(),
-                move |_| Box::new(OptiTreePolicy::new(system, rtt_clone.clone(), 7)) as Box<dyn TreePolicy>,
-            )
-        })
-    });
+    for &n in &SIZES {
+        let rtt = Deployment::Europe21.rtt_matrix(n, 0);
+        for (name, runner) in families {
+            // Engine-throughput probe: events processed and events/sec for
+            // one run of this configuration.
+            let start = Instant::now();
+            let events = runner(n, &rtt);
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            println!(
+                "events: {name}/n={n:<3} {events:>9} events  {:>12.0} events/sec",
+                events as f64 / secs
+            );
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter(|| runner(n, &rtt))
+            });
+        }
+    }
     group.finish();
 }
 

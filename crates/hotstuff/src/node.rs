@@ -136,7 +136,7 @@ impl HotStuffNode {
             return;
         }
         let commands = if let Some(queue) = &self.traffic {
-            match queue.try_batch(ctx.now) {
+            match queue.try_batch_at(ctx.now, self.id) {
                 Some(batch) => {
                     self.batch_ids.insert(view, batch.id);
                     batch.commands
@@ -333,6 +333,8 @@ pub struct HotStuffReport {
     pub latency_timeline: Vec<(f64, f64)>,
     /// Number of views driven during the run.
     pub views: u64,
+    /// Simulator events processed during the run (engine-throughput metric).
+    pub events: u64,
 }
 
 /// Run chained HotStuff over the given latency model and report throughput
@@ -379,6 +381,7 @@ pub fn run_hotstuff(
         summary,
         latency_timeline,
         views,
+        events: sim.events_processed(),
     }
 }
 

@@ -622,7 +622,7 @@ impl KauriNode {
         }
         while self.outstanding() < self.pipeline {
             let (commands, batch_id) = if let Some(queue) = &self.traffic {
-                match queue.try_batch(ctx.now) {
+                match queue.try_batch_at(ctx.now, self.id) {
                     Some(batch) => {
                         let id = batch.id;
                         (batch.commands, Some(id))
@@ -1210,6 +1210,8 @@ pub struct KauriReport {
     /// Replicas replica 0's policy excludes from internal positions at the
     /// end of the run.
     pub excluded: Vec<usize>,
+    /// Simulator events processed during the run (engine-throughput metric).
+    pub events: u64,
 }
 
 /// Run Kauri (or any [`TreePolicy`]-driven variant) over a latency model.
@@ -1314,6 +1316,7 @@ pub fn run_kauri(
             (log.len(), log.epoch(), std::cmp::Reverse(id))
         })
         .expect("at least one replica");
+    let events = sim.events_processed();
     let observer = sim.node_mut(observer_id);
     let log = observer.config_log();
     let final_tree = log.current().config.clone();
@@ -1329,6 +1332,7 @@ pub fn run_kauri(
         adopted_epochs,
         committed_pairs,
         excluded,
+        events,
     }
 }
 

@@ -33,7 +33,7 @@ use rand::{Rng, SeedableRng};
 use rsm::{SystemConfig, TrafficSpec, WorkloadSpec};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
-use traffic::SharedTrafficQueue;
+use traffic::{ForwardingModel, SharedTrafficQueue, TrafficQueue};
 
 /// Derive an independent RNG seed for a cell from the sweep seed and a salt
 /// (SplitMix64 finaliser), so cells never share RNG streams across threads.
@@ -321,14 +321,19 @@ impl ProtocolScenario {
         // every substrate pulls batches from.
         let traffic = point.idx.get(3).map(|&tri| {
             let spec = &self.traffics[tri];
-            let ingress =
-                topology.client_ingress_ms(spec.clients, seed, mix_seed(seed, 0xC11E_9701));
-            SharedTrafficQueue::generate(
+            let placed = topology.place_clients(spec.clients, seed, mix_seed(seed, 0xC11E_9701));
+            let ingress: Vec<f64> = placed.iter().map(|p| p.ingress_ms).collect();
+            let nearest: Vec<usize> = placed.iter().map(|p| p.nearest).collect();
+            // Requests entering through a non-leader replica pay the explicit
+            // ingress→leader forwarding hop on top of consensus latency.
+            let queue = TrafficQueue::generate(
                 spec,
                 &ingress,
                 mix_seed(seed, 0x7AFF_1C00),
                 SimTime::ZERO + self.duration,
             )
+            .with_forwarding(ForwardingModel::from_rtt(nearest, &rtt, n));
+            SharedTrafficQueue::new(queue)
         });
 
         let mut metrics = CellMetrics::new();

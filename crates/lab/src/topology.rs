@@ -132,10 +132,25 @@ impl Topology {
     /// `seed` must match the one used for [`Topology::rtt_matrix`] so the
     /// replica placement agrees.
     pub fn client_ingress_ms(&self, clients: usize, seed: u64, placement_seed: u64) -> Vec<f64> {
+        self.place_clients(clients, seed, placement_seed)
+            .into_iter()
+            .map(|p| p.ingress_ms)
+            .collect()
+    }
+
+    /// Like [`Topology::client_ingress_ms`], but also reports *which*
+    /// replica each client enters through — the identity the ingress→leader
+    /// forwarding hop is charged against (see [`traffic::ForwardingModel`]).
+    pub fn place_clients(
+        &self,
+        clients: usize,
+        seed: u64,
+        placement_seed: u64,
+    ) -> Vec<traffic::ClientPlacement> {
         let ds = CityDataset::worldwide();
         let subset = self.deployment.city_subset(&ds);
         let replicas = self.deployment.replica_cities(&ds, self.n, seed);
-        traffic::client_ingress_ms(&ds, &subset, &replicas, clients, placement_seed)
+        traffic::place_clients(&ds, &subset, &replicas, clients, placement_seed)
     }
 }
 

@@ -1,22 +1,76 @@
-//! Event queue for the discrete-event simulator.
+//! Events and payload interning for the discrete-event simulator.
 //!
 //! Events are ordered by `(time, sequence)`. The sequence number is a
 //! monotonically increasing tie-breaker so that two events scheduled for the
 //! same instant are delivered in the order they were scheduled, which keeps
-//! the simulation deterministic across runs.
+//! the simulation deterministic across runs. Both schedulers (the production
+//! [`crate::sched::TimerWheel`] and the reference [`EventQueue`] binary heap)
+//! implement exactly this total order.
+//!
+//! Broadcast payloads are *interned*: one [`Payload::Shared`] `Arc` is
+//! created per send and every per-recipient event holds a reference to it,
+//! so a 100-replica broadcast costs one allocation instead of 100 deep
+//! clones. The payload is unwrapped lazily at delivery — the last recipient
+//! takes the original value back out of the `Arc`, and deliveries dropped on
+//! the floor (crashed nodes, horizon cutoff) never pay the clone at all.
 
 use crate::sim::{NodeId, TimerId};
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// A message payload carried by a [`EventKind::Deliver`] event: either owned
+/// outright (unicast) or shared between all recipients of one broadcast.
+///
+/// Transparent to [`crate::Node::on_message`] — the engine unwraps the
+/// payload into an owned message at delivery time.
+#[derive(Debug, Clone)]
+pub enum Payload<M> {
+    /// A unicast payload, owned by its single delivery event.
+    Owned(M),
+    /// One broadcast payload shared by every recipient's delivery event.
+    Shared(Arc<M>),
+}
+
+impl<M: Clone> Payload<M> {
+    /// Unwrap into an owned message. The last holder of a shared payload
+    /// recovers the original value without cloning.
+    pub fn into_msg(self) -> M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared(arc) => Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()),
+        }
+    }
+}
+
+impl<M> Payload<M> {
+    /// Borrow the message.
+    pub fn as_msg(&self) -> &M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared(arc) => arc,
+        }
+    }
+}
 
 /// What happens when an event fires.
 #[derive(Debug, Clone)]
 pub enum EventKind<M> {
-    /// Deliver `msg` from `from` to the target node.
-    Deliver { from: NodeId, msg: M },
+    /// Deliver the payload from `from` to the target node.
+    Deliver {
+        /// Sending node.
+        from: NodeId,
+        /// The (possibly broadcast-shared) message.
+        payload: Payload<M>,
+    },
     /// Fire timer `timer` (with an opaque `tag` chosen by the node) at the target node.
-    Timer { timer: TimerId, tag: u64 },
+    Timer {
+        /// Engine-assigned timer identity.
+        timer: TimerId,
+        /// Opaque tag echoed back to the node.
+        tag: u64,
+    },
     /// Crash the target node: it stops processing all further events.
     Crash,
     /// Recover a previously crashed node.
@@ -60,7 +114,14 @@ impl<M> Ord for Event<M> {
     }
 }
 
-/// A deterministic priority queue of simulation events.
+/// The reference priority queue of simulation events: a binary heap ordered
+/// by `(time, seq)`.
+///
+/// This is the original engine data structure, kept as the executable
+/// specification of the determinism contract — the proptests drive it and
+/// the [`crate::sched::TimerWheel`] with identical schedules and assert
+/// identical pop order — and as the baseline the engine benchmarks compare
+/// against ([`crate::sched::HeapScheduler`] wraps the same heap discipline).
 #[derive(Debug)]
 pub struct EventQueue<M> {
     heap: BinaryHeap<Event<M>>,
@@ -98,6 +159,11 @@ impl<M> EventQueue<M> {
     /// Pop the earliest event, if any.
     pub fn pop(&mut self) -> Option<Event<M>> {
         self.heap.pop()
+    }
+
+    /// Peek at the earliest event, if any.
+    pub fn peek(&self) -> Option<&Event<M>> {
+        self.heap.peek()
     }
 
     /// Peek at the time of the earliest event.
@@ -159,5 +225,18 @@ mod tests {
         assert_eq!(q.next_time().unwrap().as_micros(), 5);
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn shared_payload_unwraps_without_clone_for_last_holder() {
+        let shared = Arc::new(vec![1u8, 2, 3]);
+        let a: Payload<Vec<u8>> = Payload::Shared(shared.clone());
+        let b: Payload<Vec<u8>> = Payload::Shared(shared);
+        assert_eq!(a.as_msg(), &vec![1, 2, 3]);
+        // First holder clones (the Arc is still shared)…
+        assert_eq!(a.into_msg(), vec![1, 2, 3]);
+        // …the last holder takes the original value back out.
+        assert_eq!(b.into_msg(), vec![1, 2, 3]);
+        assert_eq!(Payload::Owned(7u32).into_msg(), 7);
     }
 }

@@ -24,12 +24,14 @@ pub mod cities;
 pub mod event;
 pub mod faults;
 pub mod latency;
+pub mod sched;
 pub mod sim;
 pub mod stats;
 pub mod time;
 
 pub use cities::{City, CityDataset, Region};
-pub use event::{Event, EventKind, EventQueue};
+pub use event::{Event, EventKind, EventQueue, Payload};
+pub use sched::{EventHandle, EventScheduler, HeapScheduler, TimerWheel};
 pub use faults::{FaultPlan, FaultWindow, LinkFault, NodeFault};
 pub use latency::{GeoLatency, LatencyModel, MatrixLatency, UniformLatency};
 pub use sim::{Action, Context, Node, NodeId, Simulation, SimulationConfig, TimerId};

@@ -6,12 +6,21 @@
 //! set timers, and read the current virtual time. The engine delivers
 //! messages after the modelled link latency (possibly modified by the fault
 //! plan) and fires timers, advancing virtual time from event to event.
+//!
+//! Internally the engine runs on a pluggable [`EventScheduler`] — the
+//! hierarchical [`TimerWheel`] by default, or any other implementation via
+//! [`Simulation::with_scheduler`] (the heap baseline is kept for benchmarks
+//! and equivalence tests). Broadcast payloads are interned behind one `Arc`
+//! per send ([`Payload`]), so the fan-out cost is reference counting, not
+//! deep clones.
 
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, Payload};
 use crate::faults::FaultPlan;
 use crate::latency::LatencyModel;
+use crate::sched::{EventHandle, EventScheduler, TimerWheel};
 use crate::time::{Duration, SimTime};
-use std::collections::HashSet;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Identifier of a node in the simulation (index into the node vector).
 pub type NodeId = usize;
@@ -23,12 +32,25 @@ pub struct TimerId(pub u64);
 /// An action a node requests from the engine during a callback.
 #[derive(Debug, Clone)]
 pub enum Action<M> {
-    /// Send `msg` to node `to`.
-    Send { to: NodeId, msg: M },
+    /// Send `payload` to node `to`.
+    Send {
+        /// Recipient node.
+        to: NodeId,
+        /// Owned for unicast, `Arc`-shared for broadcast/multicast fan-out.
+        payload: Payload<M>,
+    },
     /// Set a timer firing after `delay`, with an opaque `tag` echoed back.
-    SetTimer { delay: Duration, tag: u64 },
+    SetTimer {
+        /// Delay from the current instant.
+        delay: Duration,
+        /// Opaque tag echoed back to `on_timer`.
+        tag: u64,
+    },
     /// Cancel a previously set timer.
-    CancelTimer { timer: TimerId },
+    CancelTimer {
+        /// The timer to cancel.
+        timer: TimerId,
+    },
 }
 
 /// The interface nodes use to interact with the simulated world.
@@ -62,35 +84,47 @@ impl<M> Context<M> {
     /// Send a message to a single node. Sending to self is allowed and is
     /// delivered with zero latency (next event at the same instant).
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.actions.push(Action::Send { to, msg });
+        self.actions.push(Action::Send {
+            to,
+            payload: Payload::Owned(msg),
+        });
     }
 
     /// Send a message to every node except the sender.
-    pub fn broadcast(&mut self, msg: M)
-    where
-        M: Clone,
-    {
+    ///
+    /// The payload is interned behind one `Arc` shared by all recipients:
+    /// a broadcast costs O(1) payload clones regardless of fan-out.
+    pub fn broadcast(&mut self, msg: M) {
+        let shared = Arc::new(msg);
         for to in 0..self.n {
             if to != self.id {
                 self.actions.push(Action::Send {
                     to,
-                    msg: msg.clone(),
+                    payload: Payload::Shared(shared.clone()),
                 });
             }
         }
     }
 
     /// Send a message to every node in `targets` (skipping self-sends is the
-    /// caller's choice; they are allowed).
-    pub fn multicast(&mut self, targets: &[NodeId], msg: M)
-    where
-        M: Clone,
-    {
-        for &to in targets {
-            self.actions.push(Action::Send {
-                to,
-                msg: msg.clone(),
-            });
+    /// caller's choice; they are allowed). Like [`Context::broadcast`], the
+    /// payload is shared, not cloned per recipient.
+    pub fn multicast(&mut self, targets: &[NodeId], msg: M) {
+        match targets {
+            [] => {}
+            [to] => self.actions.push(Action::Send {
+                to: *to,
+                payload: Payload::Owned(msg),
+            }),
+            _ => {
+                let shared = Arc::new(msg);
+                for &to in targets {
+                    self.actions.push(Action::Send {
+                        to,
+                        payload: Payload::Shared(shared.clone()),
+                    });
+                }
+            }
         }
     }
 
@@ -146,14 +180,17 @@ impl Default for SimulationConfig {
     }
 }
 
-/// The discrete-event simulation engine.
-pub struct Simulation<N: Node> {
+/// The discrete-event simulation engine, generic over its [`EventScheduler`]
+/// (the [`TimerWheel`] by default).
+pub struct Simulation<N: Node, S: EventScheduler<N::Msg> = TimerWheel<<N as Node>::Msg>> {
     nodes: Vec<N>,
     latency: Box<dyn LatencyModel>,
     faults: FaultPlan,
-    queue: EventQueue<N::Msg>,
-    cancelled: HashSet<u64>,
-    timer_seq: HashSet<u64>,
+    sched: S,
+    /// Pending timers: engine-assigned id → scheduler handle. An entry is
+    /// removed when its timer fires or is cancelled, so bookkeeping is
+    /// bounded by the number of *outstanding* timers, not the total ever set.
+    live_timers: HashMap<u64, EventHandle>,
     crashed: Vec<bool>,
     now: SimTime,
     next_timer: u64,
@@ -162,8 +199,17 @@ pub struct Simulation<N: Node> {
 }
 
 impl<N: Node> Simulation<N> {
-    /// Create a simulation over `nodes` with the given latency model.
+    /// Create a simulation over `nodes` with the given latency model, running
+    /// on the default [`TimerWheel`] scheduler.
     pub fn new(nodes: Vec<N>, latency: Box<dyn LatencyModel>) -> Self {
+        Self::with_scheduler(nodes, latency, TimerWheel::new())
+    }
+}
+
+impl<N: Node, S: EventScheduler<N::Msg>> Simulation<N, S> {
+    /// Create a simulation running on an explicit scheduler (used by the
+    /// engine benchmarks to compare the wheel against the heap baseline).
+    pub fn with_scheduler(nodes: Vec<N>, latency: Box<dyn LatencyModel>, sched: S) -> Self {
         let n = nodes.len();
         assert!(
             latency.len() >= n,
@@ -175,9 +221,8 @@ impl<N: Node> Simulation<N> {
             nodes,
             latency,
             faults: FaultPlan::none(),
-            queue: EventQueue::new(),
-            cancelled: HashSet::new(),
-            timer_seq: HashSet::new(),
+            sched,
+            live_timers: HashMap::new(),
             now: SimTime::ZERO,
             next_timer: 0,
             events_processed: 0,
@@ -188,10 +233,10 @@ impl<N: Node> Simulation<N> {
     /// Install a fault plan. Crash and recovery faults are scheduled as events.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         for (node, at) in faults.crash_schedule() {
-            self.queue.schedule(at, node, EventKind::Crash);
+            self.sched.schedule(at, node, EventKind::Crash);
         }
         for (node, at) in faults.recovery_schedule() {
-            self.queue.schedule(at, node, EventKind::Recover);
+            self.sched.schedule(at, node, EventKind::Recover);
         }
         self.faults = faults;
         self
@@ -201,6 +246,13 @@ impl<N: Node> Simulation<N> {
     pub fn with_config(mut self, config: SimulationConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Extend (or shrink) the horizon of an in-progress run. Events beyond
+    /// the old horizon are still queued — [`Simulation::step`] never drops
+    /// them — so stepping again after an extension resumes cleanly.
+    pub fn set_horizon(&mut self, horizon: SimTime) {
+        self.config.horizon = horizon;
     }
 
     /// Current virtual time.
@@ -238,31 +290,51 @@ impl<N: Node> Simulation<N> {
         self.events_processed
     }
 
+    /// Number of outstanding (set, not yet fired or cancelled) timers the
+    /// engine is tracking. Bounded by live timers — test hook for the
+    /// bounded-bookkeeping regression tests.
+    pub fn timer_bookkeeping(&self) -> usize {
+        self.live_timers.len()
+    }
+
+    /// Number of events currently pending in the scheduler.
+    pub fn pending_events(&self) -> usize {
+        self.sched.len()
+    }
+
     fn dispatch_actions(&mut self, from: NodeId, ctx: Context<N::Msg>) {
         self.next_timer = ctx.next_timer;
         let mut allocated = ctx.allocated_timers.into_iter();
         for action in ctx.actions {
             match action {
-                Action::Send { to, msg } => {
+                Action::Send { to, payload } => {
                     if to >= self.nodes.len() {
                         continue;
                     }
                     let base = self.latency.latency(from, to);
                     if let Some(delay) = self.faults.effective_delay(self.now, from, to, base) {
-                        self.queue
-                            .schedule(self.now + delay, to, EventKind::Deliver { from, msg });
+                        self.sched.schedule(
+                            self.now + delay,
+                            to,
+                            EventKind::Deliver { from, payload },
+                        );
                     }
                 }
                 Action::SetTimer { delay, tag } => {
                     let timer = allocated
                         .next()
                         .expect("timer allocation mismatch: SetTimer without allocated id");
-                    self.timer_seq.insert(timer.0);
-                    self.queue
-                        .schedule(self.now + delay, from, EventKind::Timer { timer, tag });
+                    let handle =
+                        self.sched
+                            .schedule(self.now + delay, from, EventKind::Timer { timer, tag });
+                    self.live_timers.insert(timer.0, handle);
                 }
                 Action::CancelTimer { timer } => {
-                    self.cancelled.insert(timer.0);
+                    // Already-fired (or double-cancelled) timers have no
+                    // entry: the cancel is a no-op and leaves no tombstone.
+                    if let Some(handle) = self.live_timers.remove(&timer.0) {
+                        self.sched.cancel(handle);
+                    }
                 }
             }
         }
@@ -283,32 +355,43 @@ impl<N: Node> Simulation<N> {
 
     /// Process a single event. Returns `false` when the queue is exhausted or
     /// the horizon / event budget is reached.
+    ///
+    /// An event beyond the horizon stays queued (peek before pop): extending
+    /// the horizon with [`Simulation::set_horizon`] and stepping again
+    /// delivers it.
     pub fn step(&mut self) -> bool {
         if self.events_processed >= self.config.max_events {
             return false;
         }
-        let event = match self.queue.pop() {
-            Some(e) => e,
+        let next = match self.sched.next_time() {
+            Some(t) => t,
             None => return false,
         };
-        if event.at > self.config.horizon {
+        if next > self.config.horizon {
             self.now = self.config.horizon;
             return false;
         }
+        let event = self.sched.pop().expect("peeked event pops");
         self.now = event.at;
         self.events_processed += 1;
         let id = event.target;
         match event.kind {
-            EventKind::Deliver { from, msg } => {
+            EventKind::Deliver { from, payload } => {
                 if self.crashed[id] {
+                    // Dropped on the floor: the shared payload is never
+                    // unwrapped, so crashed recipients pay no clone.
                     return true;
                 }
                 let mut ctx = Context::new(id, self.now, self.nodes.len(), self.next_timer);
+                let msg = payload.into_msg();
                 self.nodes[id].on_message(&mut ctx, from, msg);
                 self.dispatch_actions(id, ctx);
             }
             EventKind::Timer { timer, tag } => {
-                if self.crashed[id] || self.cancelled.contains(&timer.0) {
+                // Cancelled timers never reach this point (the scheduler
+                // drops them); firing retires the bookkeeping entry.
+                self.live_timers.remove(&timer.0);
+                if self.crashed[id] {
                     return true;
                 }
                 let mut ctx = Context::new(id, self.now, self.nodes.len(), self.next_timer);
@@ -338,7 +421,7 @@ impl<N: Node> Simulation<N> {
         if self.events_processed == 0 && self.now == SimTime::ZERO {
             self.start();
         }
-        while let Some(t) = self.queue.next_time() {
+        while let Some(t) = self.sched.next_time() {
             if t > until {
                 self.now = until;
                 break;
@@ -354,6 +437,8 @@ impl<N: Node> Simulation<N> {
 mod tests {
     use super::*;
     use crate::latency::UniformLatency;
+    use crate::sched::HeapScheduler;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// A node that floods a token around a ring a fixed number of times.
     struct RingNode {
@@ -475,6 +560,7 @@ mod tests {
         sim.run();
         assert_eq!(sim.node(0).fired.len(), 1);
         assert_eq!(sim.node(0).fired[0].0, 1);
+        assert_eq!(sim.timer_bookkeeping(), 0, "fired + cancelled both retired");
     }
 
     #[test]
@@ -492,6 +578,35 @@ mod tests {
         assert!(sim.now() <= SimTime::from_millis(55));
         let total: u32 = sim.nodes().map(|nd| nd.hops_seen).sum();
         assert_eq!(total, 5, "one hop per 10ms until the 55ms horizon");
+    }
+
+    /// Regression test for the horizon-drop bug: the seed engine *popped*
+    /// the first over-horizon event before noticing it was late and silently
+    /// dropped it, so extending the horizon lost one delivery forever.
+    #[test]
+    fn horizon_extension_keeps_over_horizon_event() {
+        let n = 3;
+        let mut sim = Simulation::new(
+            ring(n, 5),
+            Box::new(UniformLatency::new(n, Duration::from_millis(10))),
+        )
+        .with_config(SimulationConfig {
+            horizon: SimTime::from_millis(15),
+            max_events: u64::MAX,
+        });
+        sim.run();
+        let mid: u32 = sim.nodes().map(|nd| nd.hops_seen).sum();
+        assert_eq!(mid, 1, "only the 10ms hop fits under the 15ms horizon");
+        assert_eq!(sim.now().as_millis(), 15);
+        assert_eq!(sim.pending_events(), 1, "the 20ms hop must stay queued");
+
+        // Extend the horizon mid-run and resume: the 20ms delivery — and the
+        // whole chain behind it — must still happen.
+        sim.set_horizon(SimTime::from_millis(100));
+        while sim.step() {}
+        let total: u32 = sim.nodes().map(|nd| nd.hops_seen).sum();
+        assert_eq!(total, 6, "hops 0..=5 all delivered after the extension");
+        assert_eq!(sim.now().as_millis(), 60);
     }
 
     #[test]
@@ -570,5 +685,188 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn wheel_and_heap_drive_identical_traces() {
+        let n = 6;
+        fn collect<S: EventScheduler<u32>>(sim: &Simulation<RingNode, S>) -> Vec<(u64, u32)> {
+            sim.nodes()
+                .flat_map(|nd| nd.deliveries.iter().map(|&(t, h)| (t.as_micros(), h)))
+                .collect()
+        }
+        let trace = |heap: bool| {
+            let latency = Box::new(UniformLatency::new(n, Duration::from_millis(7)));
+            if heap {
+                let mut sim =
+                    Simulation::with_scheduler(ring(n, 30), latency, HeapScheduler::default());
+                sim.run();
+                collect(&sim)
+            } else {
+                let mut sim = Simulation::new(ring(n, 30), latency);
+                sim.run();
+                collect(&sim)
+            }
+        };
+        assert_eq!(trace(false), trace(true));
+    }
+
+    /// Each round sets the next keeper timer plus a far-future decoy and
+    /// immediately cancels the decoy: the seed engine retained every decoy id
+    /// in `cancelled` (and every timer ever set in `timer_seq`) forever.
+    struct ChurnNode {
+        rounds: u32,
+        fired: u32,
+    }
+
+    impl Node for ChurnNode {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut Context<()>) {
+            ctx.set_timer(Duration::from_millis(1), 0);
+        }
+
+        fn on_message(&mut self, _ctx: &mut Context<()>, _from: NodeId, _msg: ()) {}
+
+        fn on_timer(&mut self, ctx: &mut Context<()>, _timer: TimerId, tag: u64) {
+            assert_eq!(tag, 0, "cancelled decoy timers must never fire");
+            self.fired += 1;
+            if self.fired < self.rounds {
+                ctx.set_timer(Duration::from_millis(1), 0);
+                let decoy = ctx.set_timer(Duration::from_secs(3600), 1);
+                ctx.cancel_timer(decoy);
+            }
+        }
+    }
+
+    #[test]
+    fn timer_bookkeeping_stays_bounded_across_churn() {
+        let mut sim = Simulation::new(
+            vec![ChurnNode {
+                rounds: 5_000,
+                fired: 0,
+            }],
+            Box::new(UniformLatency::new(1, Duration::ZERO)),
+        );
+        sim.run();
+        assert_eq!(sim.node(0).fired, 5_000);
+        assert_eq!(
+            sim.timer_bookkeeping(),
+            0,
+            "bookkeeping must not grow with total timers set"
+        );
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    /// A message that counts how many times it is deep-cloned.
+    #[derive(Debug)]
+    struct CountedMsg {
+        clones: Arc<AtomicUsize>,
+        v: u64,
+    }
+
+    impl Clone for CountedMsg {
+        fn clone(&self) -> Self {
+            self.clones.fetch_add(1, Ordering::SeqCst);
+            CountedMsg {
+                clones: self.clones.clone(),
+                v: self.v,
+            }
+        }
+    }
+
+    struct BroadcastNode {
+        received: Vec<u64>,
+    }
+
+    impl Node for BroadcastNode {
+        type Msg = CountedMsg;
+
+        fn on_start(&mut self, ctx: &mut Context<CountedMsg>) {
+            if ctx.id == 0 {
+                ctx.broadcast(CountedMsg {
+                    clones: Arc::new(AtomicUsize::new(0)),
+                    v: 42,
+                });
+            }
+        }
+
+        fn on_message(&mut self, _ctx: &mut Context<CountedMsg>, _from: NodeId, msg: CountedMsg) {
+            self.received.push(msg.v);
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Context<CountedMsg>, _timer: TimerId, _tag: u64) {}
+    }
+
+    #[test]
+    fn broadcast_interns_payload_instead_of_cloning_per_recipient() {
+        // All 4 recipients alive: the payload is cloned lazily at delivery,
+        // and the last holder takes the original — n-2 clones total, versus
+        // n-1 eager deep clones at schedule time in the seed engine.
+        let n = 5;
+        let mut sim = Simulation::new(
+            (0..n).map(|_| BroadcastNode { received: vec![] }).collect(),
+            Box::new(UniformLatency::new(n, Duration::from_millis(1))),
+        );
+        sim.run();
+        let received: usize = sim.nodes().map(|nd| nd.received.len()).sum();
+        assert_eq!(received, n - 1);
+        assert!(sim.nodes().all(|nd| nd.received.iter().all(|&v| v == 42)));
+    }
+
+    #[test]
+    fn broadcast_to_mostly_crashed_recipients_pays_zero_clones() {
+        // Nodes 1..=3 crash before the broadcast lands; node 4 is the only
+        // live recipient and is delivered last, so every shared reference is
+        // already dropped and it unwraps the original without any clone.
+        let n = 5;
+        let clones = Arc::new(AtomicUsize::new(0));
+        let probe = clones.clone();
+        struct CrashedFanout {
+            clones: Arc<AtomicUsize>,
+            received: usize,
+        }
+        impl Node for CrashedFanout {
+            type Msg = CountedMsg;
+            fn on_start(&mut self, ctx: &mut Context<CountedMsg>) {
+                if ctx.id == 0 {
+                    ctx.broadcast(CountedMsg {
+                        clones: self.clones.clone(),
+                        v: 7,
+                    });
+                }
+            }
+            fn on_message(
+                &mut self,
+                _ctx: &mut Context<CountedMsg>,
+                _from: NodeId,
+                msg: CountedMsg,
+            ) {
+                assert_eq!(msg.v, 7);
+                self.received += 1;
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<CountedMsg>, _t: TimerId, _tag: u64) {}
+        }
+        let mut faults = FaultPlan::none();
+        for node in 1..=3 {
+            faults.crash(node, SimTime::from_micros(1));
+        }
+        let mut sim = Simulation::new(
+            (0..n)
+                .map(|_| CrashedFanout {
+                    clones: clones.clone(),
+                    received: 0,
+                })
+                .collect(),
+            Box::new(UniformLatency::new(n, Duration::from_millis(1))),
+        )
+        .with_faults(faults);
+        sim.run();
+        assert_eq!(sim.node(4).received, 1);
+        assert_eq!(
+            probe.load(Ordering::SeqCst),
+            0,
+            "dropped deliveries must not deep-clone the payload"
+        );
     }
 }

@@ -1,7 +1,34 @@
 //! Property-based tests for the simulator substrate.
 
-use netsim::{CityDataset, Duration, EventKind, EventQueue, FaultPlan, SimTime};
+use netsim::{
+    CityDataset, Duration, EventKind, EventQueue, EventScheduler, FaultPlan, HeapScheduler,
+    SimTime, TimerWheel,
+};
 use proptest::prelude::*;
+
+/// One step of the scheduler-equivalence driver, decoded from a raw tuple:
+/// kinds 0–2 schedule (offsets cross bucket, level, and multi-level
+/// boundaries), 3 cancels a random pending event, 4–5 pop.
+#[derive(Debug, Clone)]
+enum SchedOp {
+    /// Schedule an event `offset` µs after the last popped instant.
+    Schedule { offset: u64, target: usize },
+    /// Cancel a still-pending event (index modulo the pending set).
+    Cancel { pick: usize },
+    /// Pop the earliest event and compare it across schedulers.
+    Pop,
+}
+
+fn decode_op((kind, offset, pick): (u32, u64, usize)) -> SchedOp {
+    match kind {
+        0..=2 => SchedOp::Schedule {
+            offset,
+            target: pick % 7,
+        },
+        3 => SchedOp::Cancel { pick },
+        _ => SchedOp::Pop,
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -54,6 +81,74 @@ proptest! {
                 prop_assert!((150.0..=250.0).contains(&ab));
             }
         }
+    }
+
+    /// The determinism contract, made executable: the timer wheel and the
+    /// reference binary-heap scheduler, driven with identical random
+    /// schedule/cancel/pop sequences, pop identical `(time, seq, target)`
+    /// streams. Schedules are issued relative to the last popped instant,
+    /// exactly as the engine does.
+    #[test]
+    fn wheel_matches_reference_heap(
+        raw_ops in prop::collection::vec((0u32..6, 0u64..300_000, 0usize..1_000_000), 1..400),
+    ) {
+        let ops: Vec<SchedOp> = raw_ops.into_iter().map(decode_op).collect();
+        let mut wheel: TimerWheel<()> = TimerWheel::new();
+        let mut heap: HeapScheduler<()> = HeapScheduler::default();
+        // Still-pending events: (seq, wheel handle, heap handle).
+        let mut pending: Vec<(u64, u64, u64)> = Vec::new();
+        let mut next_seq = 0u64;
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                SchedOp::Schedule { offset, target } => {
+                    let at = SimTime::from_micros(now + offset);
+                    let wh = wheel.schedule(at, target, EventKind::Crash);
+                    let hh = heap.schedule(at, target, EventKind::Crash);
+                    pending.push((next_seq, wh, hh));
+                    next_seq += 1;
+                }
+                SchedOp::Cancel { pick } => {
+                    if pending.is_empty() {
+                        continue;
+                    }
+                    let (_, wh, hh) = pending.swap_remove(pick % pending.len());
+                    prop_assert!(wheel.cancel(wh));
+                    prop_assert!(heap.cancel(hh));
+                }
+                SchedOp::Pop => {
+                    prop_assert_eq!(
+                        EventScheduler::<()>::next_time(&mut wheel),
+                        EventScheduler::<()>::next_time(&mut heap)
+                    );
+                    let (w, h) = (wheel.pop(), heap.pop());
+                    match (w, h) {
+                        (None, None) => prop_assert!(pending.is_empty()),
+                        (Some(w), Some(h)) => {
+                            prop_assert_eq!(w.at, h.at);
+                            prop_assert_eq!(w.seq, h.seq);
+                            prop_assert_eq!(w.target, h.target);
+                            prop_assert!(w.at.as_micros() >= now, "time never goes backwards");
+                            now = w.at.as_micros();
+                            let idx = pending
+                                .iter()
+                                .position(|&(seq, _, _)| seq == w.seq)
+                                .expect("popped event was pending");
+                            pending.swap_remove(idx);
+                        }
+                        (w, h) => prop_assert!(false, "divergence: wheel {w:?} vs heap {h:?}"),
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.len(), pending.len());
+        }
+        // Drain both to the end: the tails must agree too.
+        while let Some(w) = wheel.pop() {
+            let h = heap.pop().expect("heap drained early");
+            prop_assert_eq!((w.at, w.seq, w.target), (h.at, h.seq, h.target));
+        }
+        prop_assert!(heap.pop().is_none());
     }
 
     /// A fault plan without faults never drops or alters a message.

@@ -115,6 +115,8 @@ pub struct PbftRunReport {
     pub reconfigurations: Vec<(f64, usize)>,
     /// Name of the policy that produced the run.
     pub policy_name: &'static str,
+    /// Simulator events processed during the run (engine-throughput metric).
+    pub events: u64,
 }
 
 impl PbftRunReport {
@@ -228,6 +230,7 @@ impl PbftHarness {
             replica_summary: replica_summary.expect("at least one correct replica"),
             reconfigurations,
             policy_name,
+            events: sim.events_processed(),
         }
     }
 }

@@ -193,7 +193,7 @@ impl ReplicaState {
         // never triggers condition (a) against an honest, lightly-loaded
         // leader).
         let commands: Vec<Command> = if let Some(queue) = &self.traffic {
-            match queue.try_batch(ctx.now) {
+            match queue.try_batch_at(ctx.now, self.id) {
                 Some(batch) => {
                     self.traffic_batches.insert(self.next_seq, batch.id);
                     batch.commands

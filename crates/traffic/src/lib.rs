@@ -9,10 +9,12 @@
 //! * [`ArrivalSampler`] — deterministic per-seed sampling of the open-loop
 //!   arrival processes declared by [`rsm::ArrivalProcess`] (Poisson, on/off
 //!   bursty, ramp, diurnal), via exponential inter-arrivals and thinning.
-//! * [`placement::client_ingress_ms`] — client populations placed on
+//! * [`placement::place_clients`] — client populations placed on
 //!   [`netsim::CityDataset`] cities, so every request pays a realistic
 //!   one-way latency to its nearest replica before it can be batched (and
-//!   the reply pays it back).
+//!   the reply pays it back). When the proposer is *not* the ingress
+//!   replica, the [`ForwardingModel`] charges the extra ingress→leader hop
+//!   explicitly, so far leaders are not silently under-charged.
 //! * [`TrafficQueue`] — the leader-side admission queue: bounded
 //!   (backpressure rejects arrivals beyond capacity) with size-or-timeout
 //!   batching ([`rsm::BatchingPolicy`]), handed to substrates as a
@@ -27,6 +29,9 @@ pub mod placement;
 pub mod queue;
 pub mod sampler;
 
-pub use placement::client_ingress_ms;
-pub use queue::{ScheduledArrival, SharedTrafficQueue, TrafficBatch, TrafficQueue, TrafficReport};
+pub use placement::{client_ingress_ms, place_clients, ClientPlacement};
+pub use queue::{
+    ForwardingModel, ScheduledArrival, SharedTrafficQueue, TrafficBatch, TrafficQueue,
+    TrafficReport,
+};
 pub use sampler::ArrivalSampler;

@@ -16,10 +16,52 @@ use rand::{Rng, SeedableRng};
 /// Last-mile floor for a client sharing a city with a replica (ms, one-way).
 pub const MIN_INGRESS_MS: f64 = 0.5;
 
+/// Where one client landed: the ingress latency it pays and *which* replica
+/// is its ingress point — the identity the forwarding hop to a far leader is
+/// charged against (see [`crate::ForwardingModel`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientPlacement {
+    /// One-way latency (ms) to the nearest replica, floored at
+    /// [`MIN_INGRESS_MS`].
+    pub ingress_ms: f64,
+    /// Index (into `replica_cities`, i.e. the replica id) of that nearest
+    /// replica.
+    pub nearest: usize,
+}
+
+/// Place `clients` clients uniformly at random (seeded) on the cities of
+/// `subset` and pair each with its nearest replica; `replica_cities` are the
+/// cities the deployment assigned to the replicas.
+pub fn place_clients(
+    ds: &CityDataset,
+    subset: &[usize],
+    replica_cities: &[usize],
+    clients: usize,
+    seed: u64,
+) -> Vec<ClientPlacement> {
+    assert!(!subset.is_empty(), "client placement needs a non-empty city subset");
+    assert!(!replica_cities.is_empty(), "client placement needs replicas");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..clients)
+        .map(|_| {
+            let city = subset[rng.gen_range(0..subset.len())];
+            let (nearest, one_way) = replica_cities
+                .iter()
+                .enumerate()
+                .map(|(r, &rc)| (r, ds.rtt_ms(city, rc) / 2.0))
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                .expect("non-empty replica set");
+            ClientPlacement {
+                ingress_ms: one_way.max(MIN_INGRESS_MS),
+                nearest,
+            }
+        })
+        .collect()
+}
+
 /// One-way latency (ms) from each of `clients` clients to its nearest
-/// replica. Clients are placed uniformly at random (seeded) on the cities of
-/// `subset`; `replica_cities` are the cities the deployment assigned to the
-/// replicas.
+/// replica (see [`place_clients`] for the variant that also reports *which*
+/// replica that is).
 pub fn client_ingress_ms(
     ds: &CityDataset,
     subset: &[usize],
@@ -27,18 +69,9 @@ pub fn client_ingress_ms(
     clients: usize,
     seed: u64,
 ) -> Vec<f64> {
-    assert!(!subset.is_empty(), "client placement needs a non-empty city subset");
-    assert!(!replica_cities.is_empty(), "client placement needs replicas");
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..clients)
-        .map(|_| {
-            let city = subset[rng.gen_range(0..subset.len())];
-            let nearest = replica_cities
-                .iter()
-                .map(|&r| ds.rtt_ms(city, r) / 2.0)
-                .fold(f64::INFINITY, f64::min);
-            nearest.max(MIN_INGRESS_MS)
-        })
+    place_clients(ds, subset, replica_cities, clients, seed)
+        .into_iter()
+        .map(|p| p.ingress_ms)
         .collect()
 }
 
@@ -67,6 +100,34 @@ mod tests {
             // Never worse than half the worst replica-pair RTT in the subset.
             assert!(ms <= 125.0 + 1e-9, "ingress {ms} ms exceeds half the max RTT");
         }
+    }
+
+    #[test]
+    fn place_clients_reports_the_replica_behind_the_ingress_latency() {
+        let ds = CityDataset::worldwide();
+        let subset = ds.global73();
+        let replicas: Vec<usize> = subset.iter().take(7).copied().collect();
+        let placed = place_clients(&ds, &subset, &replicas, 100, 1);
+        // Same draws as client_ingress_ms: the scalar view is a projection.
+        let scalar = client_ingress_ms(&ds, &subset, &replicas, 100, 1);
+        assert_eq!(placed.iter().map(|p| p.ingress_ms).collect::<Vec<_>>(), scalar);
+        for p in &placed {
+            assert!(p.nearest < replicas.len());
+            // The reported ingress is achievable from *some* subset city via
+            // the reported replica (argmin consistency, up to the floor).
+            let achievable = subset.iter().any(|&city| {
+                let d = (ds.rtt_ms(city, replicas[p.nearest]) / 2.0).max(MIN_INGRESS_MS);
+                (d - p.ingress_ms).abs() < 1e-9
+                    && replicas
+                        .iter()
+                        .all(|&r| ds.rtt_ms(city, r) / 2.0 >= ds.rtt_ms(city, replicas[p.nearest]) / 2.0 - 1e-9)
+            });
+            assert!(achievable, "placement {p:?} not consistent with any city");
+        }
+        // Different replicas actually get picked across the population.
+        let distinct: std::collections::BTreeSet<usize> =
+            placed.iter().map(|p| p.nearest).collect();
+        assert!(distinct.len() > 1, "one ingress replica for 100 global clients");
     }
 
     #[test]

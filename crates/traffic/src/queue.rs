@@ -64,6 +64,47 @@ struct InFlight {
     at: SimTime,
     /// Arrival indices in the batch.
     idxs: Vec<u64>,
+    /// The replica that proposed the batch, when known: the ingress→leader
+    /// forwarding hop is charged against it at commit time.
+    proposer: Option<usize>,
+}
+
+/// The ingress→leader forwarding leg of the request path.
+///
+/// A request enters through its client's *nearest* replica; when the current
+/// proposer is a different replica, the request pays one more one-way hop
+/// before it can be batched. Without this model that hop was silently folded
+/// into consensus latency — under-charging exactly the far-leader placements
+/// the role policies are supposed to be judged on.
+#[derive(Debug, Clone)]
+pub struct ForwardingModel {
+    /// Per-client ingress replica (see [`crate::placement::place_clients`]).
+    nearest: Vec<usize>,
+    /// Row-major `n × n` one-way replica-to-replica latency (ms).
+    hop_ms: Vec<f64>,
+    n: usize,
+}
+
+impl ForwardingModel {
+    /// Build from client placements and the deployment's replica RTT matrix
+    /// (row-major `n × n`, ms round-trip — halved into one-way hops).
+    pub fn from_rtt(nearest: Vec<usize>, rtt_ms: &[f64], n: usize) -> Self {
+        assert_eq!(rtt_ms.len(), n * n, "rtt matrix must be n×n");
+        assert!(nearest.iter().all(|&r| r < n), "ingress replica out of range");
+        ForwardingModel {
+            nearest,
+            hop_ms: rtt_ms.iter().map(|&rtt| rtt / 2.0).collect(),
+            n,
+        }
+    }
+
+    /// One-way forwarding latency (ms) for `client`'s requests when
+    /// `proposer` holds the leader role. Zero when the client's ingress
+    /// replica *is* the proposer.
+    pub fn forward_ms(&self, client: u64, proposer: usize) -> f64 {
+        let ingress = self.nearest[client as usize % self.nearest.len()];
+        self.hop_ms[ingress * self.n + proposer]
+    }
 }
 
 /// The admission queue for one run.
@@ -92,6 +133,9 @@ pub struct TrafficQueue {
     retried: u64,
     /// Commands whose retry budget ran out (lost for good).
     abandoned: u64,
+    /// Ingress→leader forwarding accounting; `None` charges no hop (clients
+    /// co-located with the proposer, or unit tests with explicit schedules).
+    forwarding: Option<ForwardingModel>,
     stats: CommitStats,
     depth_timeline: Vec<(f64, f64)>,
     max_depth: usize,
@@ -136,6 +180,7 @@ impl TrafficQueue {
             retries: BTreeMap::new(),
             retried: 0,
             abandoned: 0,
+            forwarding: None,
             stats: CommitStats::new().with_slo(slo),
             depth_timeline: Vec::new(),
             max_depth: 0,
@@ -145,6 +190,14 @@ impl TrafficQueue {
     /// Override the client retry bound (see [`rsm::TrafficSpec::max_retries`]).
     pub fn with_max_retries(mut self, max_retries: u32) -> Self {
         self.max_retries = max_retries;
+        self
+    }
+
+    /// Install the ingress→leader forwarding model: batches dispatched via
+    /// [`TrafficQueue::try_batch_at`] charge each command one extra one-way
+    /// hop from its ingress replica to the proposer.
+    pub fn with_forwarding(mut self, forwarding: ForwardingModel) -> Self {
+        self.forwarding = Some(forwarding);
         self
     }
 
@@ -223,6 +276,20 @@ impl TrafficQueue {
     /// `None` while neither condition holds (the substrate should re-ask at
     /// [`TrafficQueue::next_ready_at`]).
     pub fn try_batch(&mut self, now: SimTime) -> Option<TrafficBatch> {
+        self.dispatch(now, None)
+    }
+
+    /// Like [`TrafficQueue::try_batch`], but records *which* replica is
+    /// proposing: with a [`ForwardingModel`] installed, every command in the
+    /// batch is charged the ingress→proposer forwarding hop at commit time.
+    /// Substrates that know their identity should always use this entry
+    /// point; a retried batch re-dispatched by a new proposer is re-charged
+    /// against that proposer.
+    pub fn try_batch_at(&mut self, now: SimTime, proposer: usize) -> Option<TrafficBatch> {
+        self.dispatch(now, Some(proposer))
+    }
+
+    fn dispatch(&mut self, now: SimTime, proposer: Option<usize>) -> Option<TrafficBatch> {
         self.admit(now);
         let oldest = self.waiting.front().map(|&i| self.arrivals[i as usize].ingress)?;
         let full = self.waiting.len() >= self.batching.max_batch;
@@ -238,7 +305,7 @@ impl TrafficQueue {
             .collect();
         let id = self.next_batch_id;
         self.next_batch_id += 1;
-        self.in_flight.insert(id, InFlight { at: now, idxs });
+        self.in_flight.insert(id, InFlight { at: now, idxs, proposer });
         self.depth_timeline
             .push((now.as_secs_f64(), self.waiting.len() as f64));
         Some(TrafficBatch { id, commands })
@@ -322,14 +389,20 @@ impl TrafficQueue {
 
     /// Report that the block carrying batch `id` committed at `committed`:
     /// every command in it is accounted with its client-observed latency
-    /// (ingress leg + queueing + consensus + reply leg) against the SLO.
+    /// (ingress leg + forwarding hop + queueing + consensus + reply leg)
+    /// against the SLO.
     pub fn commit_batch(&mut self, id: u64, committed: SimTime) {
         let Some(flight) = self.in_flight.remove(&id) else {
             return;
         };
         for i in flight.idxs {
             let a = self.arrivals[i as usize];
-            let e2e = committed.since(a.send) + Duration::from_millis_f64(a.reply_ms);
+            let forward_ms = match (&self.forwarding, flight.proposer) {
+                (Some(f), Some(p)) => f.forward_ms(a.client, p),
+                _ => 0.0,
+            };
+            let e2e = committed.since(a.send)
+                + Duration::from_millis_f64(a.reply_ms + forward_ms);
             self.stats.record_client_commit(e2e, committed);
         }
     }
@@ -461,6 +534,11 @@ impl SharedTrafficQueue {
     /// See [`TrafficQueue::try_batch`].
     pub fn try_batch(&self, now: SimTime) -> Option<TrafficBatch> {
         self.lock().try_batch(now)
+    }
+
+    /// See [`TrafficQueue::try_batch_at`].
+    pub fn try_batch_at(&self, now: SimTime, proposer: usize) -> Option<TrafficBatch> {
+        self.lock().try_batch_at(now, proposer)
     }
 
     /// See [`TrafficQueue::next_ready_at`].
@@ -650,6 +728,76 @@ mod tests {
         let report = q.report(1);
         // e2e = (100 − 0) commit delta + 40 reply = 140 ms.
         assert!((report.e2e_mean_ms - 140.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forwarding_hop_is_charged_against_the_proposer() {
+        // 2 replicas 80 ms RTT apart; client 0 enters through replica 0.
+        let rtt = vec![0.0, 80.0, 80.0, 0.0];
+        let model = ForwardingModel::from_rtt(vec![0], &rtt, 2);
+        assert_eq!(model.forward_ms(0, 0), 0.0);
+        assert_eq!(model.forward_ms(0, 1), 40.0);
+
+        let schedule = vec![ScheduledArrival {
+            send: SimTime::ZERO,
+            client: 0,
+            ingress_ms: 10.0,
+        }];
+        let mk = || {
+            TrafficQueue::from_schedule(
+                policy(1, 100),
+                10,
+                Duration::from_secs(1),
+                schedule.clone(),
+            )
+            .with_forwarding(ForwardingModel::from_rtt(vec![0], &rtt, 2))
+        };
+
+        // Proposed by the ingress replica itself: no forwarding charge.
+        // e2e = (100 − 0) commit delta + 10 reply = 110 ms.
+        let mut near = mk();
+        let b = near.try_batch_at(SimTime::from_millis(10), 0).expect("near");
+        near.commit_batch(b.id, SimTime::from_millis(100));
+        assert!((near.report(1).e2e_mean_ms - 110.0).abs() < 1e-6);
+
+        // Proposed by the far replica: one extra 40 ms one-way hop.
+        let mut far = mk();
+        let b = far.try_batch_at(SimTime::from_millis(10), 1).expect("far");
+        far.commit_batch(b.id, SimTime::from_millis(100));
+        assert!((far.report(1).e2e_mean_ms - 150.0).abs() < 1e-6);
+
+        // Proposer unknown (plain try_batch): conservatively uncharged —
+        // the behaviour every pre-forwarding unit test and harness relies on.
+        let mut anon = mk();
+        let b = anon.try_batch(SimTime::from_millis(10)).expect("anon");
+        anon.commit_batch(b.id, SimTime::from_millis(100));
+        assert!((anon.report(1).e2e_mean_ms - 110.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn retried_batch_is_recharged_against_its_new_proposer() {
+        let rtt = vec![0.0, 80.0, 80.0, 0.0];
+        let schedule = vec![ScheduledArrival {
+            send: SimTime::ZERO,
+            client: 0,
+            ingress_ms: 0.0,
+        }];
+        let mut q = TrafficQueue::from_schedule(
+            policy(1, 100),
+            10,
+            Duration::from_secs(10),
+            schedule,
+        )
+        .with_forwarding(ForwardingModel::from_rtt(vec![0], &rtt, 2));
+        // Dispatched by the far proposer, lost, re-dispatched by the near
+        // one: the commit charges the *new* proposer's hop (zero), not the
+        // lost flight's.
+        let b1 = q.try_batch_at(SimTime::from_millis(1), 1).expect("far flight");
+        q.retry_batch(b1.id, SimTime::from_millis(200));
+        let b2 = q.try_batch_at(SimTime::from_millis(201), 0).expect("re-dispatch");
+        q.commit_batch(b2.id, SimTime::from_millis(300));
+        // e2e = 300 ms commit delta + 0 reply + 0 forward.
+        assert!((q.report(1).e2e_mean_ms - 300.0).abs() < 1e-6);
     }
 
     #[test]
