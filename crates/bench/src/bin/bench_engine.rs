@@ -11,7 +11,13 @@
 //! events/sec differences are pure engine overhead.
 //!
 //! Usage: `bench_engine [rounds] [--smoke] [--out DIR | --no-json]
-//!         [--assert-speedup X]`
+//!         [--assert-speedup X] [--assert-telemetry-overhead F]`
+//!
+//! The telemetry phase re-runs the wheel schedule with disabled-handle
+//! telemetry calls at every message — the cost a substrate pays for being
+//! instrumented when no sink is installed. `--assert-telemetry-overhead
+//! 0.02` gates that cost at 2% of events/sec (best-of-3 on both sides to
+//! damp wall-clock noise).
 //!
 //! Writes `BENCH_engine.json` with one record per (n, engine) and the
 //! wheel-over-heap speedup per n. Wall-clock numbers vary run to run, so
@@ -26,6 +32,7 @@ use netsim::{
 use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
+use telemetry::Telemetry;
 
 /// One-way link latency in µs; a round (block out + vote back) is one RTT.
 const ONE_WAY_US: u64 = 500;
@@ -49,10 +56,15 @@ struct FanoutNode {
     view_timer: Option<TimerId>,
     timeouts: u64,
     bytes_received: u64,
+    // When set, every message makes the same registry/span calls a real
+    // substrate makes, against a handle with no sink — the disabled-path
+    // cost the overhead gate measures. Both variants evaluate the same
+    // `Option` check, so the delta is purely the telemetry calls.
+    telemetry: Option<Telemetry>,
 }
 
 impl FanoutNode {
-    fn new(rounds: u64, legacy_clones: bool) -> Self {
+    fn new(rounds: u64, legacy_clones: bool, telemetry: Option<Telemetry>) -> Self {
         FanoutNode {
             rounds,
             legacy_clones,
@@ -60,6 +72,7 @@ impl FanoutNode {
             view_timer: None,
             timeouts: 0,
             bytes_received: 0,
+            telemetry,
         }
     }
 
@@ -104,10 +117,25 @@ impl Node for FanoutNode {
         match msg {
             EngineMsg::Block { round, body } => {
                 self.bytes_received += body.len() as u64;
+                if let Some(t) = &self.telemetry {
+                    t.counter_add("bench.engine.blocks", Some(ctx.id), 1);
+                    t.observe("bench.engine.block_bytes", Some(ctx.id), body.len() as u64);
+                    t.span(
+                        telemetry::Stage::Forward,
+                        ctx.id,
+                        round,
+                        ctx.now.as_micros(),
+                        ONE_WAY_US,
+                        vec![],
+                    );
+                }
                 self.arm_view_timer(ctx, round);
                 ctx.send(from, EngineMsg::Vote { round });
             }
             EngineMsg::Vote { round } => {
+                if let Some(t) = &self.telemetry {
+                    t.counter_add("bench.engine.votes", Some(ctx.id), 1);
+                }
                 self.votes += 1;
                 if self.votes == ctx.n - 1 {
                     self.votes = 0;
@@ -139,11 +167,12 @@ fn run_engine<S: EventScheduler<EngineMsg>>(
     n: usize,
     rounds: u64,
     legacy_clones: bool,
+    telemetry: Option<Telemetry>,
     sched: S,
     engine: &'static str,
 ) -> Measurement {
     let nodes = (0..n)
-        .map(|_| FanoutNode::new(rounds, legacy_clones))
+        .map(|_| FanoutNode::new(rounds, legacy_clones, telemetry.clone()))
         .collect();
     let latency = Box::new(UniformLatency::new(n, Duration::from_micros(ONE_WAY_US)));
     let mut sim = Simulation::with_scheduler(nodes, latency, sched);
@@ -188,6 +217,7 @@ fn main() {
     let mut out_dir: Option<PathBuf> = Some(PathBuf::from("."));
     let mut smoke = false;
     let mut assert_speedup: Option<f64> = None;
+    let mut assert_telemetry_overhead: Option<f64> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -199,6 +229,13 @@ fn main() {
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .expect("--assert-speedup needs a number"),
+                )
+            }
+            "--assert-telemetry-overhead" => {
+                assert_telemetry_overhead = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--assert-telemetry-overhead needs a fraction"),
                 )
             }
             other => positionals.push(other.parse().unwrap_or_else(|_| {
@@ -222,8 +259,8 @@ fn main() {
         if smoke {
             rounds = (rounds / 20).max(50);
         }
-        let wheel = run_engine(n, rounds, false, TimerWheel::new(), "wheel+interned");
-        let heap = run_engine(n, rounds, true, HeapScheduler::default(), "heap+clones");
+        let wheel = run_engine(n, rounds, false, None, TimerWheel::new(), "wheel+interned");
+        let heap = run_engine(n, rounds, true, None, HeapScheduler::default(), "heap+clones");
         let speedup = wheel.events_per_sec() / heap.events_per_sec();
         for m in [&wheel, &heap] {
             println!(
@@ -241,6 +278,40 @@ fn main() {
         measurements.push(heap);
     }
 
+    // Telemetry-overhead phase: the identical wheel schedule at n=25, with
+    // and without disabled-handle telemetry calls at every message.
+    // Best-of-3 on each side so a single descheduled run can't fake a
+    // regression.
+    let overhead_n = 25;
+    let mut overhead_rounds = (base_rounds * 24 / (overhead_n as u64 - 1)).max(100);
+    if smoke {
+        overhead_rounds = (overhead_rounds / 20).max(50);
+    }
+    let best_eps = |telemetry: Option<Telemetry>, label: &'static str| -> f64 {
+        (0..3)
+            .map(|_| {
+                run_engine(
+                    overhead_n,
+                    overhead_rounds,
+                    false,
+                    telemetry.clone(),
+                    TimerWheel::new(),
+                    label,
+                )
+                .events_per_sec()
+            })
+            .fold(0.0_f64, f64::max)
+    };
+    let plain_eps = best_eps(None, "wheel+interned");
+    let disabled_eps = best_eps(Some(Telemetry::disabled()), "wheel+telemetry-off");
+    let telemetry_overhead = 1.0 - disabled_eps / plain_eps;
+    println!(
+        "{:>4} {:>22} {:>37.2}%",
+        overhead_n,
+        "telemetry overhead",
+        telemetry_overhead * 100.0
+    );
+
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
         let path = dir.join("BENCH_engine.json");
@@ -252,7 +323,7 @@ fn main() {
             .collect();
         writeln!(
             file,
-            "{{\n  \"bench\": \"engine\",\n  \"block_bytes\": {BLOCK_BYTES},\n  \"runs\": [\n{}\n  ],\n  \"speedup\": [\n{}\n  ]\n}}",
+            "{{\n  \"bench\": \"engine\",\n  \"block_bytes\": {BLOCK_BYTES},\n  \"runs\": [\n{}\n  ],\n  \"speedup\": [\n{}\n  ],\n  \"telemetry_overhead\": {{\"n\": {overhead_n}, \"events_per_sec_plain\": {plain_eps:.0}, \"events_per_sec_disabled\": {disabled_eps:.0}, \"overhead\": {telemetry_overhead:.4}}}\n}}",
             records.join(",\n"),
             ratios.join(",\n")
         )
@@ -269,5 +340,14 @@ fn main() {
                 );
             }
         }
+    }
+
+    if let Some(max) = assert_telemetry_overhead {
+        assert!(
+            telemetry_overhead <= max,
+            "disabled-handle telemetry costs {:.2}% events/sec (gate: {:.2}%)",
+            telemetry_overhead * 100.0,
+            max * 100.0
+        );
     }
 }

@@ -8,6 +8,7 @@
 //! `BENCH_<scenario>.json`. This crate re-exports the pieces the binaries
 //! (and the criterion benches) use.
 
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 pub use lab::{ci95, mean, Deployment};
 
 use lab::{

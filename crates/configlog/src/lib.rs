@@ -26,6 +26,7 @@
 //! committed prefix hold identical adopted configurations — the property
 //! the proptests in `tests/` pin down.
 
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 pub mod command;
 pub mod log;
 

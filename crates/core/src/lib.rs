@@ -34,6 +34,7 @@
 //! * [`pipeline`] — a ready-made [`pipeline::OptiLogInstance`] wiring all
 //!   monitors together the way OptiAware and OptiTree consume them.
 
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 pub mod annealing;
 pub mod candidates;
 pub mod config;

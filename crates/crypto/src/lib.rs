@@ -19,6 +19,7 @@
 //! SHA-256 is implemented from scratch in [`sha256`] (FIPS 180-4) and tested
 //! against the standard test vectors, keeping the crate dependency-free.
 
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 pub mod digest;
 pub mod keys;
 pub mod misbehavior;

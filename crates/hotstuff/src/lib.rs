@@ -14,6 +14,7 @@
 //! simulator so that leader placement and replica geography determine
 //! throughput and latency exactly as in the paper's emulation.
 
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 pub mod node;
 pub mod pacemaker;
 

@@ -22,6 +22,7 @@ use crypto::{Digest, Hashable};
 use netsim::{Context, Duration, FaultPlan, LatencyModel, Node, NodeId, SimTime, Simulation, SimulationConfig, TimerId};
 use rsm::{misbehavior, Block, BlockSource, CommitStats, DelayStage, MisbehaviorPlan, RunSummary, SystemConfig};
 use std::collections::{BTreeMap, BTreeSet};
+use telemetry::{Stage, Telemetry};
 use traffic::SharedTrafficQueue;
 
 /// Held-proposal timers encode a release sequence number in the tag.
@@ -91,6 +92,8 @@ pub struct HotStuffNode {
     batch_ids: BTreeMap<u64, u64>,
     /// Commit statistics (consensus latency = proposal to three-chain commit).
     pub stats: CommitStats,
+    /// Observability handle (disabled by default).
+    telemetry: Telemetry,
 }
 
 impl HotStuffNode {
@@ -111,6 +114,7 @@ impl HotStuffNode {
             pending_view: None,
             batch_ids: BTreeMap::new(),
             stats: CommitStats::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -124,6 +128,13 @@ impl HotStuffNode {
     /// saturated source.
     pub fn with_traffic(mut self, traffic: Option<SharedTrafficQueue>) -> Self {
         self.traffic = traffic;
+        self
+    }
+
+    /// Install a telemetry handle (propose/forward/vote/commit spans plus
+    /// per-replica commit metrics).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -177,10 +188,27 @@ impl HotStuffNode {
         // as inflated consensus latency at every replica — the tree/star
         // analogue of the PBFT Pre-Prepare delay attack.
         let hold = misbehavior::hold_at(&self.delays, ctx.now);
+        self.telemetry.instant(
+            Stage::Propose,
+            self.id,
+            view,
+            ctx.now.as_micros(),
+            vec![("commands", block.len() as f64)],
+        );
         if hold.is_zero() {
             let others: Vec<NodeId> = (0..self.config.n).filter(|&r| r != self.id).collect();
             ctx.multicast(&others, msg.clone());
         } else {
+            // The dissemination hold is visible as its own span under the
+            // attacker's track — the widening bar of the Fig 7 trace.
+            self.telemetry.span(
+                Stage::Hold,
+                self.id,
+                view,
+                ctx.now.as_micros(),
+                hold.as_micros(),
+                vec![],
+            );
             let tag = self.next_held;
             self.next_held += 1;
             self.held.insert(tag, msg);
@@ -223,6 +251,25 @@ impl HotStuffNode {
                     if entry.commands > 0 {
                         self.stats
                             .record_commit(entry.proposal_ts, ctx.now, entry.commands);
+                        let (ts, commands) = (entry.proposal_ts, entry.commands);
+                        self.telemetry.span(
+                            Stage::Commit,
+                            self.id,
+                            view - 2,
+                            ts.as_micros(),
+                            ctx.now.since(ts).as_micros(),
+                            vec![("commands", commands as f64)],
+                        );
+                        self.telemetry.counter_add(
+                            "hotstuff.node.commits",
+                            Some(self.id),
+                            1,
+                        );
+                        self.telemetry.observe(
+                            "hotstuff.node.commit_us",
+                            Some(self.id),
+                            ctx.now.since(ts).as_micros(),
+                        );
                     }
                     // The proposer of the committed view reports the batch
                     // back to the traffic queue (it is the only replica that
@@ -237,6 +284,8 @@ impl HotStuffNode {
         }
 
         // Vote to the leader of the next view.
+        self.telemetry
+            .instant(Stage::Vote, self.id, view, ctx.now.as_micros(), vec![]);
         let next_leader = self.leader_of(view + 1);
         let vote = HotStuffMessage::Vote {
             view,
@@ -275,7 +324,19 @@ impl Node for HotStuffNode {
                 digest,
                 commands,
                 timestamp_us,
-            } => self.handle_proposal(ctx, view, digest, commands, timestamp_us),
+            } => {
+                // Dissemination hop as seen by this replica: proposal
+                // timestamp (honest even under a hold) → delivery.
+                self.telemetry.span(
+                    Stage::Forward,
+                    self.id,
+                    view,
+                    timestamp_us,
+                    ctx.now.as_micros().saturating_sub(timestamp_us),
+                    vec![],
+                );
+                self.handle_proposal(ctx, view, digest, commands, timestamp_us)
+            }
             HotStuffMessage::Vote { view, voter, .. } => self.handle_vote(ctx, view, voter),
         }
     }
@@ -307,6 +368,8 @@ pub struct HotStuffConfig {
     /// Open-loop traffic source shared by every (rotating) leader; `None`
     /// keeps the saturated paper workload.
     pub traffic: Option<SharedTrafficQueue>,
+    /// Telemetry handle installed on every replica (disabled by default).
+    pub telemetry: Telemetry,
 }
 
 impl HotStuffConfig {
@@ -319,6 +382,7 @@ impl HotStuffConfig {
             run_for: Duration::from_secs(120),
             misbehavior: MisbehaviorPlan::none(),
             traffic: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -351,6 +415,7 @@ pub fn run_hotstuff(
             HotStuffNode::new(id, config.system, config.pacemaker, config.batch_size)
                 .with_delays(config.misbehavior.stages_for(id))
                 .with_traffic(config.traffic.clone())
+                .with_telemetry(config.telemetry.clone())
         })
         .collect();
     let mut sim = Simulation::new(nodes, latency)
@@ -360,6 +425,7 @@ pub fn run_hotstuff(
             max_events: 500_000_000,
         });
     sim.run();
+    sim.record_engine_metrics(&config.telemetry);
     let views = sim.node(0).highest_proposed.max(
         sim.nodes().map(|nd| nd.views.len() as u64).max().unwrap_or(0),
     );

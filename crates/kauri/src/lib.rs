@@ -18,6 +18,7 @@
 //! latency-aware, suspicion-driven tree selection without forking the
 //! protocol.
 
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 pub mod node;
 pub mod policy;
 pub mod tree;

@@ -52,6 +52,7 @@ use netsim::{
 use rsm::{misbehavior, Block, BlockSource, CommitStats, DelayStage, MisbehaviorPlan, RunSummary, SystemConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+use telemetry::{Stage, Telemetry};
 use traffic::SharedTrafficQueue;
 
 const TIMER_PROGRESS: u64 = 1;
@@ -248,6 +249,9 @@ pub struct KauriNode {
     /// the receiver's depth at observation (the pair's causal-filter phase).
     last_stale_upstream: Option<(usize, u32)>,
 
+    /// Telemetry handle (disabled by default; see [`KauriNode::with_telemetry`]).
+    telemetry: Telemetry,
+
     /// Commit statistics (recorded at the root that proposed the view).
     pub stats: CommitStats,
     /// Committed commands per second (for throughput timelines, Fig 15).
@@ -301,6 +305,7 @@ impl KauriNode {
             stale_strikes: 0,
             last_strike_view: 0,
             last_stale_upstream: None,
+            telemetry: Telemetry::disabled(),
             stats: CommitStats::new(),
             throughput: RateCounter::new(Duration::from_secs(1)),
             reconfig_times: Vec::new(),
@@ -317,6 +322,13 @@ impl KauriNode {
     /// saturated source.
     pub fn with_traffic(mut self, traffic: Option<SharedTrafficQueue>) -> Self {
         self.traffic = traffic;
+        self
+    }
+
+    /// Install a telemetry handle (propose/hop/vote/aggregate/commit spans
+    /// plus per-replica commit metrics).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -350,6 +362,20 @@ impl KauriNode {
             ctx.multicast(&targets, msg);
             return;
         }
+        // The dissemination hold shows up as its own span on the attacker's
+        // track — the widening "dissemination-hold" bar of a Fig 7 trace.
+        let view = match &msg {
+            KauriMessage::Proposal { view, .. } => *view,
+            _ => 0,
+        };
+        self.telemetry.span(
+            Stage::Hold,
+            self.id,
+            view,
+            ctx.now.as_micros(),
+            hold.as_micros(),
+            vec![],
+        );
         let tag = self.next_held;
         self.next_held += 1;
         self.held.insert(tag, HeldPayload { targets, msg });
@@ -669,6 +695,13 @@ impl KauriNode {
                 tree: Arc::new(self.tree.clone()),
                 committed: self.committed_wire.clone(),
             };
+            self.telemetry.instant(
+                Stage::Propose,
+                self.id,
+                view,
+                ctx.now.as_micros(),
+                vec![("commands", block.len() as f64)],
+            );
             let children = self.tree.children_of(self.id);
             self.send_down(ctx, children, msg);
             ctx.set_timer(self.policy.view_timeout(), TIMER_VIEW_BASE + view);
@@ -701,6 +734,25 @@ impl KauriNode {
         }
         self.highest_view_seen = self.highest_view_seen.max(view);
         self.last_progress = ctx.now;
+        // Per-hop dissemination as seen by this replica: root's (honest)
+        // proposal timestamp → delivery here, cumulative over upstream hops
+        // and any scripted holds along the path.
+        if self.telemetry.is_tracing() {
+            let mut depth = 0u64;
+            let mut cur = self.id;
+            while let Some(up) = tree.parent(cur) {
+                depth += 1;
+                cur = up;
+            }
+            self.telemetry.span(
+                Stage::Forward,
+                self.id,
+                view,
+                timestamp_us,
+                ctx.now.as_micros().saturating_sub(timestamp_us),
+                vec![("depth", depth as f64)],
+            );
+        }
 
         // Withheld-payload detection: the proposal timestamp is the root's
         // own (honest) claim of when the view was created, so a proposal
@@ -742,6 +794,8 @@ impl KauriNode {
         if children.is_empty() {
             // Leaf: vote to parent.
             if let Some(parent) = tree.parent(self.id) {
+                self.telemetry
+                    .instant(Stage::Vote, self.id, view, ctx.now.as_micros(), vec![]);
                 ctx.send(parent, KauriMessage::Vote { view, voter: self.id });
             }
             self.maybe_declare_stale_failure(ctx);
@@ -766,6 +820,8 @@ impl KauriNode {
         };
         // A scripted intermediate holds its forwarded payloads too.
         self.send_down(ctx, children, msg);
+        self.telemetry
+            .instant(Stage::Vote, self.id, view, ctx.now.as_micros(), vec![]);
         let agg = self.aggregates.entry(view).or_default();
         agg.digest = digest;
         agg.votes.insert(self.id);
@@ -838,6 +894,13 @@ impl KauriNode {
             .filter(|c| !votes.contains(c))
             .collect();
         if let Some(parent) = parent {
+            self.telemetry.instant(
+                Stage::Aggregate,
+                self.id,
+                view,
+                ctx.now.as_micros(),
+                vec![("votes", voters.len() as f64)],
+            );
             ctx.send(
                 parent,
                 KauriMessage::Aggregate {
@@ -899,6 +962,18 @@ impl KauriNode {
             self.commit_config_payload(ctx, view);
             self.stats.record_commit(ts, ctx.now, commands);
             self.throughput.record(ctx.now, commands as u64);
+            self.telemetry.span(
+                Stage::Commit,
+                self.id,
+                view,
+                ts.as_micros(),
+                ctx.now.since(ts).as_micros(),
+                vec![("commands", commands as f64)],
+            );
+            self.telemetry
+                .counter_add("kauri.node.commits", Some(self.id), 1);
+            self.telemetry
+                .observe("kauri.node.commit_us", Some(self.id), ctx.now.since(ts).as_micros());
             // The proposing root reports the committed batch back to the
             // traffic queue for end-to-end accounting. Batches in views a
             // reconfiguration discards are retried by the client population
@@ -1006,6 +1081,15 @@ impl KauriNode {
         self.tree = self.policy.next_tree(self.system.n, self.branch);
         self.epoch += 1;
         self.reconfig_times.push(ctx.now);
+        self.telemetry.instant(
+            Stage::Reconfigure,
+            self.id,
+            self.epoch,
+            ctx.now.as_micros(),
+            vec![("missing", missing.len() as f64)],
+        );
+        self.telemetry
+            .counter_add("kauri.node.reconfigurations", Some(self.id), 1);
         self.aggregates.clear();
         self.held.clear();
         self.stale_strikes = 0;
@@ -1164,6 +1248,8 @@ pub struct KauriConfig {
     /// Open-loop traffic source shared by every (rotating) root; `None`
     /// keeps the saturated paper workload.
     pub traffic: Option<SharedTrafficQueue>,
+    /// Telemetry handle installed on every replica (disabled by default).
+    pub telemetry: Telemetry,
 }
 
 impl KauriConfig {
@@ -1179,6 +1265,7 @@ impl KauriConfig {
             reconfig_delay: Duration::from_secs(1),
             misbehavior: MisbehaviorPlan::none(),
             traffic: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -1245,6 +1332,7 @@ pub fn run_kauri(
             )
             .with_delays(config.misbehavior.stages_for(id))
             .with_traffic(config.traffic.clone())
+            .with_telemetry(config.telemetry.clone())
         })
         .collect();
 
@@ -1255,6 +1343,7 @@ pub fn run_kauri(
             max_events: 500_000_000,
         });
     sim.run();
+    sim.record_engine_metrics(&config.telemetry);
 
     // Aggregate statistics across all replicas (each commit is recorded only
     // at the root that proposed it, so summing does not double-count).

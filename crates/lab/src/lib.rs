@@ -41,6 +41,7 @@
 //! report.write_bench_json(std::path::Path::new(".")).unwrap();
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 pub mod adversary;
 pub mod results;
 pub mod runner;
@@ -51,11 +52,11 @@ pub use adversary::{AdversaryScript, Attack, CompileContext, CompiledAdversary, 
 pub use results::{
     ci95, mean, timeline_mean, CellMetrics, CellReport, MetricSummary, PointReport, ScenarioReport,
 };
-pub use runner::{run_and_report, run_sweep, LabArgs, SweepOptions};
+pub use runner::{export_trace, run_and_report, run_sweep, LabArgs, SweepOptions};
 pub use scenario::{
     mix_seed, sample_seeds, CandidateTimingScenario, LatencyWindow, OverprovisionScenario, Point,
     ProposalSizeScenario, ProtocolScenario, ScenarioKind, ScenarioSpec, Substrate,
-    SuspicionAttackScenario, TreeSearchScenario,
+    SuspicionAttackScenario, TracedCell, TreeSearchScenario,
 };
 pub use topology::{Deployment, Topology};
 

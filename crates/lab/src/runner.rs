@@ -24,6 +24,9 @@ pub struct SweepOptions {
     pub threads: usize,
     /// Directory for `BENCH_<scenario>.json`; `None` skips the file.
     pub out_dir: Option<PathBuf>,
+    /// Run one extra traced cell after the sweep and write its Chrome
+    /// `trace_event` JSON here (plus a `.prom` metrics dump alongside).
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for SweepOptions {
@@ -31,6 +34,7 @@ impl Default for SweepOptions {
         SweepOptions {
             threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
             out_dir: Some(PathBuf::from(".")),
+            trace: None,
         }
     }
 }
@@ -41,6 +45,7 @@ impl SweepOptions {
         SweepOptions {
             threads: 1,
             out_dir: None,
+            trace: None,
         }
     }
 
@@ -113,6 +118,8 @@ pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> ScenarioReport {
 
 /// Run the sweep, print a metric table, and write `BENCH_<scenario>.json`.
 /// This is the whole body of a figure binary.
+// Sanctioned CLI output: this function *is* the figure binary's stdout.
+#[allow(clippy::print_stdout, clippy::print_stderr)]
 pub fn run_and_report(spec: &ScenarioSpec, opts: &SweepOptions, table_metrics: &[&str]) -> ScenarioReport {
     let report = run_sweep(spec, opts);
     print!("{}", report.render_table(table_metrics));
@@ -122,7 +129,42 @@ pub fn run_and_report(spec: &ScenarioSpec, opts: &SweepOptions, table_metrics: &
             Err(e) => eprintln!("# could not write BENCH json: {e}"),
         }
     }
+    if let Some(path) = &opts.trace {
+        match export_trace(spec, path) {
+            Ok(()) => {}
+            Err(e) => eprintln!("# could not write trace: {e}"),
+        }
+    }
     report
+}
+
+/// Run one extra traced cell (outside the sweep — `BENCH_*.json` is already
+/// written and untouched) and write its Chrome `trace_event` JSON to `path`,
+/// plus the metrics registry in Prometheus text format to `path.prom`.
+// Sanctioned CLI output: invoked only from `--trace` on figure binaries.
+#[allow(clippy::print_stdout, clippy::print_stderr)]
+pub fn export_trace(spec: &ScenarioSpec, path: &std::path::Path) -> std::io::Result<()> {
+    let Some(traced) = spec.run_cell_traced() else {
+        println!("# --trace: scenario kind has no causal instrumentation; skipped");
+        return Ok(());
+    };
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, &traced.chrome_json)?;
+    let prom_path = path.with_extension("prom");
+    std::fs::write(&prom_path, &traced.prometheus)?;
+    let spans: u64 = traced.stage_counts.values().sum();
+    println!(
+        "# traced cell [{} seed {}]: {} spans across {} stages -> {} (+ {})",
+        traced.label,
+        traced.seed,
+        spans,
+        traced.stage_counts.len(),
+        path.display(),
+        prom_path.display(),
+    );
+    Ok(())
 }
 
 /// Command-line arguments shared by every experiment binary: positional
@@ -137,6 +179,8 @@ pub struct LabArgs {
     pub seeds: Option<usize>,
     /// Output directory for `BENCH_*.json` (`--no-json` disables).
     pub out_dir: Option<PathBuf>,
+    /// `--trace out.json`: export one traced cell after the sweep.
+    pub trace: Option<PathBuf>,
 }
 
 impl LabArgs {
@@ -154,6 +198,7 @@ impl LabArgs {
             threads: defaults.threads,
             seeds: None,
             out_dir: Some(PathBuf::from(".")),
+            trace: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -175,6 +220,9 @@ impl LabArgs {
                     out.out_dir = Some(PathBuf::from(it.next().expect("--out needs a directory")))
                 }
                 "--no-json" => out.out_dir = None,
+                "--trace" => {
+                    out.trace = Some(PathBuf::from(it.next().expect("--trace needs a file path")))
+                }
                 other => {
                     if let Ok(v) = other.parse() {
                         out.positionals.push(v);
@@ -205,6 +253,7 @@ impl LabArgs {
         SweepOptions {
             threads: self.threads,
             out_dir: self.out_dir.clone(),
+            trace: self.trace.clone(),
         }
     }
 }

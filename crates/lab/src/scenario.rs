@@ -33,6 +33,7 @@ use rand::{Rng, SeedableRng};
 use rsm::{SystemConfig, TrafficSpec, WorkloadSpec};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
+use telemetry::Telemetry;
 use traffic::{ForwardingModel, SharedTrafficQueue, TrafficQueue};
 
 /// Derive an independent RNG seed for a cell from the sweep seed and a salt
@@ -296,6 +297,15 @@ impl ProtocolScenario {
     }
 
     fn run_cell(&self, point: &Point, seed: u64) -> CellMetrics {
+        // Every cell records metrics (the recording tier is always on), so
+        // installing a trace sink on top can never change the registry — the
+        // foundation of the traced-vs-untraced BENCH byte-identity guarantee.
+        self.run_cell_with(point, seed, &Telemetry::recording())
+    }
+
+    /// Run one cell with an explicit telemetry handle (used by
+    /// [`ScenarioSpec::run_cell_traced`] to install a trace sink).
+    pub fn run_cell_with(&self, point: &Point, seed: u64, telemetry: &Telemetry) -> CellMetrics {
         let (substrate, topology, adversary) = (
             self.substrates[point.idx[0]],
             self.topologies[point.idx[1]],
@@ -333,7 +343,9 @@ impl ProtocolScenario {
                 SimTime::ZERO + self.duration,
             )
             .with_forwarding(ForwardingModel::from_rtt(nearest, &rtt, n));
-            SharedTrafficQueue::new(queue)
+            let shared = SharedTrafficQueue::new(queue);
+            shared.set_telemetry(telemetry.clone());
+            shared
         });
 
         let mut metrics = CellMetrics::new();
@@ -353,6 +365,7 @@ impl ProtocolScenario {
             let mut cfg = PbftHarnessConfig::new(n, f, clients, rtt.clone())
                 .run_for(self.duration)
                 .with_faults(compiled.faults.clone());
+            cfg.telemetry = telemetry.clone();
             if let Some(queue) = &traffic {
                 cfg = cfg.with_traffic(queue.clone());
             }
@@ -379,6 +392,7 @@ impl ProtocolScenario {
             cfg.run_for = self.duration;
             cfg.batch_size = self.workload.batch_size;
             cfg.traffic = traffic.clone();
+            cfg.telemetry = telemetry.clone();
             if substrate == Substrate::OptiTreeNoPipeline {
                 cfg.pipeline = 1;
             }
@@ -464,6 +478,7 @@ impl ProtocolScenario {
             cfg.run_for = self.duration;
             cfg.batch_size = self.workload.batch_size;
             cfg.traffic = traffic.clone();
+            cfg.telemetry = telemetry.clone();
             for atk in &compiled.delay_attacks {
                 cfg.misbehavior
                     .delay_proposals_during(atk.replica, atk.delay, atk.from, atk.until);
@@ -527,6 +542,43 @@ impl ProtocolScenario {
             for w in &self.windows {
                 metrics.set(format!("lat_{}_ms", w.label), window_mean(w.from_s, w.to_s));
             }
+        }
+        // Drain the telemetry registry into the cell: counters summed and
+        // gauges maxed across replicas, histograms merged (the log-linear
+        // buckets make the merge order-independent). All values are
+        // simulated-time quantities, so the drained metrics — and therefore
+        // BENCH json — stay byte-identical across `--threads` and across
+        // traced/untraced runs.
+        let registry = telemetry.registry_snapshot();
+        let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+        for (key, v) in registry.counters() {
+            *counters.entry(key.name.as_str()).or_default() += v;
+        }
+        for (name, v) in counters {
+            metrics.set(name, v as f64);
+        }
+        let mut gauges: BTreeMap<&str, f64> = BTreeMap::new();
+        for (key, v) in registry.gauges() {
+            let slot = gauges.entry(key.name.as_str()).or_insert(f64::NEG_INFINITY);
+            *slot = slot.max(v);
+        }
+        for (name, v) in gauges {
+            metrics.set(name, v);
+        }
+        let hist_names: std::collections::BTreeSet<String> = registry
+            .histograms()
+            .map(|(key, _)| key.name.clone())
+            .collect();
+        for name in hist_names {
+            let merged = registry.merged_histogram(&name);
+            if merged.count() == 0 {
+                continue;
+            }
+            metrics
+                .set(format!("{name}.count"), merged.count() as f64)
+                .set(format!("{name}.mean"), merged.mean())
+                .set(format!("{name}.p50"), merged.p50() as f64)
+                .set(format!("{name}.p99"), merged.p99() as f64);
         }
         metrics
     }
@@ -916,6 +968,72 @@ impl ScenarioSpec {
             ScenarioKind::Overprovision(o) => o.run_cell(point.idx[0], point.idx[1], seed),
         }
     }
+
+    /// Run one extra cell with a trace sink installed and return the causal
+    /// trace alongside the metrics. Only protocol scenarios carry
+    /// instrumentation points; returns `None` for analytic kinds.
+    ///
+    /// The traced cell is run *outside* the sweep: a scenario without a
+    /// traffic axis gets a default open-loop load injected so the
+    /// client-path stages (client emit, admission, ingress forward, reply)
+    /// appear in the trace — that substitution is why the traced run's
+    /// metrics are exported next to the trace, never into `BENCH_*.json`.
+    pub fn run_cell_traced(&self) -> Option<TracedCell> {
+        let ScenarioKind::Protocol(proto) = &self.kind else {
+            return None;
+        };
+        let mut traced = proto.clone();
+        if traced.traffics.is_empty() {
+            traced.traffics = vec![TrafficSpec::poisson(300.0)
+                .with_clients(16)
+                .with_batching(60, Duration::from_millis(40))];
+        }
+        let points = traced.points();
+        // Prefer an OptiTree cell — the paper's protagonist, and the one
+        // whose per-hop forward spans make a Fig 7 attack legible.
+        let point = points
+            .iter()
+            .find(|p| {
+                p.params
+                    .get("substrate")
+                    .is_some_and(|s| s.starts_with("OptiTree"))
+            })
+            .unwrap_or(&points[0]);
+        let seed = self.seeds[0];
+        let telemetry = Telemetry::tracing();
+        let metrics = traced.run_cell_with(point, seed, &telemetry);
+        let n = traced.topologies[point.idx[1]].n;
+        let mut process_labels: Vec<(usize, String)> =
+            (0..n).map(|i| (i, format!("replica {i}"))).collect();
+        process_labels.push((telemetry::CLIENTS_PID, "clients".to_string()));
+        let chrome_json = telemetry
+            .chrome_trace_json(&process_labels)
+            .expect("tracing handle has a sink");
+        Some(TracedCell {
+            label: point.label.clone(),
+            seed,
+            metrics,
+            stage_counts: telemetry.stage_counts(),
+            chrome_json,
+            prometheus: telemetry.prometheus_text(),
+        })
+    }
+}
+
+/// The artifacts of one traced cell (see [`ScenarioSpec::run_cell_traced`]).
+pub struct TracedCell {
+    /// Label of the traced point.
+    pub label: String,
+    /// Seed of the traced cell.
+    pub seed: u64,
+    /// The traced cell's metrics (registry included), for display only.
+    pub metrics: CellMetrics,
+    /// Number of recorded span events per stage name.
+    pub stage_counts: BTreeMap<&'static str, u64>,
+    /// The Chrome/Perfetto `trace_event` JSON document.
+    pub chrome_json: String,
+    /// The registry rendered in Prometheus text exposition format.
+    pub prometheus: String,
 }
 
 #[cfg(test)]
@@ -1083,6 +1201,97 @@ mod tests {
         let m = spec.run_cell(&points[0], 0);
         assert!(m.values["blocks"] > 0.0);
         assert!(m.values["latency_ms"] > 0.0);
+    }
+
+    /// The satellite guarantee: installing a trace sink must not perturb a
+    /// single byte of the BENCH json. Both runs record into a registry (the
+    /// recording tier is always on); the sink only additionally captures
+    /// span events, and nothing reads them back into the metrics.
+    #[test]
+    fn traced_run_bench_json_is_byte_identical_to_untraced() {
+        use crate::results::{CellReport, PointReport, ScenarioReport};
+
+        let scenario = ProtocolScenario::new(
+            vec![Substrate::Kauri],
+            vec![Topology::with_n(Deployment::Europe21, 7)],
+        )
+        .with_traffic_axis(vec![rsm::TrafficSpec::poisson(300.0)
+            .with_clients(8)
+            .with_batching(60, Duration::from_millis(40))])
+        .with_adversaries(vec![AdversaryScript::named("mid-delay").during(
+            SimTime::from_secs(5),
+            SimTime::from_secs(10),
+            crate::Attack::DelayProposals {
+                target: crate::Target::TreeIntermediates { count: 1 },
+                delay: Duration::from_millis(1_500),
+            },
+        )])
+        .run_for(Duration::from_secs(15));
+        let spec = ScenarioSpec::new("unit_trace_id", vec![0], ScenarioKind::Protocol(scenario));
+        let point = &spec.points()[0];
+        let ScenarioKind::Protocol(proto) = &spec.kind else {
+            unreachable!()
+        };
+
+        let report_of = |metrics: CellMetrics| ScenarioReport {
+            scenario: spec.name.clone(),
+            seeds: spec.seeds.clone(),
+            points: vec![PointReport::aggregate(
+                point.label.clone(),
+                point.params.clone(),
+                vec![CellReport { seed: 0, metrics }],
+            )],
+        };
+        let untraced = report_of(spec.run_cell(point, 0));
+        let tracing = Telemetry::tracing();
+        let traced = report_of(proto.run_cell_with(point, 0, &tracing));
+        assert_eq!(untraced.to_json(), traced.to_json());
+        // The traced run did actually trace.
+        let counts = tracing.stage_counts();
+        assert!(counts.get("commit").copied().unwrap_or(0) > 0, "{counts:?}");
+    }
+
+    /// A traced cell of an attacked tree scenario covers every
+    /// instrumentation point on the request path — including the injected
+    /// default traffic load when the sweep itself is saturated.
+    #[test]
+    fn traced_cell_covers_every_instrumentation_point() {
+        let scenario = ProtocolScenario::new(
+            vec![Substrate::Kauri],
+            vec![Topology::with_n(Deployment::Europe21, 7)],
+        )
+        .with_adversaries(vec![AdversaryScript::named("mid-delay").during(
+            SimTime::from_secs(5),
+            SimTime::from_secs(10),
+            crate::Attack::DelayProposals {
+                target: crate::Target::TreeIntermediates { count: 1 },
+                delay: Duration::from_millis(1_500),
+            },
+        )])
+        .run_for(Duration::from_secs(15));
+        let spec = ScenarioSpec::new("unit_trace_cover", vec![0], ScenarioKind::Protocol(scenario));
+        let traced = spec.run_cell_traced().expect("protocol scenario traces");
+        for stage in [
+            "client_emit",
+            "admission",
+            "ingress_forward",
+            "propose",
+            "forward",
+            "hold",
+            "vote",
+            "aggregate",
+            "commit",
+            "reply",
+        ] {
+            assert!(
+                traced.stage_counts.get(stage).copied().unwrap_or(0) > 0,
+                "stage {stage} missing from trace: {:?}",
+                traced.stage_counts
+            );
+        }
+        assert!(traced.chrome_json.contains("\"traceEvents\""));
+        assert!(traced.prometheus.contains("netsim_engine_scheduled"));
+        assert!(traced.metrics.values.contains_key("netsim.engine.scheduled"));
     }
 
     #[test]

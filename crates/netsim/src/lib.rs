@@ -20,6 +20,7 @@
 //! simulation produces byte-identical traces. All randomness flows through a
 //! seeded [`rand::rngs::StdRng`].
 
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 pub mod cities;
 pub mod event;
 pub mod faults;
@@ -31,7 +32,7 @@ pub mod time;
 
 pub use cities::{City, CityDataset, Region};
 pub use event::{Event, EventKind, EventQueue, Payload};
-pub use sched::{EventHandle, EventScheduler, HeapScheduler, TimerWheel};
+pub use sched::{EngineProfile, EventHandle, EventScheduler, HeapScheduler, TimerWheel};
 pub use faults::{FaultPlan, FaultWindow, LinkFault, NodeFault};
 pub use latency::{GeoLatency, LatencyModel, MatrixLatency, UniformLatency};
 pub use sim::{Action, Context, Node, NodeId, Simulation, SimulationConfig, TimerId};

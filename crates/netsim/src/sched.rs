@@ -31,6 +31,27 @@ use std::collections::{HashSet, VecDeque};
 /// Opaque handle to a scheduled event, used for O(1) cancellation.
 pub type EventHandle = u64;
 
+/// Engine-level profiling counters, maintained unconditionally (they are a
+/// handful of integer bumps on paths that already touch the same cache
+/// lines) and drained into the telemetry registry by the lab. All values
+/// are functions of the deterministic event sequence, never of wall time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// Total events ever scheduled.
+    pub scheduled: u64,
+    /// Total events cancelled before firing.
+    pub cancelled: u64,
+    /// Higher-level bucket redistributions (timer-wheel cascades).
+    pub cascades: u64,
+    /// Handles moved by cascades (cascade work, not just occurrences).
+    pub cascade_entries: u64,
+    /// High-water mark of concurrently pending events (queue depth).
+    pub live_high_water: u64,
+    /// Slab slots allocated (wheel) or peak tombstones (heap) — the
+    /// scheduler's bookkeeping footprint.
+    pub bookkeeping_slots: u64,
+}
+
 /// A deterministic pending-event store: pops in `(time, seq)` order, where
 /// `seq` is the order of `schedule` calls.
 ///
@@ -51,6 +72,10 @@ pub trait EventScheduler<M>: Default {
     /// True when no live events remain.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+    /// Engine profiling counters accumulated so far.
+    fn profile(&self) -> EngineProfile {
+        EngineProfile::default()
     }
 }
 
@@ -91,6 +116,10 @@ pub struct TimerWheel<M> {
     live: usize,
     /// Memoised result of `next_tick` (invalidated by schedule/cancel).
     peeked: Option<u64>,
+    cancelled: u64,
+    cascades: u64,
+    cascade_entries: u64,
+    live_high_water: usize,
 }
 
 impl<M> Default for TimerWheel<M> {
@@ -111,6 +140,10 @@ impl<M> TimerWheel<M> {
             next_seq: 0,
             live: 0,
             peeked: None,
+            cancelled: 0,
+            cascades: 0,
+            cascade_entries: 0,
+            live_high_water: 0,
         }
     }
 
@@ -214,6 +247,8 @@ impl<M> TimerWheel<M> {
                     self.occ[level] &= !(1 << s);
                     let entries =
                         std::mem::take(&mut self.buckets[level * SLOTS + s]);
+                    self.cascades += 1;
+                    self.cascade_entries += entries.len() as u64;
                     for h in entries {
                         if self.is_live(h) {
                             let (idx, _) = split(h);
@@ -260,6 +295,7 @@ impl<M> EventScheduler<M> for TimerWheel<M> {
         };
         self.insert(idx);
         self.live += 1;
+        self.live_high_water = self.live_high_water.max(self.live);
         if self.peeked.is_some_and(|t| at < t) {
             self.peeked = None;
         }
@@ -278,6 +314,7 @@ impl<M> EventScheduler<M> for TimerWheel<M> {
         slot.gen = slot.gen.wrapping_add(1);
         self.free.push(idx);
         self.live -= 1;
+        self.cancelled += 1;
         self.peeked = None;
         true
     }
@@ -319,6 +356,17 @@ impl<M> EventScheduler<M> for TimerWheel<M> {
     fn len(&self) -> usize {
         self.live
     }
+
+    fn profile(&self) -> EngineProfile {
+        EngineProfile {
+            scheduled: self.next_seq,
+            cancelled: self.cancelled,
+            cascades: self.cascades,
+            cascade_entries: self.cascade_entries,
+            live_high_water: self.live_high_water as u64,
+            bookkeeping_slots: self.slab.len() as u64,
+        }
+    }
 }
 
 /// The reference scheduler: the original `BinaryHeap` event queue plus a
@@ -331,6 +379,10 @@ pub struct HeapScheduler<M> {
     queue: EventQueue<M>,
     cancelled: HashSet<u64>,
     live: usize,
+    scheduled: u64,
+    cancelled_total: u64,
+    live_high_water: usize,
+    tombstone_high_water: usize,
 }
 
 impl<M> Default for HeapScheduler<M> {
@@ -339,6 +391,10 @@ impl<M> Default for HeapScheduler<M> {
             queue: EventQueue::new(),
             cancelled: HashSet::new(),
             live: 0,
+            scheduled: 0,
+            cancelled_total: 0,
+            live_high_water: 0,
+            tombstone_high_water: 0,
         }
     }
 }
@@ -366,12 +422,16 @@ impl<M> HeapScheduler<M> {
 impl<M> EventScheduler<M> for HeapScheduler<M> {
     fn schedule(&mut self, at: SimTime, target: NodeId, kind: EventKind<M>) -> EventHandle {
         self.live += 1;
+        self.scheduled += 1;
+        self.live_high_water = self.live_high_water.max(self.live);
         self.queue.schedule(at, target, kind)
     }
 
     fn cancel(&mut self, h: EventHandle) -> bool {
         self.cancelled.insert(h);
         self.live -= 1;
+        self.cancelled_total += 1;
+        self.tombstone_high_water = self.tombstone_high_water.max(self.cancelled.len());
         true
     }
 
@@ -389,6 +449,17 @@ impl<M> EventScheduler<M> for HeapScheduler<M> {
 
     fn len(&self) -> usize {
         self.live
+    }
+
+    fn profile(&self) -> EngineProfile {
+        EngineProfile {
+            scheduled: self.scheduled,
+            cancelled: self.cancelled_total,
+            cascades: 0,
+            cascade_entries: 0,
+            live_high_water: self.live_high_water as u64,
+            bookkeeping_slots: self.tombstone_high_water as u64,
+        }
     }
 }
 
@@ -515,6 +586,38 @@ mod tests {
         let (_, k) = crash(0);
         w.schedule(SimTime::from_micros(10), 1, k);
         assert_eq!(w.pop().unwrap().at.as_micros(), 100, "clamped to the cursor");
+    }
+
+    #[test]
+    fn profiles_count_schedules_cancels_and_cascades() {
+        let mut w: TimerWheel<()> = TimerWheel::new();
+        // A long delay forces at least one cascade when the window is
+        // entered; a cancelled short timer counts without firing.
+        let (t, k) = crash(1_000_000);
+        w.schedule(t, 0, k);
+        let (t, k) = crash(10);
+        let h = w.schedule(t, 1, k);
+        assert!(w.cancel(h));
+        let _ = drain(&mut w);
+        let p = EventScheduler::<()>::profile(&w);
+        assert_eq!(p.scheduled, 2);
+        assert_eq!(p.cancelled, 1);
+        assert!(p.cascades >= 1, "long delay cascades down: {p:?}");
+        assert!(p.cascade_entries >= 1);
+        assert_eq!(p.live_high_water, 2);
+        assert_eq!(p.bookkeeping_slots, 2);
+
+        let mut s: HeapScheduler<()> = HeapScheduler::default();
+        let (t, k) = crash(5);
+        s.schedule(t, 0, k);
+        let (t, k) = crash(9);
+        let h = s.schedule(t, 0, k);
+        s.cancel(h);
+        let _ = drain(&mut s);
+        let p = EventScheduler::<()>::profile(&s);
+        assert_eq!((p.scheduled, p.cancelled, p.live_high_water), (2, 1, 2));
+        assert_eq!(p.cascades, 0);
+        assert_eq!(p.bookkeeping_slots, 1, "peak tombstones");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::event::{EventKind, Payload};
 use crate::faults::FaultPlan;
 use crate::latency::LatencyModel;
-use crate::sched::{EventHandle, EventScheduler, TimerWheel};
+use crate::sched::{EngineProfile, EventHandle, EventScheduler, TimerWheel};
 use crate::time::{Duration, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -195,6 +195,9 @@ pub struct Simulation<N: Node, S: EventScheduler<N::Msg> = TimerWheel<<N as Node
     now: SimTime,
     next_timer: u64,
     events_processed: u64,
+    /// Events processed per virtual second (index = ⌊now⌋ in seconds) — the
+    /// windowed events/sec series the telemetry registry surfaces.
+    events_timeline: Vec<u64>,
     config: SimulationConfig,
 }
 
@@ -226,6 +229,7 @@ impl<N: Node, S: EventScheduler<N::Msg>> Simulation<N, S> {
             now: SimTime::ZERO,
             next_timer: 0,
             events_processed: 0,
+            events_timeline: Vec::new(),
             config: SimulationConfig::default(),
         }
     }
@@ -302,6 +306,46 @@ impl<N: Node, S: EventScheduler<N::Msg>> Simulation<N, S> {
         self.sched.len()
     }
 
+    /// The scheduler's engine profiling counters (cascades, slab occupancy,
+    /// queue-depth high-water). Deterministic — a function of the event
+    /// sequence only.
+    pub fn engine_profile(&self) -> EngineProfile {
+        self.sched.profile()
+    }
+
+    /// Events processed per virtual second; index `i` covers `[i, i+1)`
+    /// seconds of simulated time.
+    pub fn events_per_sec(&self) -> &[u64] {
+        &self.events_timeline
+    }
+
+    /// Drain the engine profile and event-rate timeline into a telemetry
+    /// registry under `netsim.engine.*` / `netsim.sim.*`. Every value is a
+    /// deterministic function of the run (simulated time, not wall clock),
+    /// so recorded metrics are identical across worker-thread counts.
+    pub fn record_engine_metrics(&self, telemetry: &telemetry::Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        let p = self.sched.profile();
+        telemetry.counter_add("netsim.engine.scheduled", None, p.scheduled);
+        telemetry.counter_add("netsim.engine.cancelled", None, p.cancelled);
+        telemetry.counter_add("netsim.engine.cascades", None, p.cascades);
+        telemetry.counter_add("netsim.engine.cascade_entries", None, p.cascade_entries);
+        telemetry.gauge_max("netsim.engine.live_high_water", None, p.live_high_water as f64);
+        telemetry.gauge_max(
+            "netsim.engine.slots_high_water",
+            None,
+            p.bookkeeping_slots as f64,
+        );
+        telemetry.counter_add("netsim.sim.events", None, self.events_processed);
+        let peak = self.events_timeline.iter().copied().max().unwrap_or(0);
+        telemetry.gauge_max("netsim.sim.events_per_sec_peak", None, peak as f64);
+        for &eps in &self.events_timeline {
+            telemetry.observe("netsim.sim.events_per_sec", None, eps);
+        }
+    }
+
     fn dispatch_actions(&mut self, from: NodeId, ctx: Context<N::Msg>) {
         self.next_timer = ctx.next_timer;
         let mut allocated = ctx.allocated_timers.into_iter();
@@ -374,6 +418,11 @@ impl<N: Node, S: EventScheduler<N::Msg>> Simulation<N, S> {
         let event = self.sched.pop().expect("peeked event pops");
         self.now = event.at;
         self.events_processed += 1;
+        let sec = (self.now.as_micros() / 1_000_000) as usize;
+        if sec >= self.events_timeline.len() {
+            self.events_timeline.resize(sec + 1, 0);
+        }
+        self.events_timeline[sec] += 1;
         let id = event.target;
         match event.kind {
             EventKind::Deliver { from, payload } => {

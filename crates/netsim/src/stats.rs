@@ -50,14 +50,22 @@ impl Histogram {
         &self.samples
     }
 
-    /// The `p`-th percentile (0.0–1.0) of the samples.
+    /// The `p`-th percentile (0.0–1.0) of the samples, with linear
+    /// interpolation between the two bracketing ranks (the R-7 / numpy
+    /// `linear` definition). Rounding the fractional rank to a single index
+    /// biased p99 low on small windows — a 100-sample p99 must land between
+    /// the 99th and 100th order statistic, not on whichever is nearer.
     pub fn percentile(&mut self, p: f64) -> Duration {
         if self.samples.is_empty() {
             return Duration::ZERO;
         }
         let s = self.sorted_samples();
-        let idx = ((s.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
-        Duration::from_micros(s[idx])
+        let rank = (s.len() as f64 - 1.0) * p.clamp(0.0, 1.0);
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        let v = s[lo] as f64 + frac * (s[hi] as f64 - s[lo] as f64);
+        Duration::from_micros(v.round() as u64)
     }
 
     /// Median (50th percentile).
@@ -209,6 +217,27 @@ mod tests {
         assert_eq!(h.max().as_millis(), 50);
         assert_eq!(h.percentile(1.0).as_millis(), 50);
         assert_eq!(h.percentile(0.0).as_millis(), 10);
+    }
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        // 100 samples 1..=100 ms: the exact R-7 percentiles are known in
+        // closed form, so this pins the interpolation (the old round-to-
+        // nearest-index selection reported 99 ms for p99 and 50 ms for p50).
+        let mut h = Histogram::new();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        // rank = 99 * p; value = 1 + rank (samples are 1-based and linear).
+        assert_eq!(h.percentile(0.99).as_micros(), 99_010); // 1 + 99*0.99 = 99.01 ms
+        assert_eq!(h.percentile(0.5).as_micros(), 50_500); // 1 + 49.5 = 50.5 ms
+        assert_eq!(h.percentile(0.95).as_micros(), 95_050); // 1 + 94.05 = 95.05 ms
+        assert_eq!(h.percentile(0.0).as_millis(), 1);
+        assert_eq!(h.percentile(1.0).as_millis(), 100);
+        // A single sample is every percentile.
+        let mut one = Histogram::new();
+        one.record(Duration::from_millis(7));
+        assert_eq!(one.percentile(0.99).as_millis(), 7);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!   loses the leader role and its `V_max` weight at the next
 //!   reconfiguration — which is exactly the recovery Fig 7 shows.
 
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 use netsim::{Duration, SimTime};
 use optilog::{
     ConfigCommand, ConfigLog, LatencyMonitor, LatencyVector, MessageTimeout, RoundObservation,

@@ -16,6 +16,7 @@
 //!   faulty replicas suspect the correct internal nodes of the optimal tree
 //!   to force reconfigurations.
 
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 pub mod attack;
 pub mod policy;
 pub mod score;

@@ -31,6 +31,8 @@ pub struct PbftHarnessConfig {
     /// geo-placed open-loop clients compiled into the queue, not simulated
     /// closed-loop client nodes) and leaders pull batches from the queue.
     pub traffic: Option<traffic::SharedTrafficQueue>,
+    /// Telemetry handle installed on every replica (disabled by default).
+    pub telemetry: telemetry::Telemetry,
 }
 
 impl PbftHarnessConfig {
@@ -46,6 +48,7 @@ impl PbftHarnessConfig {
             behaviors: vec![ReplicaBehavior::Correct; n],
             faults: FaultPlan::none(),
             traffic: None,
+            telemetry: telemetry::Telemetry::disabled(),
         }
     }
 
@@ -181,7 +184,8 @@ impl PbftHarness {
                     policy_factory(id),
                     config.behaviors[id].clone(),
                 )
-                .with_traffic(config.traffic.clone()),
+                .with_traffic(config.traffic.clone())
+                .with_telemetry(config.telemetry.clone()),
             ));
         }
         for c in 0..config.clients {
@@ -196,6 +200,7 @@ impl PbftHarness {
                 max_events: 500_000_000,
             });
         sim.run();
+        sim.record_engine_metrics(&config.telemetry);
 
         // Collect results.
         let mut client_latency = Vec::new();

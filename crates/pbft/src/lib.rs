@@ -21,6 +21,7 @@
 //! are simulated nodes issuing requests in a closed loop and measuring
 //! end-to-end latency, which is what Fig 7 plots.
 
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 pub mod harness;
 pub mod messages;
 pub mod policy;

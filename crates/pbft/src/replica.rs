@@ -16,6 +16,7 @@ use crypto::{Digest, Hashable};
 use netsim::{Context, Duration, FaultWindow, Node, NodeId, SimTime, TimerId, TimeSeries};
 use rsm::{Block, Command, CommitStats};
 use std::collections::{BTreeMap, BTreeSet};
+use telemetry::{Stage, Telemetry};
 use traffic::SharedTrafficQueue;
 
 /// Timer tags used by replicas and clients.
@@ -111,6 +112,8 @@ pub struct ReplicaState {
     traffic: Option<SharedTrafficQueue>,
     /// Traffic batch ids by proposed sequence number (proposer side).
     traffic_batches: BTreeMap<u64, u64>,
+    /// Telemetry handle (disabled by default).
+    telemetry: Telemetry,
     /// Statistics: consensus latency and throughput.
     pub stats: CommitStats,
     /// Reconfigurations this replica performed.
@@ -150,6 +153,7 @@ impl ReplicaState {
             probe_rtts: vec![f64::INFINITY; n],
             traffic: None,
             traffic_batches: BTreeMap::new(),
+            telemetry: Telemetry::disabled(),
             stats: CommitStats::new(),
             reconfigs: Vec::new(),
         }
@@ -159,6 +163,13 @@ impl ReplicaState {
     /// closed-loop clients.
     pub fn with_traffic(mut self, traffic: Option<SharedTrafficQueue>) -> Self {
         self.traffic = traffic;
+        self
+    }
+
+    /// Install a telemetry handle (propose/forward/vote/commit spans plus
+    /// per-replica commit metrics).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -209,6 +220,16 @@ impl ReplicaState {
 
         if let ReplicaBehavior::DelayPropose { stages } = &self.behavior {
             if let Some(stage) = stages.iter().find(|s| s.window.contains(ctx.now)) {
+                // The Pre-Prepare delay attack as its own span on the
+                // attacker's track (the Fig 7 "dissemination-hold" bar).
+                self.telemetry.span(
+                    Stage::Hold,
+                    self.id,
+                    self.next_seq,
+                    ctx.now.as_micros(),
+                    stage.delay.as_micros(),
+                    vec![],
+                );
                 self.delayed_block = Some((self.next_seq, block, measurements));
                 ctx.set_timer(stage.delay, TIMER_DELAYED_PROPOSE);
                 return;
@@ -233,6 +254,13 @@ impl ReplicaState {
             timestamp_us: ctx.now.as_micros(),
             measurements: measurements.clone(),
         };
+        self.telemetry.instant(
+            Stage::Propose,
+            self.id,
+            seq,
+            ctx.now.as_micros(),
+            vec![("commands", block.len() as f64)],
+        );
         let replicas: Vec<NodeId> = (0..self.n).filter(|&r| r != self.id).collect();
         ctx.multicast(&replicas, msg);
         // Process our own proposal locally.
@@ -274,6 +302,20 @@ impl ReplicaState {
         entry.proposal_ts = SimTime::from_micros(timestamp_us);
         entry.measurements = measurements;
         entry.arrivals.push((from, Phase::Propose.tag(), ctx.now));
+        if from != self.id {
+            // Dissemination hop: leader's (honest) proposal timestamp →
+            // delivery at this replica, including any scripted hold.
+            self.telemetry.span(
+                Stage::Forward,
+                self.id,
+                seq,
+                timestamp_us,
+                ctx.now.as_micros().saturating_sub(timestamp_us),
+                vec![],
+            );
+        }
+        self.telemetry
+            .instant(Stage::Vote, self.id, seq, ctx.now.as_micros(), vec![]);
 
         // Vote Write.
         let write = PbftMessage::Write {
@@ -388,6 +430,21 @@ impl ReplicaState {
         if !instance.block.is_empty() {
             self.stats
                 .record_commit(instance.proposal_ts, ctx.now, instance.block.len());
+            self.telemetry.span(
+                Stage::Commit,
+                self.id,
+                seq,
+                instance.proposal_ts.as_micros(),
+                ctx.now.since(instance.proposal_ts).as_micros(),
+                vec![("commands", instance.block.len() as f64)],
+            );
+            self.telemetry
+                .counter_add("pbft.replica.commits", Some(self.id), 1);
+            self.telemetry.observe(
+                "pbft.replica.commit_us",
+                Some(self.id),
+                ctx.now.since(instance.proposal_ts).as_micros(),
+            );
         }
 
         if let Some(queue) = &self.traffic {
@@ -455,6 +512,13 @@ impl ReplicaState {
         // Deterministic reconfiguration decision.
         if let Some(new_config) = self.policy.decide(self.config.epoch, ctx.now) {
             if new_config.epoch == self.config.epoch + 1 {
+                self.telemetry.instant(
+                    Stage::Reconfigure,
+                    self.id,
+                    new_config.epoch,
+                    ctx.now.as_micros(),
+                    vec![("leader", new_config.leader as f64)],
+                );
                 self.config = new_config.clone();
                 self.reconfigs.push(ReconfigEvent {
                     at: ctx.now,

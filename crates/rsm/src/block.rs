@@ -10,17 +10,23 @@ pub struct Command {
     pub client: u64,
     /// Client-local sequence number (used for reply matching and dedup).
     pub seq: u64,
+    /// Causal trace id (a `telemetry::TraceId`): stamped at admission and
+    /// carried through propose/commit so span events across layers correlate.
+    /// Not part of the digest — observability must not perturb hashes.
+    pub trace: u64,
     /// Opaque operation payload. The paper's throughput experiments use empty
     /// payloads; the key-value example application encodes operations here.
     pub payload: Vec<u8>,
 }
 
 impl Command {
-    /// Create a command.
+    /// Create a command. The trace id defaults to `seq` (the traffic layer
+    /// overrides it with the global arrival index via [`Command::with_trace`]).
     pub fn new(client: u64, seq: u64, payload: Vec<u8>) -> Self {
         Command {
             client,
             seq,
+            trace: seq,
             payload,
         }
     }
@@ -28,6 +34,12 @@ impl Command {
     /// An empty-payload command, as used by the benchmark workloads.
     pub fn empty(client: u64, seq: u64) -> Self {
         Command::new(client, seq, Vec::new())
+    }
+
+    /// Attach an explicit causal trace id.
+    pub fn with_trace(mut self, trace: u64) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Wire size estimate in bytes.

@@ -24,6 +24,7 @@
 //!   behaviour, so the same adversary script drives PBFT, HotStuff, and the
 //!   tree overlays.
 
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 pub mod app;
 pub mod block;
 pub mod config;

@@ -1,0 +1,263 @@
+//! Telemetry for the OptiLog reproduction: causal commit traces, a
+//! per-run metrics registry, and engine profiling hooks.
+//!
+//! The crate is dependency-free and time-agnostic: callers pass simulated
+//! microseconds as plain `u64`s, so the same API serves the deterministic
+//! simulator today and a wall-clock `deployd` runtime later. A [`Telemetry`]
+//! handle is a cheap clone around `Option<Arc<..>>`:
+//!
+//! - [`Telemetry::disabled`] — every call is an inlined no-op on a `None`;
+//!   this is the zero-cost path `bench_engine` gates at <2% overhead.
+//! - [`Telemetry::recording`] — metrics registry only. The lab installs this
+//!   on *every* cell so registry-derived metrics are identical whether or
+//!   not a trace is being captured.
+//! - [`Telemetry::tracing`] — registry plus a [`TraceSink`] capturing span
+//!   events for Chrome/Perfetto export.
+//!
+//! Metric names follow `crate.subsystem.name` (dots, ascii); replica-scoped
+//! metrics carry the replica id as a label, and histograms are log-linear so
+//! per-replica shards merge in any order to identical quantiles.
+
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
+
+mod hist;
+mod metrics;
+mod trace;
+
+pub use hist::{LogLinearHistogram, SUB_BITS};
+pub use metrics::{MetricKey, Registry};
+pub use trace::{Stage, TraceEvent, TraceId, TraceSink, CLIENTS_PID};
+
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug)]
+struct Inner {
+    registry: Mutex<Registry>,
+    sink: Option<Mutex<TraceSink>>,
+}
+
+/// A cloneable telemetry handle. `None` inside means fully disabled; all
+/// record paths check that one `Option` and return immediately.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// The no-op handle: nothing is recorded, every call is a branch on a
+    /// `None` and a return.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Registry-only recording (counters, gauges, histograms) — no trace
+    /// sink, so span events are dropped at the same `is_tracing` branch a
+    /// traced run takes.
+    pub fn recording() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                registry: Mutex::new(Registry::new()),
+                sink: None,
+            })),
+        }
+    }
+
+    /// Registry plus trace capture.
+    pub fn tracing() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                registry: Mutex::new(Registry::new()),
+                sink: Some(Mutex::new(TraceSink::new())),
+            })),
+        }
+    }
+
+    /// True when any recording (registry or trace) is active.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// True when a trace sink is installed.
+    #[inline]
+    pub fn is_tracing(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.sink.is_some())
+    }
+
+    /// Add `delta` to a counter.
+    #[inline]
+    pub fn counter_add(&self, name: &str, replica: Option<usize>, delta: u64) {
+        if let Some(i) = &self.inner {
+            i.registry.lock().unwrap().counter_add(name, replica, delta);
+        }
+    }
+
+    /// Set a gauge.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, replica: Option<usize>, v: f64) {
+        if let Some(i) = &self.inner {
+            i.registry.lock().unwrap().gauge_set(name, replica, v);
+        }
+    }
+
+    /// Raise a high-water-mark gauge.
+    #[inline]
+    pub fn gauge_max(&self, name: &str, replica: Option<usize>, v: f64) {
+        if let Some(i) = &self.inner {
+            i.registry.lock().unwrap().gauge_max(name, replica, v);
+        }
+    }
+
+    /// Record one histogram observation.
+    #[inline]
+    pub fn observe(&self, name: &str, replica: Option<usize>, v: u64) {
+        if let Some(i) = &self.inner {
+            i.registry.lock().unwrap().observe(name, replica, v);
+        }
+    }
+
+    /// Record a span event (`dur_us > 0`) into the trace, if tracing.
+    #[inline]
+    pub fn span(
+        &self,
+        stage: Stage,
+        pid: usize,
+        tid: u64,
+        ts_us: u64,
+        dur_us: u64,
+        args: Vec<(&'static str, f64)>,
+    ) {
+        if let Some(i) = &self.inner {
+            if let Some(sink) = &i.sink {
+                sink.lock().unwrap().record(TraceEvent {
+                    stage,
+                    pid,
+                    tid,
+                    ts_us,
+                    dur_us,
+                    args,
+                });
+            }
+        }
+    }
+
+    /// Record an instant event into the trace, if tracing.
+    #[inline]
+    pub fn instant(
+        &self,
+        stage: Stage,
+        pid: usize,
+        tid: u64,
+        ts_us: u64,
+        args: Vec<(&'static str, f64)>,
+    ) {
+        self.span(stage, pid, tid, ts_us, 0, args);
+    }
+
+    /// Run `f` against the registry (no-op when disabled). Batched hot-path
+    /// recording goes through this to take the lock once.
+    #[inline]
+    pub fn with_registry<F: FnOnce(&mut Registry)>(&self, f: F) {
+        if let Some(i) = &self.inner {
+            f(&mut i.registry.lock().unwrap());
+        }
+    }
+
+    /// A snapshot clone of the registry (empty when disabled).
+    pub fn registry_snapshot(&self) -> Registry {
+        match &self.inner {
+            Some(i) => i.registry.lock().unwrap().clone(),
+            None => Registry::new(),
+        }
+    }
+
+    /// Events recorded per stage name (empty when not tracing).
+    pub fn stage_counts(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        match &self.inner {
+            Some(i) => match &i.sink {
+                Some(s) => s.lock().unwrap().stage_counts(),
+                None => Default::default(),
+            },
+            None => Default::default(),
+        }
+    }
+
+    /// Export the captured trace as Chrome `trace_event` JSON. `None` when
+    /// not tracing.
+    pub fn chrome_trace_json(&self, process_labels: &[(usize, String)]) -> Option<String> {
+        let i = self.inner.as_ref()?;
+        let sink = i.sink.as_ref()?;
+        Some(sink.lock().unwrap().chrome_trace_json(process_labels))
+    }
+
+    /// The registry rendered in Prometheus text format (empty when
+    /// disabled).
+    pub fn prometheus_text(&self) -> String {
+        match &self.inner {
+            Some(i) => i.registry.lock().unwrap().prometheus_text(),
+            None => String::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_drops_everything() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        assert!(!t.is_tracing());
+        t.counter_add("a.b.c", None, 1);
+        t.observe("a.b.h", Some(0), 10);
+        t.span(Stage::Commit, 0, 1, 0, 5, vec![]);
+        assert!(t.registry_snapshot().is_empty());
+        assert_eq!(t.chrome_trace_json(&[]), None);
+        assert_eq!(t.prometheus_text(), "");
+    }
+
+    #[test]
+    fn recording_keeps_metrics_but_drops_spans() {
+        let t = Telemetry::recording();
+        assert!(t.is_enabled());
+        assert!(!t.is_tracing());
+        t.counter_add("a.b.c", Some(2), 3);
+        t.span(Stage::Commit, 0, 1, 0, 5, vec![]);
+        assert_eq!(t.registry_snapshot().counter("a.b.c", Some(2)), 3);
+        assert!(t.stage_counts().is_empty());
+        assert_eq!(t.chrome_trace_json(&[]), None);
+    }
+
+    #[test]
+    fn tracing_captures_both_and_clones_share_state() {
+        let t = Telemetry::tracing();
+        let t2 = t.clone();
+        t.span(Stage::Propose, 1, 9, 100, 0, vec![]);
+        t2.span(Stage::Commit, 1, 9, 100, 400, vec![("commands", 8.0)]);
+        t2.counter_add("x.y.z", None, 1);
+        assert_eq!(t.stage_counts()["propose"], 1);
+        assert_eq!(t.stage_counts()["commit"], 1);
+        assert_eq!(t.registry_snapshot().counter("x.y.z", None), 1);
+        let json = t.chrome_trace_json(&[(1, "replica 1".into())]).unwrap();
+        assert!(json.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn registry_recording_is_identical_with_and_without_tracing() {
+        let record = |t: &Telemetry| {
+            t.counter_add("s.n.commits", Some(0), 4);
+            t.observe("s.n.lat_us", Some(1), 12_345);
+            t.gauge_max("s.n.depth", None, 7.0);
+            t.span(Stage::Commit, 0, 1, 10, 20, vec![]);
+        };
+        let rec = Telemetry::recording();
+        let tra = Telemetry::tracing();
+        record(&rec);
+        record(&tra);
+        assert_eq!(
+            rec.registry_snapshot().prometheus_text(),
+            tra.registry_snapshot().prometheus_text()
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! The per-run metrics registry: counters, gauges, and log-linear
+//! histograms, keyed by a `crate.subsystem.name` metric name plus an
+//! optional replica label.
+//!
+//! All storage is `BTreeMap`-ordered, so draining the registry — into the
+//! lab's `BENCH_*.json` cell metrics or into the Prometheus text dump — is
+//! independent of recording order and of the sweep's worker count.
+
+use crate::hist::LogLinearHistogram;
+use std::collections::BTreeMap;
+
+/// A metric key: dotted `crate.subsystem.name` plus an optional replica.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Dotted metric name (`traffic.queue.rejected`).
+    pub name: String,
+    /// Per-replica label; `None` for run-global metrics.
+    pub replica: Option<usize>,
+}
+
+impl MetricKey {
+    fn new(name: &str, replica: Option<usize>) -> Self {
+        debug_assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_'),
+            "metric names are dotted ascii: {name:?}"
+        );
+        MetricKey {
+            name: name.to_string(),
+            replica,
+        }
+    }
+
+    /// Prometheus-style rendering: dots become underscores, `suffix` (e.g.
+    /// `_total`) attaches to the name, and the replica label (if any) goes
+    /// into the label set after it.
+    fn prometheus(&self, suffix: &str) -> String {
+        let base = self.name.replace('.', "_");
+        match self.replica {
+            Some(r) => format!("{base}{suffix}{{replica=\"{r}\"}}"),
+            None => format!("{base}{suffix}"),
+        }
+    }
+}
+
+/// The registry of one run.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    hists: BTreeMap<MetricKey, LogLinearHistogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to a counter.
+    pub fn counter_add(&mut self, name: &str, replica: Option<usize>, delta: u64) {
+        *self.counters.entry(MetricKey::new(name, replica)).or_insert(0) += delta;
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge_set(&mut self, name: &str, replica: Option<usize>, v: f64) {
+        self.gauges.insert(MetricKey::new(name, replica), v);
+    }
+
+    /// Raise a gauge to `v` if above its current value (high-water marks).
+    pub fn gauge_max(&mut self, name: &str, replica: Option<usize>, v: f64) {
+        let e = self.gauges.entry(MetricKey::new(name, replica)).or_insert(f64::MIN);
+        if v > *e {
+            *e = v;
+        }
+    }
+
+    /// Record one observation into a histogram.
+    pub fn observe(&mut self, name: &str, replica: Option<usize>, v: u64) {
+        self.hists
+            .entry(MetricKey::new(name, replica))
+            .or_default()
+            .record(v);
+    }
+
+    /// A counter's current value (0 if never touched).
+    pub fn counter(&self, name: &str, replica: Option<usize>) -> u64 {
+        self.counters.get(&MetricKey::new(name, replica)).copied().unwrap_or(0)
+    }
+
+    /// A gauge's current value, if set.
+    pub fn gauge(&self, name: &str, replica: Option<usize>) -> Option<f64> {
+        self.gauges.get(&MetricKey::new(name, replica)).copied()
+    }
+
+    /// A histogram by key, if any observation landed in it.
+    pub fn histogram(&self, name: &str, replica: Option<usize>) -> Option<&LogLinearHistogram> {
+        self.hists.get(&MetricKey::new(name, replica))
+    }
+
+    /// Merge all histograms sharing `name` across replica labels — the
+    /// cross-replica view whose quantiles are merge-order independent.
+    pub fn merged_histogram(&self, name: &str) -> LogLinearHistogram {
+        let mut out = LogLinearHistogram::new();
+        for (k, h) in &self.hists {
+            if k.name == name {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// Fold another registry into this one (counters add, gauges take the
+    /// max, histograms merge).
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(f64::MIN);
+            if *v > *e {
+                *e = *v;
+            }
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Iterate counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Iterate gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&MetricKey, f64)> + '_ {
+        self.gauges.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Iterate histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&MetricKey, &LogLinearHistogram)> + '_ {
+        self.hists.iter()
+    }
+
+    /// Render the registry in Prometheus text exposition format. Counters
+    /// become `<name>_total`, histograms expose `_count`, `_sum`-free
+    /// quantile gauges (`p50`/`p99`/`p999`), min and max — quantiles come
+    /// from the mergeable buckets, so a scrape never needs raw samples.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{} {}\n", k.prometheus("_total"), v));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{} {}\n", k.prometheus(""), v));
+        }
+        for (k, h) in &self.hists {
+            let base = k.name.replace('.', "_");
+            let label = |q: &str| match k.replica {
+                Some(r) => format!("{base}{{replica=\"{r}\",quantile=\"{q}\"}}"),
+                None => format!("{base}{{quantile=\"{q}\"}}"),
+            };
+            out.push_str(&format!("{} {}\n", k.prometheus("_count"), h.count()));
+            out.push_str(&format!("{} {}\n", k.prometheus("_min"), h.min()));
+            out.push_str(&format!("{} {}\n", k.prometheus("_max"), h.max()));
+            out.push_str(&format!("{} {}\n", label("0.5"), h.p50()));
+            out.push_str(&format!("{} {}\n", label("0.99"), h.p99()));
+            out.push_str(&format!("{} {}\n", label("0.999"), h.p999()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_histograms_round_trip() {
+        let mut r = Registry::new();
+        r.counter_add("a.b.c", None, 2);
+        r.counter_add("a.b.c", None, 3);
+        r.counter_add("a.b.c", Some(1), 7);
+        r.gauge_set("a.b.depth", Some(0), 4.0);
+        r.gauge_max("a.b.depth", Some(0), 9.0);
+        r.gauge_max("a.b.depth", Some(0), 2.0);
+        r.observe("a.b.lat_us", Some(0), 100);
+        r.observe("a.b.lat_us", Some(1), 300);
+        assert_eq!(r.counter("a.b.c", None), 5);
+        assert_eq!(r.counter("a.b.c", Some(1)), 7);
+        assert_eq!(r.gauge("a.b.depth", Some(0)), Some(9.0));
+        assert_eq!(r.merged_histogram("a.b.lat_us").count(), 2);
+        assert_eq!(r.histogram("a.b.lat_us", Some(0)).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn prometheus_text_is_sorted_and_labelled() {
+        let mut r = Registry::new();
+        r.counter_add("z.last", None, 1);
+        r.counter_add("a.first", Some(3), 2);
+        r.observe("m.hist_us", Some(0), 50);
+        let text = r.prometheus_text();
+        let a = text.find("a_first_total{replica=\"3\"} 2").expect("labelled counter");
+        let z = text.find("z_last_total 1").expect("plain counter");
+        assert!(a < z, "counters render in key order");
+        assert!(text.contains("m_hist_us_count{replica=\"0\"} 1"));
+        assert!(text.contains("quantile=\"0.99\""));
+    }
+
+    #[test]
+    fn registry_merge_is_order_independent() {
+        let mk = |vals: &[u64]| {
+            let mut r = Registry::new();
+            for &v in vals {
+                r.counter_add("c.n", None, 1);
+                r.observe("h.us", Some((v % 3) as usize), v);
+            }
+            r
+        };
+        let (a, b, c) = (mk(&[1, 5, 9]), mk(&[2, 200]), mk(&[77]));
+        let mut ab_c = Registry::new();
+        for r in [&a, &b, &c] {
+            ab_c.merge(r);
+        }
+        let mut c_b_a = Registry::new();
+        for r in [&c, &b, &a] {
+            c_b_a.merge(r);
+        }
+        assert_eq!(ab_c.prometheus_text(), c_b_a.prometheus_text());
+    }
+}

@@ -1,0 +1,265 @@
+//! The causal trace layer: deterministic sim-time span events keyed by a
+//! [`TraceId`], exportable as Chrome/Perfetto `trace_event` JSON.
+//!
+//! Every instrumentation point on the commit path (client emit → ingress
+//! forward → admission → propose → per-hop tree forward → vote/aggregate →
+//! commit → reply, plus the dissemination-hold an adversary inserts) records
+//! a [`Stage`]-tagged event. Timestamps are *simulated* microseconds, which
+//! map 1:1 onto the `ts`/`dur` fields of the `trace_event` format — open the
+//! exported file in Perfetto (or `chrome://tracing`) and a Fig 7 attack is
+//! visibly a widening `hold` span under the root's track.
+
+/// The identifier a client command carries end to end. Traffic assigns the
+/// global arrival index; `rsm::Command` carries it so any layer can stamp
+/// spans with the command range it is moving.
+pub type TraceId = u64;
+
+/// The canonical instrumentation points of one commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Client issues the request (span: send → ingress replica).
+    ClientEmit,
+    /// Ingress replica forwards to the current proposer (span: the charged
+    /// forwarding hop — same number the e2e accounting charges).
+    IngressForward,
+    /// The command waits in the leader-side admission queue (span:
+    /// ingress/forward arrival → batch dispatch).
+    Admission,
+    /// The proposer assembles and emits a proposal (instant).
+    Propose,
+    /// One dissemination hop: proposal emitted → delivered at a replica
+    /// (span; tree substrates record one per hop).
+    Forward,
+    /// An adversarial dissemination hold: the payload sat on the proposer
+    /// past its natural send instant (span).
+    Hold,
+    /// A replica votes (instant).
+    Vote,
+    /// A tree internal forwards an aggregate upward (instant).
+    Aggregate,
+    /// The proposal commits (span: proposal timestamp → commit).
+    Commit,
+    /// The reply travels back to the client (span: commit → reply arrival).
+    Reply,
+    /// A role reconfiguration is adopted (instant).
+    Reconfigure,
+}
+
+impl Stage {
+    /// The `name` field of the exported trace event.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::ClientEmit => "client_emit",
+            Stage::IngressForward => "ingress_forward",
+            Stage::Admission => "admission",
+            Stage::Propose => "propose",
+            Stage::Forward => "forward",
+            Stage::Hold => "hold",
+            Stage::Vote => "vote",
+            Stage::Aggregate => "aggregate",
+            Stage::Commit => "commit",
+            Stage::Reply => "reply",
+            Stage::Reconfigure => "reconfigure",
+        }
+    }
+
+    /// The `cat` (category) field: which layer records the stage.
+    pub fn category(&self) -> &'static str {
+        match self {
+            Stage::ClientEmit | Stage::IngressForward | Stage::Admission | Stage::Reply => {
+                "traffic"
+            }
+            Stage::Propose | Stage::Forward | Stage::Hold | Stage::Vote | Stage::Aggregate
+            | Stage::Commit | Stage::Reconfigure => "consensus",
+        }
+    }
+}
+
+/// The synthetic `pid` used for client-side (traffic-layer) tracks, where no
+/// replica is a natural owner.
+pub const CLIENTS_PID: usize = 10_000;
+
+/// One recorded trace event. `dur_us == 0` renders as an instant event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Instrumentation point.
+    pub stage: Stage,
+    /// Track owner: replica id, or [`CLIENTS_PID`] for client-side stages.
+    pub pid: usize,
+    /// Causal key within the track: a [`TraceId`] for per-command stages, a
+    /// view/sequence number for per-proposal stages.
+    pub tid: u64,
+    /// Start instant, simulated microseconds.
+    pub ts_us: u64,
+    /// Span length, simulated microseconds (0 = instant).
+    pub dur_us: u64,
+    /// Free-form numeric arguments (`commands`, `depth`, `trace_lo`, ...).
+    pub args: Vec<(&'static str, f64)>,
+}
+
+/// The per-run sink trace events are recorded into.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    events: Vec<TraceEvent>,
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one event.
+    pub fn record(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events recorded per stage name — the coverage check CI runs against
+    /// a smoke trace.
+    pub fn stage_counts(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        let mut out = std::collections::BTreeMap::new();
+        for e in &self.events {
+            *out.entry(e.stage.name()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// The recorded events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Export as Chrome `trace_event` JSON (the object form, with
+    /// `traceEvents`): spans are `ph:"X"` complete events, zero-duration
+    /// records are `ph:"i"` instants. `process_labels` names the tracks
+    /// (`pid → "replica 3"` / `"clients"`).
+    pub fn chrome_trace_json(&self, process_labels: &[(usize, String)]) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |s: String, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str(&s);
+            out.push('\n');
+        };
+        for (pid, label) in process_labels {
+            push(
+                format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                     \"args\":{{\"name\":\"{label}\"}}}}"
+                ),
+                &mut first,
+            );
+        }
+        for e in &self.events {
+            let mut args = format!("\"stage\":\"{}\"", e.stage.name());
+            for (k, v) in &e.args {
+                args.push_str(&format!(",\"{k}\":{}", fmt_f64(*v)));
+            }
+            let common = format!(
+                "\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{},\"args\":{{{args}}}",
+                e.stage.name(),
+                e.stage.category(),
+                e.pid,
+                e.tid,
+                e.ts_us,
+            );
+            if e.dur_us == 0 {
+                push(format!("{{{common},\"ph\":\"i\",\"s\":\"t\"}}"), &mut first);
+            } else {
+                push(format!("{{{common},\"ph\":\"X\",\"dur\":{}}}", e.dur_us), &mut first);
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_export_is_valid_json_with_spans_and_instants() {
+        let mut sink = TraceSink::new();
+        sink.record(TraceEvent {
+            stage: Stage::Commit,
+            pid: 0,
+            tid: 7,
+            ts_us: 1_000,
+            dur_us: 2_500,
+            args: vec![("commands", 100.0)],
+        });
+        sink.record(TraceEvent {
+            stage: Stage::Vote,
+            pid: 3,
+            tid: 7,
+            ts_us: 1_700,
+            dur_us: 0,
+            args: vec![],
+        });
+        let json = sink.chrome_trace_json(&[(0, "replica 0".into()), (3, "replica 3".into())]);
+        let v: serde::Value = serde_json::from_str(&json).expect("exported trace parses as JSON");
+        let events = match v.get("traceEvents").expect("traceEvents key") {
+            serde::Value::Arr(items) => items.clone(),
+            other => panic!("traceEvents is {}, not array", other.kind()),
+        };
+        assert_eq!(events.len(), 4, "2 metadata + 2 events");
+        let commit = &events[2];
+        assert_eq!(
+            commit.get("ph"),
+            Some(&serde::Value::Str("X".to_string()))
+        );
+        match commit.get("dur").expect("dur field") {
+            serde::Value::Num(n) => assert_eq!(n.as_i64(), Some(2500)),
+            other => panic!("dur is {}", other.kind()),
+        }
+        assert_eq!(
+            events[3].get("ph"),
+            Some(&serde::Value::Str("i".to_string()))
+        );
+        assert_eq!(sink.stage_counts()["commit"], 1);
+        assert_eq!(sink.stage_counts()["vote"], 1);
+    }
+
+    #[test]
+    fn stage_names_are_unique() {
+        let all = [
+            Stage::ClientEmit,
+            Stage::IngressForward,
+            Stage::Admission,
+            Stage::Propose,
+            Stage::Forward,
+            Stage::Hold,
+            Stage::Vote,
+            Stage::Aggregate,
+            Stage::Commit,
+            Stage::Reply,
+            Stage::Reconfigure,
+        ];
+        let mut names: Vec<&str> = all.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the telemetry primitives: the merge operation on
+//! log-linear histograms must be order-independent (per-replica shards from
+//! parallel sweep workers combine to identical quantiles), and quantiles
+//! must stay within the bucket scheme's relative-error bound.
+
+use proptest::prelude::*;
+use telemetry::{LogLinearHistogram, Registry, SUB_BITS};
+
+fn shards_from(values: &[u64], shards: usize) -> Vec<LogLinearHistogram> {
+    let mut out: Vec<LogLinearHistogram> = (0..shards).map(|_| LogLinearHistogram::new()).collect();
+    for (i, &v) in values.iter().enumerate() {
+        out[i % shards].record(v);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_order_does_not_change_quantiles(
+        values in prop::collection::vec(0u64..5_000_000, 1..400),
+        perm_seed in 0u64..1_000,
+    ) {
+        let shards = shards_from(&values, 5);
+
+        let mut forward = LogLinearHistogram::new();
+        for s in &shards {
+            forward.merge(s);
+        }
+
+        // A deterministic permutation of the shard order derived from the seed.
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        let mut s = perm_seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut permuted = LogLinearHistogram::new();
+        for &i in &order {
+            permuted.merge(&shards[i]);
+        }
+
+        prop_assert_eq!(&forward, &permuted);
+        prop_assert_eq!(forward.p50(), permuted.p50());
+        prop_assert_eq!(forward.p99(), permuted.p99());
+        prop_assert_eq!(forward.p999(), permuted.p999());
+
+        // Merged shards equal one histogram that saw every value directly.
+        let mut single = LogLinearHistogram::new();
+        for &v in &values {
+            single.record(v);
+        }
+        prop_assert_eq!(&forward, &single);
+    }
+
+    #[test]
+    fn quantiles_track_exact_percentiles_within_bucket_error(
+        values in prop::collection::vec(1u64..10_000_000, 10..300),
+    ) {
+        let mut h = LogLinearHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let tol = 1.0 / (1u64 << SUB_BITS) as f64;
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1] as f64;
+            let got = h.quantile(q) as f64;
+            prop_assert!(
+                (got - exact).abs() <= exact * tol + 1.0,
+                "q={}: got {}, exact {}", q, got, exact
+            );
+        }
+    }
+
+    #[test]
+    fn registry_merge_is_order_independent(
+        values in prop::collection::vec(0u64..100_000, 1..200),
+    ) {
+        let mk = |chunk: &[u64]| {
+            let mut r = Registry::new();
+            for &v in chunk {
+                r.counter_add("t.prop.count", None, 1);
+                r.observe("t.prop.lat_us", Some((v % 4) as usize), v);
+                r.gauge_max("t.prop.peak", None, v as f64);
+            }
+            r
+        };
+        let mid = values.len() / 2;
+        let (a, b) = (mk(&values[..mid]), mk(&values[mid..]));
+        let mut ab = Registry::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = Registry::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        prop_assert_eq!(ab.prometheus_text(), ba.prometheus_text());
+    }
+}

@@ -25,6 +25,7 @@
 //!   only commands whose client-observed latency met the
 //!   [`rsm::TrafficSpec`] SLO deadline.
 
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 pub mod placement;
 pub mod queue;
 pub mod sampler;

@@ -26,6 +26,7 @@ use rand::{Rng, SeedableRng};
 use rsm::{BatchingPolicy, Command, CommitStats, TrafficSpec};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
+use telemetry::{Stage, Telemetry, CLIENTS_PID};
 
 /// One scheduled request, before admission.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,9 +65,11 @@ struct InFlight {
     at: SimTime,
     /// Arrival indices in the batch.
     idxs: Vec<u64>,
-    /// The replica that proposed the batch, when known: the ingress→leader
-    /// forwarding hop is charged against it at commit time.
-    proposer: Option<usize>,
+    /// Per-command ingress→proposer forwarding charge (ms), fixed at
+    /// dispatch, aligned with `idxs`. The commit accounting and the
+    /// `ingress_forward` trace span both read *this* value, so the charged
+    /// hop and the observed hop can never drift apart.
+    forward_ms: Vec<f64>,
 }
 
 /// The ingress→leader forwarding leg of the request path.
@@ -105,6 +108,11 @@ impl ForwardingModel {
         let ingress = self.nearest[client as usize % self.nearest.len()];
         self.hop_ms[ingress * self.n + proposer]
     }
+
+    /// The replica `client`'s requests enter through.
+    pub fn ingress_of(&self, client: u64) -> usize {
+        self.nearest[client as usize % self.nearest.len()]
+    }
 }
 
 /// The admission queue for one run.
@@ -139,6 +147,8 @@ pub struct TrafficQueue {
     stats: CommitStats,
     depth_timeline: Vec<(f64, f64)>,
     max_depth: usize,
+    /// Observability handle; disabled by default (zero-cost no-op).
+    telemetry: Telemetry,
 }
 
 impl TrafficQueue {
@@ -184,6 +194,7 @@ impl TrafficQueue {
             stats: CommitStats::new().with_slo(slo),
             depth_timeline: Vec::new(),
             max_depth: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -198,6 +209,14 @@ impl TrafficQueue {
     /// hop from its ingress replica to the proposer.
     pub fn with_forwarding(mut self, forwarding: ForwardingModel) -> Self {
         self.forwarding = Some(forwarding);
+        self
+    }
+
+    /// Install a telemetry handle: client-side spans (`client_emit`,
+    /// `admission`, `ingress_forward`, `reply`) and queue metrics are
+    /// recorded through it. Disabled by default.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -262,9 +281,11 @@ impl TrafficQueue {
         {
             if self.waiting.len() >= self.capacity {
                 self.rejected += 1;
+                self.telemetry.counter_add("traffic.queue.rejected", None, 1);
             } else {
                 self.waiting.push_back(self.cursor as u64);
                 self.admitted += 1;
+                self.telemetry.counter_add("traffic.queue.admitted", None, 1);
             }
             self.cursor += 1;
         }
@@ -303,9 +324,69 @@ impl TrafficQueue {
             .iter()
             .map(|&i| Command::empty(self.arrivals[i as usize].client, i))
             .collect();
+        // The forwarding charge is fixed here, at dispatch: the commit
+        // accounting and the trace span below both consume these values.
+        let forward_ms: Vec<f64> = idxs
+            .iter()
+            .map(|&i| match (&self.forwarding, proposer) {
+                (Some(f), Some(p)) => f.forward_ms(self.arrivals[i as usize].client, p),
+                _ => 0.0,
+            })
+            .collect();
+        if self.telemetry.is_enabled() {
+            for (&i, &fwd) in idxs.iter().zip(&forward_ms) {
+                let a = self.arrivals[i as usize];
+                self.telemetry.span(
+                    Stage::ClientEmit,
+                    CLIENTS_PID,
+                    i,
+                    a.send.as_micros(),
+                    a.ingress.since(a.send).as_micros(),
+                    vec![("client", a.client as f64)],
+                );
+                self.telemetry.span(
+                    Stage::Admission,
+                    CLIENTS_PID,
+                    i,
+                    a.ingress.as_micros(),
+                    now.since(a.ingress).as_micros(),
+                    vec![],
+                );
+                if fwd > 0.0 {
+                    let ingress_pid = self
+                        .forwarding
+                        .as_ref()
+                        .map_or(CLIENTS_PID, |f| f.ingress_of(a.client));
+                    self.telemetry.span(
+                        Stage::IngressForward,
+                        ingress_pid,
+                        i,
+                        now.as_micros(),
+                        Duration::from_millis_f64(fwd).as_micros(),
+                        vec![("proposer", proposer.unwrap_or(0) as f64)],
+                    );
+                }
+                self.telemetry.observe(
+                    "traffic.queue.wait_us",
+                    None,
+                    now.since(a.ingress).as_micros(),
+                );
+            }
+            self.telemetry
+                .counter_add("traffic.queue.dispatched", None, idxs.len() as u64);
+            self.telemetry
+                .gauge_max("traffic.queue.depth_peak", None, self.max_depth as f64);
+        }
         let id = self.next_batch_id;
         self.next_batch_id += 1;
-        self.in_flight.insert(id, InFlight { at: now, idxs, proposer });
+        self.in_flight.insert(
+            id,
+            InFlight {
+                at: now,
+                idxs,
+                forward_ms,
+            },
+        );
         self.depth_timeline
             .push((now.as_secs_f64(), self.waiting.len() as f64));
         Some(TrafficBatch { id, commands })
@@ -378,6 +459,8 @@ impl TrafficQueue {
             }
         }
         self.retried += requeue.len() as u64;
+        self.telemetry
+            .counter_add("traffic.queue.retried", None, requeue.len() as u64);
         // Front of the queue, original order preserved: retried commands are
         // older than anything still waiting. Capacity is not re-checked —
         // these commands were already admitted once.
@@ -395,16 +478,29 @@ impl TrafficQueue {
         let Some(flight) = self.in_flight.remove(&id) else {
             return;
         };
-        for i in flight.idxs {
+        for (&i, &forward_ms) in flight.idxs.iter().zip(&flight.forward_ms) {
             let a = self.arrivals[i as usize];
-            let forward_ms = match (&self.forwarding, flight.proposer) {
-                (Some(f), Some(p)) => f.forward_ms(a.client, p),
-                _ => 0.0,
-            };
             let e2e = committed.since(a.send)
                 + Duration::from_millis_f64(a.reply_ms + forward_ms);
             self.stats.record_client_commit(e2e, committed);
+            if self.telemetry.is_enabled() {
+                self.telemetry.span(
+                    Stage::Reply,
+                    CLIENTS_PID,
+                    i,
+                    committed.as_micros(),
+                    Duration::from_millis_f64(a.reply_ms).as_micros(),
+                    vec![],
+                );
+                self.telemetry
+                    .observe("traffic.client.e2e_us", None, e2e.as_micros());
+            }
         }
+        self.telemetry.counter_add(
+            "traffic.client.committed",
+            None,
+            flight.idxs.len() as u64,
+        );
     }
 
     /// Requests admitted so far.
@@ -525,6 +621,11 @@ impl SharedTrafficQueue {
     /// Compile a spec; see [`TrafficQueue::generate`].
     pub fn generate(spec: &TrafficSpec, ingress_ms: &[f64], seed: u64, horizon: SimTime) -> Self {
         Self::new(TrafficQueue::generate(spec, ingress_ms, seed, horizon))
+    }
+
+    /// Install a telemetry handle; see [`TrafficQueue::with_telemetry`].
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        self.lock().telemetry = telemetry;
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, TrafficQueue> {
@@ -772,6 +873,70 @@ mod tests {
         let b = anon.try_batch(SimTime::from_millis(10)).expect("anon");
         anon.commit_batch(b.id, SimTime::from_millis(100));
         assert!((anon.report(1).e2e_mean_ms - 110.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forwarding_charge_and_trace_span_are_the_same_value() {
+        // The satellite invariant: the e2e accounting and the exported
+        // `ingress_forward` span must read one stored number, so they can
+        // never drift. 80 ms RTT → 40 ms hop → 40_000 µs span.
+        let rtt = vec![0.0, 80.0, 80.0, 0.0];
+        let schedule = vec![ScheduledArrival {
+            send: SimTime::ZERO,
+            client: 0,
+            ingress_ms: 0.0,
+        }];
+        let tel = Telemetry::tracing();
+        let mut q = TrafficQueue::from_schedule(
+            policy(1, 100),
+            10,
+            Duration::from_secs(1),
+            schedule,
+        )
+        .with_forwarding(ForwardingModel::from_rtt(vec![0], &rtt, 2))
+        .with_telemetry(tel.clone());
+        let b = q.try_batch_at(SimTime::from_millis(10), 1).expect("far batch");
+        q.commit_batch(b.id, SimTime::from_millis(100));
+        // Charged: 100 ms commit delta + 40 ms forward + 0 reply = 140 ms.
+        assert!((q.report(1).e2e_mean_ms - 140.0).abs() < 1e-6);
+        // Observed: exactly one ingress_forward span of 40_000 µs at the
+        // ingress replica's track.
+        let json = tel.chrome_trace_json(&[]).expect("tracing handle");
+        assert!(json.contains("\"name\":\"ingress_forward\""));
+        assert!(json.contains("\"dur\":40000"), "span is the charged hop: {json}");
+        assert_eq!(tel.stage_counts()["ingress_forward"], 1);
+        assert_eq!(tel.stage_counts()["client_emit"], 1);
+        assert_eq!(tel.stage_counts()["admission"], 1);
+        assert_eq!(tel.stage_counts()["reply"], 1);
+        // The registry saw the e2e observation too.
+        assert_eq!(
+            tel.registry_snapshot().counter("traffic.client.committed", None),
+            1
+        );
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_queue_behaviour() {
+        let run = |telemetry: Telemetry| {
+            let mut q = TrafficQueue::from_schedule(
+                policy(3, 50),
+                100,
+                Duration::from_secs(1),
+                steady(9, 10),
+            )
+            .with_telemetry(telemetry);
+            let mut sig = Vec::new();
+            let mut now = SimTime::ZERO;
+            while let Some(at) = q.next_ready_at(now) {
+                now = at;
+                if let Some(b) = q.try_batch(now) {
+                    sig.push((b.id, b.commands.len(), now));
+                    q.commit_batch(b.id, now + Duration::from_millis(20));
+                }
+            }
+            (sig, q.report(1))
+        };
+        assert_eq!(run(Telemetry::disabled()), run(Telemetry::tracing()));
     }
 
     #[test]
