@@ -15,11 +15,12 @@
 
 use bench::Deployment;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hotstuff::{run_hotstuff, HotStuffConfig, Pacemaker};
-use kauri::{run_kauri, KauriBinsPolicy, KauriConfig, TreePolicy};
+use hotstuff::{HotStuffConfig, Pacemaker};
+use kauri::{KauriBinsPolicy, KauriConfig, TreePolicy};
+use lab::{run_hotstuff, run_kauri, PbftHarness, PbftHarnessConfig};
 use netsim::{Duration, FaultPlan, MatrixLatency};
 use optitree::OptiTreePolicy;
-use pbft::{PbftHarness, PbftHarnessConfig, StaticPolicy};
+use pbft::StaticPolicy;
 use rsm::SystemConfig;
 use std::time::Instant;
 

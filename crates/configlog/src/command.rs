@@ -90,7 +90,7 @@ impl PhaseFilter {
 /// One entry of the replicated configuration log, ordered through the
 /// substrate's own commit path. Generic over the configuration payload `C`
 /// (weight configuration, dissemination tree, …).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ConfigCommand<C> {
     /// A full role configuration proposed for `epoch`. Adopted by
     /// [`crate::ConfigLog::apply`] iff `epoch` exceeds the current one —

@@ -1,7 +1,7 @@
 //! The epoch-monotone adoption state machine.
 
 use crate::command::{ConfigCommand, SuspicionPair};
-use netsim::SimTime;
+use runtime::SimTime;
 use rsm::AppendLog;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -170,7 +170,7 @@ impl<C: Clone> ConfigLog<C> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::Duration;
+    use runtime::Duration;
 
     fn cfg(epoch: u64, v: u32) -> ConfigCommand<u32> {
         ConfigCommand::Config { epoch, config: v }

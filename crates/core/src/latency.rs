@@ -7,7 +7,7 @@
 //! symmetry with `L[A][B] = L[B][A] = max(Lr(A,B), Lr(B,A))`. Replicas that
 //! fail to reply are recorded as unreachable (∞).
 
-use netsim::Duration;
+use runtime::Duration;
 use serde::{Deserialize, Serialize};
 
 /// Sentinel for an unreachable replica (the paper's ∞ entry).

@@ -22,7 +22,7 @@ use crate::candidates::{CandidateSelection, CandidateSelector, SelectionStrategy
 use crate::graph::SuspicionGraph;
 use crate::timing::RoundTimeouts;
 use configlog::PhaseFilter;
-use netsim::{Duration, SimTime};
+use runtime::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -518,7 +518,7 @@ fn normalize(a: usize, b: usize) -> (usize, usize) {
 mod tests {
     use super::*;
     use crate::timing::MessageTimeout;
-    use netsim::Duration;
+    use runtime::Duration;
 
     fn slow(accuser: usize, accused: usize, round: u64, phase: u32) -> Suspicion {
         Suspicion {

@@ -8,7 +8,7 @@
 //! δ-scaled checks; the protocol-specific derivations live in the OptiAware
 //! and OptiTree crates.
 
-use netsim::Duration;
+use runtime::Duration;
 use serde::{Deserialize, Serialize};
 
 /// Expected delay of one message within a round, relative to the leader's

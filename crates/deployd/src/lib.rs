@@ -1,0 +1,381 @@
+//! deployd: launch real-clock localhost clusters of the consensus substrates.
+//!
+//! This is the deployment counterpart of the `lab` simulation harnesses: the
+//! *same* replica structs (`hotstuff::HotStuffNode`, `kauri::KauriNode`) that
+//! the simulator drives are handed to [`runtime::RealCluster`], which runs
+//! them over real TCP sockets on 127.0.0.1 with wall-clock timers. Nothing in
+//! the protocol code changes — the node API is runtime-agnostic, and the wire
+//! bound (`Serialize`/`Deserialize` on the message enum) is the only opt-in.
+//!
+//! Load comes from the same `traffic` crate the simulation harnesses use: an
+//! open-loop arrival schedule pre-generated against the run horizon. Arrival
+//! offsets that the simulator interprets as virtual microseconds are here
+//! wall-clock microseconds since cluster launch — the schedule is identical,
+//! only the clock underneath differs, which is what makes the simulated and
+//! measured throughput–latency knees comparable like-for-like.
+//!
+//! Telemetry: pass `Telemetry::recording()` (counters only) or
+//! `Telemetry::tracing()` (plus a Perfetto/Chrome trace with wall-clock µs
+//! timestamps) in [`DeployConfig::telemetry`]; the substrates' existing
+//! instrumentation does the rest — deployd adds none of its own.
+
+#![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
+
+use crypto::Digest;
+use hotstuff::{HotStuffConfig, HotStuffNode, Pacemaker};
+use kauri::{KauriBinsPolicy, KauriConfig, KauriNode, TreePolicy};
+use runtime::{Duration, RealCluster, SimTime};
+use rsm::{RunSummary, TrafficSpec};
+use telemetry::Telemetry;
+use traffic::{SharedTrafficQueue, TrafficReport};
+
+/// Which consensus substrate to deploy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Substrate {
+    /// Chained HotStuff (star topology).
+    HotStuff,
+    /// Kauri (tree overlay with pipelining).
+    Kauri,
+}
+
+impl Substrate {
+    /// Parse a `--substrate` flag value.
+    pub fn parse(s: &str) -> Option<Substrate> {
+        match s {
+            "hotstuff" => Some(Substrate::HotStuff),
+            "kauri" => Some(Substrate::Kauri),
+            _ => None,
+        }
+    }
+
+    /// The substrate's name as used in flags and metric prefixes.
+    pub fn name(self) -> &'static str {
+        match self {
+            Substrate::HotStuff => "hotstuff",
+            Substrate::Kauri => "kauri",
+        }
+    }
+}
+
+/// Configuration for one real-cluster run.
+#[derive(Clone)]
+pub struct DeployConfig {
+    /// Which substrate to run.
+    pub substrate: Substrate,
+    /// Number of replicas.
+    pub n: usize,
+    /// Wall-clock run duration.
+    pub run_for: Duration,
+    /// Offered open-loop load in commands per second; `0.0` runs the
+    /// saturated workload (leaders batch as fast as views turn).
+    pub rate: f64,
+    /// Number of load-generating clients behind the shared queue.
+    pub clients: usize,
+    /// Commands per block.
+    pub batch_size: usize,
+    /// Arrival-schedule seed.
+    pub seed: u64,
+    /// Telemetry handle installed on every replica.
+    pub telemetry: Telemetry,
+}
+
+impl DeployConfig {
+    /// Defaults: 5 s of 200 cmd/s from 4 clients, batches of 100.
+    pub fn new(substrate: Substrate, n: usize) -> Self {
+        DeployConfig {
+            substrate,
+            n,
+            run_for: Duration::from_secs(5),
+            rate: 200.0,
+            clients: 4,
+            batch_size: 100,
+            seed: 7,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    fn traffic_queue(&self) -> Option<SharedTrafficQueue> {
+        if self.rate <= 0.0 {
+            return None;
+        }
+        let spec = TrafficSpec::poisson(self.rate)
+            .with_clients(self.clients)
+            .with_batching(self.batch_size, Duration::from_millis(40))
+            .with_slo(Duration::from_secs(1));
+        // Localhost ingress: ~1 ms from every client to the leader.
+        let ingress = vec![1.0; self.clients];
+        Some(SharedTrafficQueue::generate(
+            &spec,
+            &ingress,
+            self.seed,
+            SimTime::ZERO + self.run_for,
+        ))
+    }
+}
+
+/// What a real-cluster run measured.
+#[derive(Debug, Clone)]
+pub struct RealRunReport {
+    /// The substrate that ran.
+    pub substrate: Substrate,
+    /// Number of replicas.
+    pub n: usize,
+    /// Wall-clock seconds actually elapsed between launch and shutdown.
+    pub wall_secs: f64,
+    /// Throughput / latency summary measured at the best-progressed replica
+    /// (same [`rsm::CommitStats`] readings the simulation harnesses report).
+    pub summary: RunSummary,
+    /// Per-replica `<substrate>.node.commits` telemetry counters — the
+    /// agreement oracles' view of progress (all zero when telemetry is
+    /// disabled).
+    pub per_replica_commits: Vec<u64>,
+    /// Open-loop traffic accounting, when a rate was configured.
+    pub traffic: Option<TrafficReport>,
+    /// HotStuff only: per-replica committed `(view, digest)` sequences, for
+    /// agreement checks (empty for other substrates).
+    pub view_digests: Vec<Vec<(u64, Digest)>>,
+}
+
+impl RealRunReport {
+    /// True when every pair of replicas agrees on the digest of every view
+    /// both have stored (the HotStuff agreement oracle; trivially true for
+    /// substrates that do not expose digests here).
+    pub fn digests_agree(&self) -> bool {
+        use std::collections::BTreeMap;
+        let maps: Vec<BTreeMap<u64, Digest>> = self
+            .view_digests
+            .iter()
+            .map(|vd| vd.iter().copied().collect())
+            .collect();
+        for a in &maps {
+            for b in &maps {
+                for (view, digest) in a {
+                    if let Some(other) = b.get(view) {
+                        if other != digest {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Run a cluster to completion (the configured duration), polling
+/// `should_stop` about every 50 ms so a signal handler can end the run
+/// early with a clean shutdown.
+pub fn run_cluster(
+    config: &DeployConfig,
+    should_stop: &dyn Fn() -> bool,
+) -> std::io::Result<RealRunReport> {
+    match config.substrate {
+        Substrate::HotStuff => run_hotstuff_cluster(config, should_stop),
+        Substrate::Kauri => run_kauri_cluster(config, should_stop),
+    }
+}
+
+/// Sleep out the run in short slices, returning early if asked to stop.
+fn wait_out(run_for: Duration, should_stop: &dyn Fn() -> bool) {
+    let deadline =
+        std::time::Instant::now() + std::time::Duration::from_micros(run_for.as_micros());
+    while std::time::Instant::now() < deadline && !should_stop() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+}
+
+fn commit_counters(telemetry: &Telemetry, prefix: &str, n: usize) -> Vec<u64> {
+    let name = format!("{prefix}.node.commits");
+    let snapshot = telemetry.registry_snapshot();
+    (0..n).map(|id| snapshot.counter(&name, Some(id))).collect()
+}
+
+fn run_hotstuff_cluster(
+    config: &DeployConfig,
+    should_stop: &dyn Fn() -> bool,
+) -> std::io::Result<RealRunReport> {
+    let queue = config.traffic_queue();
+    let mut hs = HotStuffConfig::new(config.n, Pacemaker::Fixed { leader: 0 });
+    hs.batch_size = config.batch_size;
+    hs.run_for = config.run_for;
+    hs.traffic = queue.clone();
+    hs.telemetry = config.telemetry.clone();
+
+    let nodes: Vec<HotStuffNode> = (0..config.n)
+        .map(|id| {
+            HotStuffNode::new(id, hs.system, hs.pacemaker, hs.batch_size)
+                .with_traffic(hs.traffic.clone())
+                .with_telemetry(hs.telemetry.clone())
+        })
+        .collect();
+
+    let started = std::time::Instant::now();
+    let cluster = RealCluster::launch(nodes)?;
+    wait_out(config.run_for, should_stop);
+    let mut nodes = cluster.shutdown();
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let view_digests: Vec<Vec<(u64, Digest)>> =
+        nodes.iter().map(|nd| nd.view_digests()).collect();
+    let observer = (0..config.n)
+        .max_by_key(|&i| nodes[i].stats.blocks())
+        .unwrap_or(0);
+    let summary = nodes[observer].stats.summary((wall_secs.max(1.0)) as u64);
+    Ok(RealRunReport {
+        substrate: Substrate::HotStuff,
+        n: config.n,
+        wall_secs,
+        summary,
+        per_replica_commits: commit_counters(&config.telemetry, "hotstuff", config.n),
+        traffic: queue.map(|q| q.report(wall_secs.max(1.0) as u64)),
+        view_digests,
+    })
+}
+
+fn run_kauri_cluster(
+    config: &DeployConfig,
+    should_stop: &dyn Fn() -> bool,
+) -> std::io::Result<RealRunReport> {
+    let queue = config.traffic_queue();
+    let mut ka = KauriConfig::new(config.n);
+    ka.batch_size = config.batch_size;
+    ka.run_for = config.run_for;
+    ka.traffic = queue.clone();
+    ka.telemetry = config.telemetry.clone();
+
+    // Identically-seeded policies so every replica derives the same trees —
+    // the same discipline the simulation harness applies.
+    let branch = ka.branch;
+    let seed = config.seed;
+    let n = config.n;
+    let policy_factory =
+        move |_: usize| Box::new(KauriBinsPolicy::new(n, branch, seed)) as Box<dyn TreePolicy>;
+    let initial_tree = policy_factory(usize::MAX).next_tree(n, branch);
+    let nodes: Vec<KauriNode> = (0..n)
+        .map(|id| {
+            let mut policy = policy_factory(id);
+            let tree = policy.next_tree(n, branch);
+            debug_assert_eq!(tree.root, initial_tree.root);
+            KauriNode::new(
+                id,
+                ka.system,
+                tree,
+                policy,
+                ka.batch_size,
+                ka.pipeline,
+                ka.branch,
+                ka.reconfig_delay,
+            )
+            .with_traffic(ka.traffic.clone())
+            .with_telemetry(ka.telemetry.clone())
+        })
+        .collect();
+
+    let started = std::time::Instant::now();
+    let cluster = RealCluster::launch(nodes)?;
+    wait_out(config.run_for, should_stop);
+    let mut nodes = cluster.shutdown();
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let observer = (0..n)
+        .max_by_key(|&i| nodes[i].stats.blocks())
+        .unwrap_or(0);
+    let summary = nodes[observer].stats.summary(wall_secs.max(1.0) as u64);
+    Ok(RealRunReport {
+        substrate: Substrate::Kauri,
+        n,
+        wall_secs,
+        summary,
+        per_replica_commits: commit_counters(&config.telemetry, "kauri", n),
+        traffic: queue.map(|q| q.report(wall_secs.max(1.0) as u64)),
+        view_digests: Vec::new(),
+    })
+}
+
+/// One point of a measured throughput–latency curve.
+#[derive(Debug, Clone)]
+pub struct KneePoint {
+    /// Offered load (cmd/s).
+    pub offered_rate: f64,
+    /// Commands the schedule offered.
+    pub offered: u64,
+    /// Commands whose batch committed.
+    pub committed: u64,
+    /// Committed commands that met the SLO.
+    pub goodput: u64,
+    /// Mean end-to-end latency (ms).
+    pub e2e_mean_ms: f64,
+    /// p99 end-to-end latency (ms).
+    pub e2e_p99_ms: f64,
+}
+
+/// Sweep offered load and measure the throughput–latency knee on the real
+/// cluster: one short run per rate, the same shape as the simulated
+/// `sweep_load_latency` sweep. Stops early (returning the points measured so
+/// far) if `should_stop` reports true between runs.
+pub fn measure_knee(
+    base: &DeployConfig,
+    rates: &[f64],
+    should_stop: &dyn Fn() -> bool,
+) -> std::io::Result<Vec<KneePoint>> {
+    let mut points = Vec::with_capacity(rates.len());
+    for &rate in rates {
+        if should_stop() {
+            break;
+        }
+        let mut cfg = base.clone();
+        cfg.rate = rate;
+        let report = run_cluster(&cfg, should_stop)?;
+        let tr = report
+            .traffic
+            .expect("knee sweep runs with a traffic queue");
+        points.push(KneePoint {
+            offered_rate: rate,
+            offered: tr.offered,
+            committed: tr.committed,
+            goodput: tr.goodput,
+            e2e_mean_ms: tr.e2e_mean_ms,
+            e2e_p99_ms: tr.e2e_p99_ms,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substrate_parses_known_names_only() {
+        assert_eq!(Substrate::parse("hotstuff"), Some(Substrate::HotStuff));
+        assert_eq!(Substrate::parse("kauri"), Some(Substrate::Kauri));
+        assert_eq!(Substrate::parse("pbft"), None);
+        assert_eq!(Substrate::HotStuff.name(), "hotstuff");
+    }
+
+    #[test]
+    fn traffic_queue_only_built_for_positive_rates() {
+        let mut cfg = DeployConfig::new(Substrate::HotStuff, 4);
+        cfg.rate = 0.0;
+        assert!(cfg.traffic_queue().is_none());
+        cfg.rate = 100.0;
+        assert!(cfg.traffic_queue().is_some());
+    }
+
+    #[test]
+    fn digests_agree_detects_divergence() {
+        let d = |b: u8| Digest([b; 32]);
+        let mut r = RealRunReport {
+            substrate: Substrate::HotStuff,
+            n: 2,
+            wall_secs: 1.0,
+            summary: rsm::CommitStats::default().summary(1),
+            per_replica_commits: vec![1, 1],
+            traffic: None,
+            view_digests: vec![vec![(1, d(1)), (2, d(2))], vec![(1, d(1))]],
+        };
+        assert!(r.digests_agree(), "prefix agreement must pass");
+        r.view_digests[1] = vec![(1, d(9))];
+        assert!(!r.digests_agree(), "divergent view 1 must fail");
+    }
+}

@@ -1,0 +1,261 @@
+//! `deployd` — launch an n-replica consensus cluster on localhost, for real.
+//!
+//! ```text
+//! deployd --substrate hotstuff -n 4 --secs 5 --rate 200 \
+//!         --prometheus metrics.prom --trace cluster_trace.json
+//! ```
+//!
+//! Replicas are the same structs the simulator drives, here running one OS
+//! thread each over full-mesh length-prefixed TCP on 127.0.0.1 with
+//! wall-clock timers (see `runtime::RealCluster`). Load is the traffic
+//! crate's open-loop arrival schedule; telemetry is the same handle the
+//! simulation harnesses install, so `--trace` produces a Perfetto/Chrome
+//! trace on a wall-clock axis directly comparable to a simulated one.
+//!
+//! SIGTERM / SIGINT end the run early with a clean shutdown (replicas are
+//! stopped, stats collected, artifacts written) — the same path a normal
+//! end-of-run takes.
+
+use deployd::{measure_knee, run_cluster, DeployConfig, Substrate};
+use runtime::Duration;
+use std::process::ExitCode;
+use telemetry::Telemetry;
+
+/// SIGTERM/SIGINT flag, set from the signal handler and polled by the run
+/// loop. Installed via the raw libc `signal` symbol (std links libc on every
+/// unix target; no external crate needed).
+#[cfg(unix)]
+mod term {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod term {
+    pub fn install() {}
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+struct Args {
+    config: DeployConfig,
+    knee_rates: Vec<f64>,
+    prometheus: Option<String>,
+    trace: Option<String>,
+}
+
+const USAGE: &str = "usage: deployd [--substrate hotstuff|kauri] [-n N] [--secs S] \
+[--rate CMDS_PER_SEC] [--clients C] [--batch B] [--seed SEED] \
+[--knee R1,R2,...] [--prometheus FILE] [--trace FILE]\n\
+  --rate 0 runs the saturated workload (no open-loop queue)\n\
+  --knee sweeps offered load (one short run per rate) and prints the measured curve";
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = DeployConfig::new(Substrate::HotStuff, 4);
+    let mut knee_rates = Vec::new();
+    let mut prometheus = None;
+    let mut trace = None;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--substrate" => {
+                let v = value(&mut i, "--substrate")?;
+                config.substrate = Substrate::parse(&v)
+                    .ok_or_else(|| format!("unknown substrate {v:?} (hotstuff|kauri)"))?;
+            }
+            "-n" | "--replicas" => {
+                let v = value(&mut i, "-n")?;
+                config.n = v.parse().map_err(|_| format!("bad replica count {v:?}"))?;
+            }
+            "--secs" => {
+                let v = value(&mut i, "--secs")?;
+                let secs: f64 = v.parse().map_err(|_| format!("bad duration {v:?}"))?;
+                config.run_for = Duration::from_micros((secs * 1e6) as u64);
+            }
+            "--rate" => {
+                let v = value(&mut i, "--rate")?;
+                config.rate = v.parse().map_err(|_| format!("bad rate {v:?}"))?;
+            }
+            "--clients" => {
+                let v = value(&mut i, "--clients")?;
+                config.clients = v.parse().map_err(|_| format!("bad client count {v:?}"))?;
+            }
+            "--batch" => {
+                let v = value(&mut i, "--batch")?;
+                config.batch_size = v.parse().map_err(|_| format!("bad batch size {v:?}"))?;
+            }
+            "--seed" => {
+                let v = value(&mut i, "--seed")?;
+                config.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--knee" => {
+                let v = value(&mut i, "--knee")?;
+                knee_rates = v
+                    .split(',')
+                    .map(|r| r.trim().parse::<f64>().map_err(|_| format!("bad rate {r:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--prometheus" => prometheus = Some(value(&mut i, "--prometheus")?),
+            "--trace" => trace = Some(value(&mut i, "--trace")?),
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if config.n == 0 {
+        return Err("need at least one replica".to_string());
+    }
+    config.telemetry = if trace.is_some() {
+        Telemetry::tracing()
+    } else {
+        Telemetry::recording()
+    };
+    Ok(Args {
+        config,
+        knee_rates,
+        prometheus,
+        trace,
+    })
+}
+
+fn write_artifact(path: &str, contents: &str) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, contents)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    term::install();
+
+    let cfg = &args.config;
+    println!(
+        "deployd: {} × {} on 127.0.0.1, {:.1}s wall-clock, {}",
+        cfg.n,
+        cfg.substrate.name(),
+        cfg.run_for.as_micros() as f64 / 1e6,
+        if cfg.rate > 0.0 {
+            format!("{:.0} cmd/s open-loop", cfg.rate)
+        } else {
+            "saturated workload".to_string()
+        },
+    );
+
+    if !args.knee_rates.is_empty() {
+        let points = match measure_knee(cfg, &args.knee_rates, &term::requested) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("deployd: knee sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("offered_rate,offered,committed,goodput,e2e_mean_ms,e2e_p99_ms");
+        for p in &points {
+            println!(
+                "{:.0},{},{},{},{:.1},{:.1}",
+                p.offered_rate, p.offered, p.committed, p.goodput, p.e2e_mean_ms, p.e2e_p99_ms
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match run_cluster(cfg, &term::requested) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("deployd: cluster failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if term::requested() {
+        println!("deployd: termination signal — shut down cleanly after {:.1}s", report.wall_secs);
+    }
+    println!(
+        "committed {} blocks / {} commands in {:.1}s ({:.0} op/s, mean consensus latency {:.1} ms)",
+        report.summary.committed_blocks,
+        report.summary.committed_commands,
+        report.wall_secs,
+        report.summary.throughput_ops,
+        report.summary.mean_latency_ms,
+    );
+    println!(
+        "per-replica commits: {:?}{}",
+        report.per_replica_commits,
+        if report.digests_agree() { "" } else { "  [DIVERGENT DIGESTS]" },
+    );
+    if let Some(tr) = &report.traffic {
+        println!(
+            "open-loop: offered {} committed {} goodput {} (e2e mean {:.1} ms, p99 {:.1} ms)",
+            tr.offered, tr.committed, tr.goodput, tr.e2e_mean_ms, tr.e2e_p99_ms
+        );
+    }
+    if !report.digests_agree() {
+        eprintln!("deployd: replicas disagree on committed view digests");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = &args.prometheus {
+        if let Err(e) = write_artifact(path, &cfg.telemetry.prometheus_text()) {
+            eprintln!("deployd: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote Prometheus dump to {path}");
+    }
+    if let Some(path) = &args.trace {
+        let labels: Vec<(usize, String)> = (0..cfg.n)
+            .map(|id| (id, format!("{}-{id}", cfg.substrate.name())))
+            .collect();
+        match cfg.telemetry.chrome_trace_json(&labels) {
+            Some(json) => {
+                if let Err(e) = write_artifact(path, &json) {
+                    eprintln!("deployd: writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote wall-clock trace to {path} (open in Perfetto)");
+            }
+            None => eprintln!("deployd: trace sink inactive, no trace written"),
+        }
+    }
+    ExitCode::SUCCESS
+}

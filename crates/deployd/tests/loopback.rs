@@ -1,0 +1,151 @@
+//! Loopback cluster tests: real sockets, real clocks, in-process.
+//!
+//! These run actual `RealCluster` deployments on 127.0.0.1 and therefore
+//! take wall-clock seconds; they are the satellite coverage for the deployd
+//! runtime — agreement across replicas, commit progress under open-loop
+//! load, and a sim-vs-real throughput comparison kept inside a deliberately
+//! generous tolerance band (CI machines are noisy; consensus safety is not).
+
+use deployd::{run_cluster, DeployConfig, Substrate};
+use runtime::Duration;
+use telemetry::Telemetry;
+
+fn never_stop() -> bool {
+    false
+}
+
+/// Satellite: 4-replica deployd cluster in-process; all replicas commit the
+/// same prefix (no divergent commits), and the per-replica
+/// `hotstuff.node.commits` counters all advance.
+#[test]
+fn loopback_hotstuff_replicas_agree_on_committed_prefix() {
+    let mut cfg = DeployConfig::new(Substrate::HotStuff, 4);
+    cfg.run_for = Duration::from_secs(2);
+    cfg.rate = 200.0;
+    cfg.telemetry = Telemetry::recording();
+    let report = run_cluster(&cfg, &never_stop).expect("cluster launches");
+
+    // Progress: every replica's commit counter advanced.
+    assert_eq!(report.per_replica_commits.len(), 4);
+    for (id, &commits) in report.per_replica_commits.iter().enumerate() {
+        assert!(commits > 0, "replica {id} committed nothing: {report:?}");
+    }
+    // The counters may differ by the in-flight tail at shutdown, but never
+    // wildly: everyone tracks the same chain.
+    let max = *report.per_replica_commits.iter().max().unwrap();
+    let min = *report.per_replica_commits.iter().min().unwrap();
+    assert!(
+        max - min <= 4,
+        "commit counts diverged: {:?}",
+        report.per_replica_commits
+    );
+    // Agreement: any view stored by two replicas has one digest.
+    assert_eq!(report.view_digests.len(), 4);
+    assert!(report.digests_agree(), "divergent commits: {report:?}");
+    // The open-loop load actually committed.
+    let tr = report.traffic.expect("rate > 0 builds a queue");
+    assert!(tr.committed > 0, "no client load committed: {tr:?}");
+}
+
+/// Kauri's tree overlay also deploys: the root commits real load over
+/// sockets with identically-seeded tree policies on every replica.
+#[test]
+fn loopback_kauri_commits_over_real_sockets() {
+    let mut cfg = DeployConfig::new(Substrate::Kauri, 7);
+    cfg.run_for = Duration::from_secs(2);
+    cfg.rate = 150.0;
+    cfg.telemetry = Telemetry::recording();
+    let report = run_cluster(&cfg, &never_stop).expect("cluster launches");
+    // Kauri counts commits at the serving root.
+    let total: u64 = report.per_replica_commits.iter().sum();
+    assert!(total > 0, "no commits: {report:?}");
+    let tr = report.traffic.expect("rate > 0 builds a queue");
+    assert!(
+        tr.committed as f64 >= tr.offered as f64 * 0.5,
+        "most offered load should commit on localhost: {tr:?}"
+    );
+}
+
+/// A stop request mid-run shuts the cluster down cleanly and still yields a
+/// consistent report — the SIGTERM path deployd's binary takes.
+#[test]
+fn loopback_early_stop_shuts_down_cleanly() {
+    let mut cfg = DeployConfig::new(Substrate::HotStuff, 4);
+    cfg.run_for = Duration::from_secs(30); // would be far too long…
+    cfg.rate = 100.0;
+    cfg.telemetry = Telemetry::recording();
+    let started = std::time::Instant::now();
+    // …but the stop predicate fires after ~1 s.
+    let report = run_cluster(&cfg, &|| started.elapsed().as_secs_f64() > 1.0)
+        .expect("cluster launches");
+    assert!(
+        report.wall_secs < 10.0,
+        "stop request must end the run early, ran {:.1}s",
+        report.wall_secs
+    );
+    assert!(report.digests_agree());
+    assert!(
+        report.per_replica_commits.iter().all(|&c| c > 0),
+        "clean shutdown still reports commits: {:?}",
+        report.per_replica_commits
+    );
+}
+
+/// Satellite: the sim-vs-real comparison. The same open-loop workload is
+/// offered to the simulated cluster (netsim virtual time) and the deployed
+/// cluster (wall clock); below the saturation knee both must commit
+/// essentially all of it, and their committed/offered ratios must sit in the
+/// same generous band. This is the like-for-like anchor for the measured
+/// throughput–latency knee.
+#[test]
+fn sim_vs_real_committed_ratio_within_tolerance() {
+    let n = 4;
+    let rate = 200.0;
+    let secs = 2;
+
+    // Real: localhost sockets, wall-clock timers.
+    let mut cfg = DeployConfig::new(Substrate::HotStuff, n);
+    cfg.run_for = Duration::from_secs(secs);
+    cfg.rate = rate;
+    let real = run_cluster(&cfg, &never_stop).expect("cluster launches");
+    let real_tr = real.traffic.expect("queue attached");
+    let real_ratio = real_tr.committed as f64 / real_tr.offered.max(1) as f64;
+
+    // Sim: the identical workload shape against the netsim harness with a
+    // small uniform network latency standing in for loopback.
+    let spec = rsm::TrafficSpec::poisson(rate)
+        .with_clients(4)
+        .with_batching(100, netsim::Duration::from_millis(40))
+        .with_slo(netsim::Duration::from_secs(1));
+    let queue = traffic::SharedTrafficQueue::generate(
+        &spec,
+        &[1.0; 4],
+        7,
+        netsim::SimTime::from_secs(secs),
+    );
+    let mut sim_cfg = hotstuff::HotStuffConfig::new(n, hotstuff::Pacemaker::Fixed { leader: 0 });
+    sim_cfg.run_for = netsim::Duration::from_secs(secs);
+    sim_cfg.traffic = Some(queue.clone());
+    lab::run_hotstuff(
+        &sim_cfg,
+        Box::new(netsim::UniformLatency::new(n, netsim::Duration::from_millis(1))),
+        netsim::FaultPlan::none(),
+    );
+    let sim_tr = queue.report(secs);
+    let sim_ratio = sim_tr.committed as f64 / sim_tr.offered.max(1) as f64;
+
+    // Generous band: below the knee both worlds commit ≥ 70 % of offered
+    // load and agree within 30 percentage points.
+    assert!(
+        sim_ratio >= 0.7,
+        "sim should commit sub-knee load: {sim_ratio:.2} ({sim_tr:?})"
+    );
+    assert!(
+        real_ratio >= 0.7,
+        "real cluster should commit sub-knee load: {real_ratio:.2} ({real_tr:?})"
+    );
+    assert!(
+        (sim_ratio - real_ratio).abs() <= 0.3,
+        "sim {sim_ratio:.2} vs real {real_ratio:.2} drifted outside the band"
+    );
+}

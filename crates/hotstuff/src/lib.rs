@@ -10,13 +10,14 @@
 //! * **HotStuff-fixed** — a fixed leader drives every view;
 //! * **HotStuff-rr** — the leader role rotates round-robin each view.
 //!
-//! The implementation exchanges explicit messages through the `netsim`
-//! simulator so that leader placement and replica geography determine
-//! throughput and latency exactly as in the paper's emulation.
+//! The implementation exchanges explicit messages through the runtime-
+//! agnostic `runtime` node API, so leader placement and replica geography
+//! determine throughput and latency exactly as in the paper's emulation —
+//! in the simulator and over real sockets alike.
 
 #![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 pub mod node;
 pub mod pacemaker;
 
-pub use node::{HotStuffConfig, HotStuffMessage, HotStuffNode, HotStuffReport, run_hotstuff};
+pub use node::{HotStuffConfig, HotStuffMessage, HotStuffNode};
 pub use pacemaker::Pacemaker;

@@ -1,4 +1,5 @@
-//! The chained HotStuff replica and its experiment harness.
+//! The chained HotStuff replica (the simulation harness lives in
+//! `lab::harness::hotstuff`).
 //!
 //! Protocol sketch (chained HotStuff with implicit pacemaker progress):
 //!
@@ -19,8 +20,9 @@
 
 use crate::pacemaker::Pacemaker;
 use crypto::{Digest, Hashable};
-use netsim::{Context, Duration, FaultPlan, LatencyModel, Node, NodeId, SimTime, Simulation, SimulationConfig, TimerId};
-use rsm::{misbehavior, Block, BlockSource, CommitStats, DelayStage, MisbehaviorPlan, RunSummary, SystemConfig};
+use runtime::{Context, Duration, Node, NodeId, SimTime, TimerId};
+use serde::{Deserialize, Serialize};
+use rsm::{misbehavior, Block, BlockSource, CommitStats, DelayStage, MisbehaviorPlan, SystemConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use telemetry::{Stage, Telemetry};
 use traffic::SharedTrafficQueue;
@@ -31,7 +33,7 @@ const TIMER_HELD_BASE: u64 = 1_000_000;
 const TIMER_TRAFFIC_READY: u64 = 2;
 
 /// Messages exchanged by HotStuff replicas.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum HotStuffMessage {
     /// A block proposal for `view`, implicitly certifying view `view − 1`.
     Proposal {
@@ -58,8 +60,6 @@ pub enum HotStuffMessage {
 /// Per-view bookkeeping at a replica.
 #[derive(Debug, Clone)]
 struct ViewEntry {
-    // Read only by the digest-agreement invariant check in the test module.
-    #[cfg_attr(not(test), allow(dead_code))]
     digest: Digest,
     commands: usize,
     proposal_ts: SimTime,
@@ -140,6 +140,32 @@ impl HotStuffNode {
 
     fn leader_of(&self, view: u64) -> usize {
         self.pacemaker.leader(view, self.config.n)
+    }
+
+    /// Highest view this replica has proposed (harness diagnostics).
+    pub fn highest_proposed(&self) -> u64 {
+        self.highest_proposed
+    }
+
+    /// Number of views this replica has stored.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// `(view, digest)` for every stored view, in view order — the
+    /// agreement-invariant surface harnesses and cluster tests check
+    /// (any two replicas must agree on the digest of every shared view).
+    pub fn view_digests(&self) -> Vec<(u64, Digest)> {
+        self.views.iter().map(|(&v, e)| (v, e.digest)).collect()
+    }
+
+    /// Views this replica has committed, in view order.
+    pub fn committed_views(&self) -> Vec<u64> {
+        self.views
+            .iter()
+            .filter(|(_, e)| e.committed)
+            .map(|(&v, _)| v)
+            .collect()
     }
 
     fn propose(&mut self, ctx: &mut Context<HotStuffMessage>, view: u64) {
@@ -383,307 +409,6 @@ impl HotStuffConfig {
             misbehavior: MisbehaviorPlan::none(),
             traffic: None,
             telemetry: Telemetry::disabled(),
-        }
-    }
-}
-
-/// Result of a HotStuff run.
-#[derive(Debug, Clone)]
-pub struct HotStuffReport {
-    /// Throughput / latency summary measured at replica 0.
-    pub summary: RunSummary,
-    /// Per-commit `(time s, latency ms)` timeline at the observer replica,
-    /// in commit order — the Fig 7-style latency timeline.
-    pub latency_timeline: Vec<(f64, f64)>,
-    /// Number of views driven during the run.
-    pub views: u64,
-    /// Simulator events processed during the run (engine-throughput metric).
-    pub events: u64,
-}
-
-/// Run chained HotStuff over the given latency model and report throughput
-/// and consensus latency (one row of Fig 9). `faults` injects network-level
-/// adversary stages (crashes, delays) exactly as for the other substrates.
-pub fn run_hotstuff(
-    config: &HotStuffConfig,
-    latency: Box<dyn LatencyModel>,
-    faults: FaultPlan,
-) -> HotStuffReport {
-    let n = config.system.n;
-    let nodes: Vec<HotStuffNode> = (0..n)
-        .map(|id| {
-            HotStuffNode::new(id, config.system, config.pacemaker, config.batch_size)
-                .with_delays(config.misbehavior.stages_for(id))
-                .with_traffic(config.traffic.clone())
-                .with_telemetry(config.telemetry.clone())
-        })
-        .collect();
-    let mut sim = Simulation::new(nodes, latency)
-        .with_faults(faults)
-        .with_config(SimulationConfig {
-            horizon: SimTime::ZERO + config.run_for,
-            max_events: 500_000_000,
-        });
-    sim.run();
-    sim.record_engine_metrics(&config.telemetry);
-    let views = sim.node(0).highest_proposed.max(
-        sim.nodes().map(|nd| nd.views.len() as u64).max().unwrap_or(0),
-    );
-    // Observe at a replica that is not the scripted attacker: a delaying
-    // leader commits its own views early (it processes its proposal before
-    // holding the broadcast), which would hide the very latency the attack
-    // inflates everywhere else.
-    let observer = (0..n)
-        .find(|&i| {
-            sim.node(i).stats.blocks() > 0 && config.misbehavior.stages_for(i).is_empty()
-        })
-        .unwrap_or(0);
-    let latency_timeline = sim.node(observer).stats.latency_timeline().points().to_vec();
-    let summary = sim
-        .node_mut(observer)
-        .stats
-        .summary(config.run_for.as_micros() / 1_000_000);
-    HotStuffReport {
-        summary,
-        latency_timeline,
-        views,
-        events: sim.events_processed(),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use netsim::UniformLatency;
-
-    fn uniform(n: usize, ms: u64) -> Box<dyn LatencyModel> {
-        Box::new(UniformLatency::new(n, Duration::from_millis(ms)))
-    }
-
-    #[test]
-    fn fixed_leader_commits_blocks() {
-        let cfg = HotStuffConfig {
-            run_for: Duration::from_secs(20),
-            ..HotStuffConfig::new(4, Pacemaker::Fixed { leader: 0 })
-        };
-        let report = run_hotstuff(&cfg, uniform(4, 25), FaultPlan::none());
-        // One view per ~2 one-way delays (50 ms); 20 s → ~400 views, each
-        // committing a 1000-command block two views later.
-        assert!(report.summary.committed_blocks > 200, "{report:?}");
-        assert!(report.summary.throughput_ops > 5_000.0);
-        // Commit latency ≈ 2–3 view rounds (≥ 100 ms at the leader).
-        assert!(report.summary.mean_latency_ms >= 99.0);
-        assert!(report.summary.mean_latency_ms < 400.0);
-    }
-
-    #[test]
-    fn latency_timeline_is_nonempty_monotone_and_consistent() {
-        let cfg = HotStuffConfig {
-            run_for: Duration::from_secs(20),
-            ..HotStuffConfig::new(4, Pacemaker::Fixed { leader: 0 })
-        };
-        let report = run_hotstuff(&cfg, uniform(4, 25), FaultPlan::none());
-        let tl = &report.latency_timeline;
-        assert_eq!(tl.len() as u64, report.summary.committed_blocks);
-        assert!(tl.windows(2).all(|w| w[0].0 <= w[1].0), "commit times must be monotone");
-        // On a quiet run, the timeline's mean matches the summary's mean.
-        let mean = tl.iter().map(|&(_, v)| v).sum::<f64>() / tl.len() as f64;
-        assert!(
-            (mean - report.summary.mean_latency_ms).abs() < 1.0,
-            "timeline mean {mean:.1} vs summary {:.1}",
-            report.summary.mean_latency_ms
-        );
-    }
-
-    #[test]
-    fn scripted_leader_delay_inflates_latency_protocol_side() {
-        let mk = |attack: bool| {
-            let mut cfg = HotStuffConfig {
-                run_for: Duration::from_secs(30),
-                ..HotStuffConfig::new(4, Pacemaker::Fixed { leader: 0 })
-            };
-            if attack {
-                cfg.misbehavior.delay_proposals_during(
-                    0,
-                    Duration::from_millis(500),
-                    SimTime::from_secs(10),
-                    SimTime::from_secs(20),
-                );
-            }
-            run_hotstuff(&cfg, uniform(4, 25), FaultPlan::none())
-        };
-        let clean = mk(false);
-        let attacked = mk(true);
-        let window_mean =
-            |r: &HotStuffReport, from: f64, to: f64| rsm::timeline_mean(&r.latency_timeline, from, to);
-        // During the stage every commit pays the 500 ms hold (several times
-        // over, since the three-chain stretches across held views)…
-        let clean_mid = window_mean(&clean, 12.0, 22.0);
-        let attacked_mid = window_mean(&attacked, 12.0, 22.0);
-        assert!(
-            attacked_mid > clean_mid + 400.0,
-            "hold should inflate latency: clean={clean_mid:.1}ms attacked={attacked_mid:.1}ms"
-        );
-        // …and once the stage closes the protocol drains back to clean latency.
-        let attacked_late = window_mean(&attacked, 25.0, 30.0);
-        assert!(
-            attacked_late < clean_mid * 2.0,
-            "latency should recover after the stage: {attacked_late:.1}ms"
-        );
-    }
-
-    #[test]
-    fn open_loop_traffic_commits_offered_load_below_saturation() {
-        // 200 cmd/s offered against a capacity of thousands: every command
-        // should commit, and blocks should be timeout-flushed partials (the
-        // saturated source would commit 1000-command blocks instead).
-        let spec = rsm::TrafficSpec::poisson(200.0)
-            .with_clients(4)
-            .with_batching(100, Duration::from_millis(40));
-        let queue = SharedTrafficQueue::generate(
-            &spec,
-            &[1.0, 2.0, 5.0, 10.0],
-            99,
-            SimTime::from_secs(20),
-        );
-        let mut cfg = HotStuffConfig {
-            run_for: Duration::from_secs(22),
-            ..HotStuffConfig::new(4, Pacemaker::Fixed { leader: 0 })
-        };
-        cfg.traffic = Some(queue.clone());
-        let report = run_hotstuff(&cfg, uniform(4, 10), FaultPlan::none());
-        let tr = queue.report(20);
-        assert!(tr.offered > 3_000, "~4000 arrivals over 20 s, got {}", tr.offered);
-        assert_eq!(tr.rejected, 0, "no backpressure below saturation");
-        // All but the last in-flight views' worth of commands commit.
-        assert!(
-            tr.committed >= tr.offered - 300,
-            "committed {} of {}",
-            tr.committed,
-            tr.offered
-        );
-        assert_eq!(tr.committed, tr.goodput, "all commits meet a 1 s SLO here");
-        // Blocks are demand-sized, far below the saturated 1000.
-        let per_block =
-            report.summary.committed_commands as f64 / report.summary.committed_blocks as f64;
-        assert!(per_block < 150.0, "mean block size {per_block}");
-        // End-to-end latency includes ingress, batching wait, and commit.
-        assert!(tr.e2e_mean_ms > 40.0, "e2e mean {}", tr.e2e_mean_ms);
-    }
-
-    #[test]
-    fn bursty_traffic_tail_commits_before_the_next_burst() {
-        // On/off load with a 3 s silence between bursts: the final batch of
-        // each burst must commit via empty chain-flush blocks right away,
-        // not wait out the off-phase for two more batches to arrive.
-        let spec = rsm::TrafficSpec::poisson(0.0)
-            .with_arrivals(rsm::ArrivalProcess::OnOff {
-                rate: 800.0,
-                on: Duration::from_secs(1),
-                off: Duration::from_secs(3),
-            })
-            .with_clients(4)
-            .with_batching(100, Duration::from_millis(40))
-            .with_slo(Duration::from_secs(1));
-        let queue =
-            SharedTrafficQueue::generate(&spec, &[1.0; 4], 13, SimTime::from_secs(16));
-        let mut cfg = HotStuffConfig {
-            run_for: Duration::from_secs(18),
-            ..HotStuffConfig::new(4, Pacemaker::Fixed { leader: 0 })
-        };
-        cfg.traffic = Some(queue.clone());
-        run_hotstuff(&cfg, uniform(4, 10), FaultPlan::none());
-        let tr = queue.report(16);
-        assert!(tr.offered > 2_000, "four bursts of ~800, got {}", tr.offered);
-        assert!(
-            tr.committed >= tr.offered - 120,
-            "committed {} of {}",
-            tr.committed,
-            tr.goodput
-        );
-        // Without the chain flush every burst tail waits ~3 s and blows the
-        // 1 s SLO; with it, virtually everything is goodput.
-        assert!(
-            tr.goodput as f64 >= tr.committed as f64 * 0.95,
-            "burst tails must not wait out the off-phase: goodput {} of {} committed (p99 {:.0} ms)",
-            tr.goodput,
-            tr.committed,
-            tr.e2e_p99_ms
-        );
-    }
-
-    #[test]
-    fn round_robin_leaders_share_the_traffic_queue() {
-        let spec = rsm::TrafficSpec::poisson(500.0)
-            .with_clients(4)
-            .with_batching(50, Duration::from_millis(30));
-        let queue =
-            SharedTrafficQueue::generate(&spec, &[1.0; 4], 3, SimTime::from_secs(10));
-        let mut cfg = HotStuffConfig {
-            run_for: Duration::from_secs(12),
-            ..HotStuffConfig::new(4, Pacemaker::RoundRobin)
-        };
-        cfg.traffic = Some(queue.clone());
-        run_hotstuff(&cfg, uniform(4, 10), FaultPlan::none());
-        let tr = queue.report(10);
-        assert!(
-            tr.committed >= tr.offered.saturating_sub(200),
-            "rotating leaders must drain the shared queue: {} of {}",
-            tr.committed,
-            tr.offered
-        );
-    }
-
-    #[test]
-    fn round_robin_also_makes_progress() {
-        let cfg = HotStuffConfig {
-            run_for: Duration::from_secs(10),
-            ..HotStuffConfig::new(4, Pacemaker::RoundRobin)
-        };
-        let report = run_hotstuff(&cfg, uniform(4, 25), FaultPlan::none());
-        assert!(report.summary.committed_blocks > 50);
-    }
-
-    #[test]
-    fn slower_network_lowers_throughput() {
-        let mk = |ms| {
-            let cfg = HotStuffConfig {
-                run_for: Duration::from_secs(15),
-                ..HotStuffConfig::new(4, Pacemaker::Fixed { leader: 0 })
-            };
-            run_hotstuff(&cfg, uniform(4, ms), FaultPlan::none()).summary.throughput_ops
-        };
-        assert!(mk(10) > mk(80) * 2.0);
-    }
-
-    #[test]
-    fn replicas_agree_on_committed_prefix() {
-        let cfg = HotStuffConfig {
-            run_for: Duration::from_secs(5),
-            ..HotStuffConfig::new(7, Pacemaker::Fixed { leader: 2 })
-        };
-        let n = cfg.system.n;
-        let nodes: Vec<HotStuffNode> = (0..n)
-            .map(|id| HotStuffNode::new(id, cfg.system, cfg.pacemaker, 10))
-            .collect();
-        let mut sim = Simulation::new(nodes, uniform(n, 20)).with_config(SimulationConfig {
-            horizon: SimTime::ZERO + cfg.run_for,
-            max_events: 10_000_000,
-        });
-        sim.run();
-        // Every replica observed the same digest for each view it stored.
-        let reference: BTreeMap<u64, Digest> = sim
-            .node(0)
-            .views
-            .iter()
-            .map(|(&v, e)| (v, e.digest))
-            .collect();
-        for id in 1..n {
-            for (v, e) in &sim.node(id).views {
-                if let Some(d) = reference.get(v) {
-                    assert_eq!(d, &e.digest, "view {v} digest mismatch at replica {id}");
-                }
-            }
         }
     }
 }

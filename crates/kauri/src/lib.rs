@@ -23,6 +23,6 @@ pub mod node;
 pub mod policy;
 pub mod tree;
 
-pub use node::{run_kauri, KauriConfig, KauriMessage, KauriNode, KauriReport, TreeCommand};
+pub use node::{KauriConfig, KauriMessage, KauriNode, TreeCommand};
 pub use policy::{KauriBinsPolicy, TreePolicy};
 pub use tree::Tree;

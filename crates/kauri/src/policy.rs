@@ -8,7 +8,7 @@
 
 use crate::tree::{conformity_bins, Tree};
 use configlog::SuspicionPair;
-use netsim::Duration;
+use runtime::Duration;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;

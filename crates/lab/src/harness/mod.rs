@@ -1,0 +1,18 @@
+//! Simulation harnesses for the consensus substrates.
+//!
+//! The substrate crates (`pbft`, `hotstuff`, `kauri`, `optitree`) are written
+//! against the runtime-agnostic `runtime` node API and never import the
+//! simulator. This module is where replicas meet `netsim::Simulation`: each
+//! harness builds an n-replica simulation over a latency model, drives it for
+//! a configured virtual duration, and distils the replicas' statistics into a
+//! per-run report consumed by scenarios, sweeps, and the figure binaries.
+//! (The other runtime — `runtime::RealCluster` — is driven by the `deployd`
+//! crate instead.)
+
+pub mod hotstuff;
+pub mod kauri;
+pub mod pbft;
+
+pub use self::hotstuff::{run_hotstuff, HotStuffReport};
+pub use self::kauri::{run_kauri, KauriReport};
+pub use self::pbft::{PbftHarness, PbftHarnessConfig, PbftRunReport};

@@ -3,12 +3,12 @@
 //! for a configured virtual duration, and reports client-observed latency
 //! timelines (Fig 7) and replica-side throughput/latency.
 
-use crate::policy::ReconfigPolicy;
-use crate::replica::{ClientState, DelayStage, PbftNode, ReplicaBehavior, ReplicaState};
 use netsim::{
     Duration, FaultPlan, FaultWindow, MatrixLatency, SimTime, Simulation, SimulationConfig,
     TimeSeries,
 };
+use pbft::policy::ReconfigPolicy;
+use pbft::replica::{ClientState, DelayStage, PbftNode, ReplicaBehavior, ReplicaState};
 use rsm::RunSummary;
 
 /// Configuration of one PBFT simulation run.
@@ -243,7 +243,7 @@ impl PbftHarness {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{AwarePolicy, StaticPolicy};
+    use pbft::policy::{AwarePolicy, StaticPolicy};
 
     /// A 4-replica matrix with a fast cluster {1,2,3} and a slow replica 0.
     fn skewed_matrix(n: usize) -> Vec<f64> {

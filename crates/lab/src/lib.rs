@@ -43,12 +43,17 @@
 
 #![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 pub mod adversary;
+pub mod harness;
 pub mod results;
 pub mod runner;
 pub mod scenario;
 pub mod topology;
 
 pub use adversary::{AdversaryScript, Attack, CompileContext, CompiledAdversary, DelayAttack, Stage, Target};
+pub use harness::{
+    run_hotstuff, run_kauri, HotStuffReport, KauriReport, PbftHarness, PbftHarnessConfig,
+    PbftRunReport,
+};
 pub use results::{
     ci95, mean, timeline_mean, CellMetrics, CellReport, MetricSummary, PointReport, ScenarioReport,
 };

@@ -15,10 +15,11 @@
 //! stream from `mix_seed(seed, point)`.
 
 use crate::adversary::{AdversaryScript, CompileContext};
+use crate::harness::{run_hotstuff, run_kauri, PbftHarness, PbftHarnessConfig};
 use crate::results::{ci95, mean, timeline_mean, CellMetrics};
 use crate::topology::Topology;
-use hotstuff::{run_hotstuff, HotStuffConfig, Pacemaker};
-use kauri::{run_kauri, KauriBinsPolicy, KauriConfig, TreePolicy};
+use hotstuff::{HotStuffConfig, Pacemaker};
+use kauri::{KauriBinsPolicy, KauriConfig, TreePolicy};
 use netsim::{Duration, MatrixLatency, SimTime};
 use optiaware::OptiAwarePolicy;
 use optilog::{AnnealingParams, CandidateSelector, SelectionStrategy, SuspicionGraph};
@@ -26,7 +27,7 @@ use optitree::{
     search_tree, simulate_suspicion_attack, tree_score, AttackVariant, KauriSaPolicy,
     OptiTreePolicy, TreeSearchSpace,
 };
-use pbft::{AwarePolicy, PbftHarness, PbftHarnessConfig, ReconfigPolicy, StaticPolicy};
+use pbft::{AwarePolicy, ReconfigPolicy, StaticPolicy};
 use rand::rngs::StdRng;
 use rand::seq::index;
 use rand::{Rng, SeedableRng};

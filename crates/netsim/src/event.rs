@@ -18,41 +18,12 @@ use crate::sim::{NodeId, TimerId};
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
 
-/// A message payload carried by a [`EventKind::Deliver`] event: either owned
-/// outright (unicast) or shared between all recipients of one broadcast.
-///
-/// Transparent to [`crate::Node::on_message`] — the engine unwraps the
-/// payload into an owned message at delivery time.
-#[derive(Debug, Clone)]
-pub enum Payload<M> {
-    /// A unicast payload, owned by its single delivery event.
-    Owned(M),
-    /// One broadcast payload shared by every recipient's delivery event.
-    Shared(Arc<M>),
-}
-
-impl<M: Clone> Payload<M> {
-    /// Unwrap into an owned message. The last holder of a shared payload
-    /// recovers the original value without cloning.
-    pub fn into_msg(self) -> M {
-        match self {
-            Payload::Owned(m) => m,
-            Payload::Shared(arc) => Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()),
-        }
-    }
-}
-
-impl<M> Payload<M> {
-    /// Borrow the message.
-    pub fn as_msg(&self) -> &M {
-        match self {
-            Payload::Owned(m) => m,
-            Payload::Shared(arc) => arc,
-        }
-    }
-}
+// Payload interning is part of the runtime-agnostic node API (the `Context`
+// buffers `Payload`-carrying actions), so the type lives in `runtime`;
+// re-exported here to keep `netsim::event::Payload` / `netsim::Payload`
+// paths working.
+pub use runtime::Payload;
 
 /// What happens when an event fires.
 #[derive(Debug, Clone)]
@@ -226,17 +197,6 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
     }
-
-    #[test]
-    fn shared_payload_unwraps_without_clone_for_last_holder() {
-        let shared = Arc::new(vec![1u8, 2, 3]);
-        let a: Payload<Vec<u8>> = Payload::Shared(shared.clone());
-        let b: Payload<Vec<u8>> = Payload::Shared(shared);
-        assert_eq!(a.as_msg(), &vec![1, 2, 3]);
-        // First holder clones (the Arc is still shared)…
-        assert_eq!(a.into_msg(), vec![1, 2, 3]);
-        // …the last holder takes the original value back out.
-        assert_eq!(b.into_msg(), vec![1, 2, 3]);
-        assert_eq!(Payload::Owned(7u32).into_msg(), 7);
-    }
+    // (Payload's unwrap-without-clone semantics are tested where it now
+    // lives, in runtime::node.)
 }

@@ -18,41 +18,10 @@ use crate::sim::NodeId;
 use crate::time::{Duration, SimTime};
 use std::collections::HashMap;
 
-/// The span of virtual time during which a fault is active.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FaultWindow {
-    /// First instant at which the fault applies.
-    pub from: SimTime,
-    /// First instant at which it no longer applies (`None` = forever).
-    pub until: Option<SimTime>,
-}
-
-impl FaultWindow {
-    /// Active for the whole run.
-    pub const ALWAYS: FaultWindow = FaultWindow {
-        from: SimTime::ZERO,
-        until: None,
-    };
-
-    /// Active from `from` onwards.
-    pub fn starting(from: SimTime) -> Self {
-        FaultWindow { from, until: None }
-    }
-
-    /// Active in the half-open interval `[from, until)`.
-    pub fn between(from: SimTime, until: SimTime) -> Self {
-        assert!(from <= until, "fault window ends before it starts");
-        FaultWindow {
-            from,
-            until: Some(until),
-        }
-    }
-
-    /// True if the window contains `now`.
-    pub fn contains(&self, now: SimTime) -> bool {
-        now >= self.from && self.until.is_none_or(|u| now < u)
-    }
-}
+// The fault *window* is pure data shared with protocol-level delay stages,
+// so it lives in the runtime-agnostic `runtime` crate; re-exported here to
+// keep `netsim::faults::FaultWindow` / `netsim::FaultWindow` paths working.
+pub use runtime::FaultWindow;
 
 /// A fault applied to every message sent by a node while its window is open.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -357,17 +326,8 @@ mod tests {
     }
 
     // ---- phased-fault edges ----
-
-    #[test]
-    fn window_contains_is_half_open() {
-        let w = FaultWindow::between(SimTime::from_secs(10), SimTime::from_secs(20));
-        assert!(!w.contains(SimTime::from_micros(9_999_999)));
-        assert!(w.contains(SimTime::from_secs(10)));
-        assert!(w.contains(SimTime::from_micros(19_999_999)));
-        assert!(!w.contains(SimTime::from_secs(20)));
-        assert!(FaultWindow::ALWAYS.contains(SimTime::ZERO));
-        assert!(FaultWindow::starting(SimTime::from_secs(5)).contains(SimTime::from_secs(500)));
-    }
+    // (FaultWindow's own half-open-interval semantics are tested where it
+    // now lives, in runtime::time.)
 
     /// A stage that starts and ends *between* two deliveries must touch
     /// neither: the fault applies by send time, not by overlap.

@@ -14,153 +14,19 @@
 //! per send ([`Payload`]), so the fan-out cost is reference counting, not
 //! deep clones.
 
-use crate::event::{EventKind, Payload};
+use crate::event::EventKind;
 use crate::faults::FaultPlan;
 use crate::latency::LatencyModel;
 use crate::sched::{EngineProfile, EventHandle, EventScheduler, TimerWheel};
-use crate::time::{Duration, SimTime};
+use crate::time::SimTime;
 use std::collections::HashMap;
-use std::sync::Arc;
 
-/// Identifier of a node in the simulation (index into the node vector).
-pub type NodeId = usize;
-
-/// Identifier of a timer set by a node. Unique per simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct TimerId(pub u64);
-
-/// An action a node requests from the engine during a callback.
-#[derive(Debug, Clone)]
-pub enum Action<M> {
-    /// Send `payload` to node `to`.
-    Send {
-        /// Recipient node.
-        to: NodeId,
-        /// Owned for unicast, `Arc`-shared for broadcast/multicast fan-out.
-        payload: Payload<M>,
-    },
-    /// Set a timer firing after `delay`, with an opaque `tag` echoed back.
-    SetTimer {
-        /// Delay from the current instant.
-        delay: Duration,
-        /// Opaque tag echoed back to `on_timer`.
-        tag: u64,
-    },
-    /// Cancel a previously set timer.
-    CancelTimer {
-        /// The timer to cancel.
-        timer: TimerId,
-    },
-}
-
-/// The interface nodes use to interact with the simulated world.
-///
-/// A `Context` is created fresh for each callback; actions are buffered and
-/// applied by the engine after the callback returns, in order.
-pub struct Context<M> {
-    /// Identity of the node being called.
-    pub id: NodeId,
-    /// Current virtual time.
-    pub now: SimTime,
-    /// Total number of nodes in the simulation.
-    pub n: usize,
-    actions: Vec<Action<M>>,
-    next_timer: u64,
-    allocated_timers: Vec<TimerId>,
-}
-
-impl<M> Context<M> {
-    fn new(id: NodeId, now: SimTime, n: usize, next_timer: u64) -> Self {
-        Context {
-            id,
-            now,
-            n,
-            actions: Vec::new(),
-            next_timer,
-            allocated_timers: Vec::new(),
-        }
-    }
-
-    /// Send a message to a single node. Sending to self is allowed and is
-    /// delivered with zero latency (next event at the same instant).
-    pub fn send(&mut self, to: NodeId, msg: M) {
-        self.actions.push(Action::Send {
-            to,
-            payload: Payload::Owned(msg),
-        });
-    }
-
-    /// Send a message to every node except the sender.
-    ///
-    /// The payload is interned behind one `Arc` shared by all recipients:
-    /// a broadcast costs O(1) payload clones regardless of fan-out.
-    pub fn broadcast(&mut self, msg: M) {
-        let shared = Arc::new(msg);
-        for to in 0..self.n {
-            if to != self.id {
-                self.actions.push(Action::Send {
-                    to,
-                    payload: Payload::Shared(shared.clone()),
-                });
-            }
-        }
-    }
-
-    /// Send a message to every node in `targets` (skipping self-sends is the
-    /// caller's choice; they are allowed). Like [`Context::broadcast`], the
-    /// payload is shared, not cloned per recipient.
-    pub fn multicast(&mut self, targets: &[NodeId], msg: M) {
-        match targets {
-            [] => {}
-            [to] => self.actions.push(Action::Send {
-                to: *to,
-                payload: Payload::Owned(msg),
-            }),
-            _ => {
-                let shared = Arc::new(msg);
-                for &to in targets {
-                    self.actions.push(Action::Send {
-                        to,
-                        payload: Payload::Shared(shared.clone()),
-                    });
-                }
-            }
-        }
-    }
-
-    /// Set a timer firing `delay` from now. The `tag` is echoed back to
-    /// `on_timer` so a node can multiplex many logical timers.
-    pub fn set_timer(&mut self, delay: Duration, tag: u64) -> TimerId {
-        let timer = TimerId(self.next_timer);
-        self.next_timer += 1;
-        self.allocated_timers.push(timer);
-        self.actions.push(Action::SetTimer { delay, tag });
-        timer
-    }
-
-    /// Cancel a previously set timer. Cancelling an already-fired timer is a no-op.
-    pub fn cancel_timer(&mut self, timer: TimerId) {
-        self.actions.push(Action::CancelTimer { timer });
-    }
-}
-
-/// A protocol participant driven by the simulator.
-pub trait Node {
-    /// Message type exchanged between nodes of this simulation.
-    type Msg: Clone;
-
-    /// Called once at simulation start (time zero).
-    fn on_start(&mut self, ctx: &mut Context<Self::Msg>);
-
-    /// Called when a message from `from` is delivered.
-    fn on_message(&mut self, ctx: &mut Context<Self::Msg>, from: NodeId, msg: Self::Msg);
-
-    /// Called when a timer set by this node fires.
-    fn on_timer(&mut self, ctx: &mut Context<Self::Msg>, timer: TimerId, tag: u64);
-
-    /// Called when the node is crashed by the fault plan. Default: no-op.
-    fn on_crash(&mut self, _now: SimTime) {}
-}
+// The node-facing API — `Node`, `Context`, `Action`, `NodeId`, `TimerId`,
+// `Payload` — lives in the runtime-agnostic `runtime` crate; `Simulation` is
+// one runtime interpreting the buffered actions (the other is
+// `runtime::RealCluster`). Re-exported here so every historical
+// `netsim::{Context, Node, …}` path keeps compiling.
+pub use runtime::{Action, Context, Node, NodeId, TimerId};
 
 /// Configuration of a simulation run.
 pub struct SimulationConfig {
@@ -198,6 +64,11 @@ pub struct Simulation<N: Node, S: EventScheduler<N::Msg> = TimerWheel<<N as Node
     /// Events processed per virtual second (index = ⌊now⌋ in seconds) — the
     /// windowed events/sec series the telemetry registry surfaces.
     events_timeline: Vec<u64>,
+    /// True once the safety valve tripped: the event budget ran out while
+    /// deliverable events were still queued. Surfaced as the
+    /// `netsim.sim.max_events_hit` counter so a truncated run is never
+    /// mistaken for a converged one.
+    max_events_hit: bool,
     config: SimulationConfig,
 }
 
@@ -230,6 +101,7 @@ impl<N: Node, S: EventScheduler<N::Msg>> Simulation<N, S> {
             next_timer: 0,
             events_processed: 0,
             events_timeline: Vec::new(),
+            max_events_hit: false,
             config: SimulationConfig::default(),
         }
     }
@@ -294,6 +166,12 @@ impl<N: Node, S: EventScheduler<N::Msg>> Simulation<N, S> {
         self.events_processed
     }
 
+    /// True if the run was truncated by [`SimulationConfig::max_events`]
+    /// while deliverable events were still pending.
+    pub fn max_events_hit(&self) -> bool {
+        self.max_events_hit
+    }
+
     /// Number of outstanding (set, not yet fired or cancelled) timers the
     /// engine is tracking. Bounded by live timers — test hook for the
     /// bounded-bookkeeping regression tests.
@@ -339,6 +217,9 @@ impl<N: Node, S: EventScheduler<N::Msg>> Simulation<N, S> {
             p.bookkeeping_slots as f64,
         );
         telemetry.counter_add("netsim.sim.events", None, self.events_processed);
+        if self.max_events_hit {
+            telemetry.counter_add("netsim.sim.max_events_hit", None, 1);
+        }
         let peak = self.events_timeline.iter().copied().max().unwrap_or(0);
         telemetry.gauge_max("netsim.sim.events_per_sec_peak", None, peak as f64);
         for &eps in &self.events_timeline {
@@ -347,9 +228,12 @@ impl<N: Node, S: EventScheduler<N::Msg>> Simulation<N, S> {
     }
 
     fn dispatch_actions(&mut self, from: NodeId, ctx: Context<N::Msg>) {
-        self.next_timer = ctx.next_timer;
-        let mut allocated = ctx.allocated_timers.into_iter();
-        for action in ctx.actions {
+        // One timer-id allocator: the context mints ids from the engine's
+        // counter and hands the advanced value back — the id inside each
+        // `SetTimer` action *is* the allocation, nothing to re-derive here.
+        let (actions, next_timer) = ctx.finish();
+        self.next_timer = next_timer;
+        for action in actions {
             match action {
                 Action::Send { to, payload } => {
                     if to >= self.nodes.len() {
@@ -364,10 +248,7 @@ impl<N: Node, S: EventScheduler<N::Msg>> Simulation<N, S> {
                         );
                     }
                 }
-                Action::SetTimer { delay, tag } => {
-                    let timer = allocated
-                        .next()
-                        .expect("timer allocation mismatch: SetTimer without allocated id");
+                Action::SetTimer { timer, delay, tag } => {
                     let handle =
                         self.sched
                             .schedule(self.now + delay, from, EventKind::Timer { timer, tag });
@@ -405,6 +286,15 @@ impl<N: Node, S: EventScheduler<N::Msg>> Simulation<N, S> {
     /// delivers it.
     pub fn step(&mut self) -> bool {
         if self.events_processed >= self.config.max_events {
+            // The safety valve tripped with deliverable work still queued:
+            // remember it, so reports can flag the truncation.
+            if self
+                .sched
+                .next_time()
+                .is_some_and(|t| t <= self.config.horizon)
+            {
+                self.max_events_hit = true;
+            }
             return false;
         }
         let next = match self.sched.next_time() {
@@ -487,7 +377,9 @@ mod tests {
     use super::*;
     use crate::latency::UniformLatency;
     use crate::sched::HeapScheduler;
+    use crate::time::Duration;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     /// A node that floods a token around a ring a fixed number of times.
     struct RingNode {
@@ -656,6 +548,46 @@ mod tests {
         let total: u32 = sim.nodes().map(|nd| nd.hops_seen).sum();
         assert_eq!(total, 6, "hops 0..=5 all delivered after the extension");
         assert_eq!(sim.now().as_millis(), 60);
+    }
+
+    /// The `max_events` safety valve must leave an audit trail: the flag is
+    /// set when the budget truncates a run with work still queued, and
+    /// `record_engine_metrics` surfaces it as `netsim.sim.max_events_hit`.
+    #[test]
+    fn max_events_budget_hit_is_recorded_not_silent() {
+        let n = 3;
+        let mut sim = Simulation::new(
+            ring(n, u32::MAX),
+            Box::new(UniformLatency::new(n, Duration::from_millis(10))),
+        )
+        .with_config(SimulationConfig {
+            horizon: SimTime::from_secs(1_000_000),
+            max_events: 10,
+        });
+        sim.run();
+        assert_eq!(sim.events_processed(), 10);
+        assert!(sim.max_events_hit(), "budget tripped with events pending");
+        let t = telemetry::Telemetry::recording();
+        sim.record_engine_metrics(&t);
+        assert_eq!(
+            t.registry_snapshot().counter("netsim.sim.max_events_hit", None),
+            1
+        );
+
+        // A run that drains naturally must not raise the flag, even though
+        // it also stops stepping.
+        let mut clean = Simulation::new(
+            ring(n, 5),
+            Box::new(UniformLatency::new(n, Duration::from_millis(10))),
+        );
+        clean.run();
+        assert!(!clean.max_events_hit());
+        let t = telemetry::Telemetry::recording();
+        clean.record_engine_metrics(&t);
+        assert_eq!(
+            t.registry_snapshot().counter("netsim.sim.max_events_hit", None),
+            0
+        );
     }
 
     #[test]

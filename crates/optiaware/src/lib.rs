@@ -19,7 +19,7 @@
 //!   reconfiguration — which is exactly the recovery Fig 7 shows.
 
 #![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
-use netsim::{Duration, SimTime};
+use runtime::{Duration, SimTime};
 use optilog::{
     ConfigCommand, ConfigLog, LatencyMonitor, LatencyVector, MessageTimeout, RoundObservation,
     RoundTimeouts, Suspicion, SuspicionMonitor, SuspicionMonitorParams, SuspicionSensor,

@@ -23,7 +23,7 @@
 use crate::score::{tree_score, tree_timeouts};
 use crate::search::{search_tree, TreeSearchSpace};
 use kauri::{Tree, TreePolicy};
-use netsim::Duration;
+use runtime::Duration;
 use optilog::{
     AnnealingParams, PhaseFilter, Suspicion, SuspicionMonitor, SuspicionMonitorParams,
     SuspicionPair,

@@ -9,7 +9,7 @@
 //! order of their ready time.
 
 use kauri::Tree;
-use netsim::Duration;
+use runtime::Duration;
 
 /// Latency lookup: one-way latency in ms between two replicas from a
 /// symmetric RTT matrix.

@@ -17,19 +17,18 @@
 //!   can add suspicion monitoring and attack mitigation without forking the
 //!   protocol.
 //!
-//! The protocol runs inside the `netsim` discrete-event simulator; clients
-//! are simulated nodes issuing requests in a closed loop and measuring
+//! The protocol is written against the runtime-agnostic `runtime` node API,
+//! so the same replicas run inside the discrete-event simulator or over real
+//! sockets; clients are nodes issuing requests in a closed loop and measuring
 //! end-to-end latency, which is what Fig 7 plots.
 
 #![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
-pub mod harness;
 pub mod messages;
 pub mod policy;
 pub mod replica;
 pub mod score;
 pub mod weights;
 
-pub use harness::{PbftHarness, PbftHarnessConfig, PbftRunReport};
 pub use messages::{PbftMessage, Phase};
 pub use policy::{AwarePolicy, PbftRoundRecord, ReconfigPolicy, StaticPolicy};
 pub use replica::{ClientState, DelayStage, PbftNode, ReplicaBehavior, ReplicaState};

@@ -18,7 +18,7 @@
 
 use crate::score::{optimize_configuration, predict_round_latency};
 use crate::weights::WeightConfig;
-use netsim::{Duration, SimTime};
+use runtime::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Everything a replica observed about one committed round; handed to the

@@ -13,7 +13,7 @@ use crate::messages::{PbftMessage, Phase};
 use crate::policy::{PbftRoundRecord, ReconfigPolicy};
 use crate::weights::WeightConfig;
 use crypto::{Digest, Hashable};
-use netsim::{Context, Duration, FaultWindow, Node, NodeId, SimTime, TimerId, TimeSeries};
+use runtime::{Context, Duration, FaultWindow, Node, NodeId, SimTime, TimeSeries, TimerId};
 use rsm::{Block, Command, CommitStats};
 use std::collections::{BTreeMap, BTreeSet};
 use telemetry::{Stage, Telemetry};

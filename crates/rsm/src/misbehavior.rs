@@ -3,7 +3,7 @@
 //! The paper's performance adversary does not tamper with the network — it
 //! *withholds its own protocol messages*: a Byzantine leader/root delays the
 //! proposals it is supposed to disseminate (Fig 7, Fig 11). Network-level
-//! fault plans (netsim's [`FaultPlan`](netsim::FaultPlan)) cannot express
+//! fault plans (the simulator's `FaultPlan`) cannot express
 //! this faithfully, because a network delay slows *every* message of the
 //! node, including votes and aggregates it sends as a follower.
 //!
@@ -16,7 +16,7 @@
 //! timestamps, so the delay is protocol-visible exactly the way the paper's
 //! suspicion conditions observe it.
 
-use netsim::{Duration, FaultWindow, SimTime};
+use runtime::{Duration, FaultWindow, SimTime};
 use std::collections::BTreeMap;
 
 /// One phase of a proposal-delay attack. The first stage whose window

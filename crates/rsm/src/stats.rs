@@ -5,7 +5,7 @@
 //! second over a 120-second run (§7.3). [`CommitStats`] records commits as
 //! they happen inside a replica and produces the same aggregates.
 
-use netsim::{Duration, Histogram, RateCounter, SimTime, TimeSeries};
+use runtime::{Duration, Histogram, RateCounter, SimTime, TimeSeries};
 use serde::Serialize;
 
 /// Mean value of a `(time s, value)` timeline over the window `[from, to)`

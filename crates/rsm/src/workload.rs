@@ -14,7 +14,7 @@
 //! schedule and admission queue the substrates consume.
 
 use crate::block::Command;
-use netsim::Duration;
+use runtime::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

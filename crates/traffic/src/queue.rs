@@ -20,7 +20,7 @@
 //! exactly as a leader-side ingress proxy would.
 
 use crate::sampler::ArrivalSampler;
-use netsim::{Duration, SimTime};
+use runtime::{Duration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rsm::{BatchingPolicy, Command, CommitStats, TrafficSpec};

@@ -142,7 +142,7 @@ impl ArrivalSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::Duration;
+    use runtime::Duration;
     use rand::SeedableRng;
 
     fn count_until(process: ArrivalProcess, horizon: f64, seed: u64) -> usize {

@@ -6,7 +6,8 @@
 
 use netsim::{Duration, SimTime};
 use optiaware::OptiAwarePolicy;
-use pbft::{AwarePolicy, PbftHarness, PbftHarnessConfig, ReconfigPolicy};
+use lab::{PbftHarness, PbftHarnessConfig};
+use pbft::{AwarePolicy, ReconfigPolicy};
 
 fn main() {
     let n = 7;

@@ -3,8 +3,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use lab::{PbftHarness, PbftHarnessConfig};
 use netsim::{CityDataset, Duration};
-use pbft::{PbftHarness, PbftHarnessConfig, StaticPolicy};
+use pbft::StaticPolicy;
 use rsm::{Application, Command, KvApp};
 use rsm::app::KvOp;
 

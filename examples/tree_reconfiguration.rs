@@ -2,7 +2,8 @@
 //!
 //! Run with: `cargo run --example tree_reconfiguration`
 
-use kauri::{run_kauri, KauriConfig, TreePolicy};
+use kauri::{KauriConfig, TreePolicy};
+use lab::run_kauri;
 use netsim::{CityDataset, Duration, FaultPlan, MatrixLatency, SimTime};
 use optitree::OptiTreePolicy;
 use rsm::SystemConfig;

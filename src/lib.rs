@@ -4,6 +4,9 @@
 //! examples, integration tests, and downstream users can depend on a single
 //! entry point:
 //!
+//! * [`runtime`] — the runtime-agnostic node API ([`runtime::Node`],
+//!   [`runtime::Context`]), wire framing, and the real-clock localhost
+//!   cluster runtime.
 //! * [`netsim`] — deterministic discrete-event network simulator and the
 //!   geographic latency dataset.
 //! * [`crypto`] — simulated signatures, quorum certificates, and proofs of
@@ -23,6 +26,8 @@
 //!   t-bounded-conformity reconfiguration.
 //! * [`optiaware`] — OptiLog applied to Aware (§5).
 //! * [`optitree`] — OptiLog applied to Kauri (§6).
+//! * [`lab`] — declarative scenarios, adversary scripts, and the
+//!   simulation harnesses that drive each substrate through `netsim`.
 //!
 //! See `examples/quickstart.rs` for a first end-to-end run.
 
@@ -30,10 +35,12 @@ pub use configlog;
 pub use crypto;
 pub use hotstuff;
 pub use kauri;
+pub use lab;
 pub use netsim;
 pub use optiaware;
 pub use optilog;
 pub use optitree;
 pub use pbft;
 pub use rsm;
+pub use runtime;
 pub use traffic;

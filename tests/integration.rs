@@ -3,14 +3,15 @@
 
 use optilog_suite::*;
 
-use kauri::{run_kauri, KauriBinsPolicy, KauriConfig, TreePolicy};
-use hotstuff::{run_hotstuff, HotStuffConfig, Pacemaker};
+use kauri::{KauriBinsPolicy, KauriConfig, TreePolicy};
+use hotstuff::{HotStuffConfig, Pacemaker};
+use lab::{run_hotstuff, run_kauri, PbftHarness, PbftHarnessConfig};
 use netsim::{CityDataset, Duration, FaultPlan, MatrixLatency, SimTime};
 use optiaware::OptiAwarePolicy;
 use optilog::{AnnealingParams, SuspicionMonitorParams};
 use optilog::pipeline::OptiLogInstance;
 use optitree::{search_tree, tree_score, OptiTreePolicy, TreeSearchSpace};
-use pbft::{AwarePolicy, PbftHarness, PbftHarnessConfig, StaticPolicy};
+use pbft::{AwarePolicy, StaticPolicy};
 use rsm::SystemConfig;
 
 fn europe_rtt(n: usize) -> Vec<f64> {
