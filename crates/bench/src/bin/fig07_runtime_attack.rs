@@ -5,7 +5,7 @@
 //! optimises its configuration but cannot react to the attack, OptiAware
 //! detects the delay through suspicions and reassigns the leader role.
 //!
-//! Usage: `fig07_runtime_attack [run-seconds] [n] [--seeds N] [--threads N] [--out DIR]`
+//! Usage: `fig07_runtime_attack [run-seconds] [n] [--seeds N] [--threads N] [--out DIR] [--breakdown]`
 
 use lab::{
     run_and_report, Attack, AdversaryScript, Deployment, LabArgs, LatencyWindow, ProtocolScenario,

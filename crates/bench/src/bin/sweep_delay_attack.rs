@@ -2,7 +2,7 @@
 //! Fig 7 scenario at a smaller scale, swept over many seeds, with identical
 //! JSON output for any `--threads` value.
 //!
-//! Usage: `sweep_delay_attack [run-seconds] [n] [--seeds N] [--threads N] [--out DIR]`
+//! Usage: `sweep_delay_attack [run-seconds] [n] [--seeds N] [--threads N] [--out DIR] [--breakdown]`
 
 use lab::{
     run_and_report, sample_seeds, AdversaryScript, Attack, Deployment, LabArgs, LatencyWindow,

@@ -5,7 +5,7 @@
 //! role — the `root_retained` / `attacker_internal_final` metrics and the
 //! windowed latency land in `BENCH_intermediate_delay.json`.
 //!
-//! Usage: `sweep_intermediate_delay [run-seconds] [n] [--seeds N] [--threads N] [--out DIR]`
+//! Usage: `sweep_intermediate_delay [run-seconds] [n] [--seeds N] [--threads N] [--out DIR] [--breakdown]`
 
 use bench::intermediate_delay_spec;
 use lab::{run_and_report, sample_seeds, LabArgs};

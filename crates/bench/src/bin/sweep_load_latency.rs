@@ -14,7 +14,7 @@
 //! until the attack stage ends.
 //!
 //! Usage: `sweep_load_latency [knee-run-secs] [n] [attack-run-secs]
-//!         [--seeds N] [--threads N] [--out DIR]`
+//!         [--seeds N] [--threads N] [--out DIR] [--breakdown]`
 
 use bench::{load_attack_spec, load_latency_spec, LOAD_LEVELS};
 use lab::{run_and_report, sample_seeds, LabArgs};

@@ -5,7 +5,7 @@
 //! recovered) and the per-commit latency timelines land in
 //! `BENCH_sweep_tree_delay_attack.json`.
 //!
-//! Usage: `sweep_tree_delay_attack [run-seconds] [n] [--seeds N] [--threads N] [--out DIR]`
+//! Usage: `sweep_tree_delay_attack [run-seconds] [n] [--seeds N] [--threads N] [--out DIR] [--breakdown]`
 
 use bench::tree_delay_attack_spec;
 use lab::{run_and_report, sample_seeds, LabArgs};

@@ -1,0 +1,128 @@
+//! The latency-anatomy acceptance test for the critical-path attribution:
+//! under the Fig 7 root-delay attack, the `hold` phase — time the committed
+//! commands spent behind the root's withheld disseminations — must account
+//! for the majority of the latency the attack *adds* over the clean phase,
+//! and must be near-zero outside it. A breakdown that smears the added
+//! latency into `dissem`/`vote` (e.g. by only crediting holds of the
+//! command's own view and missing the pipelined overlap) fails here.
+
+use bench::tree_delay_attack_spec;
+use lab::CellMetrics;
+
+const PHASES: [&str; 7] = [
+    "ingress",
+    "admission",
+    "hold",
+    "dissem",
+    "vote",
+    "reply",
+    "other",
+];
+
+fn metric(m: &CellMetrics, key: &str) -> f64 {
+    *m.values
+        .get(key)
+        .unwrap_or_else(|| panic!("missing breakdown metric {key}: {:?}", m.values.keys()))
+}
+
+/// Per-window mean e2e latency, reassembled from the phase means (the
+/// phases partition each command's e2e exactly, so the sum is the mean).
+fn window_e2e_mean(m: &CellMetrics, window: &str) -> f64 {
+    PHASES
+        .iter()
+        .map(|p| metric(m, &format!("breakdown.{window}.{p}.mean_ms")))
+        .sum()
+}
+
+#[test]
+fn hold_dominates_added_latency_under_root_delay() {
+    // Same cell as tree_delay_attack_shows_fig7_shape: 60 s, n=13, seed 1 —
+    // covert 600 ms holds start at t=20 s; the `attack` window is the two
+    // seconds after onset, `clean` the pre-attack steady state.
+    let spec = tree_delay_attack_spec(60, 13, vec![1]);
+    let points = spec.points();
+
+    for label in [
+        "HotStuff-fixed",
+        "Kauri",
+        "OptiTree",
+        "OptiTree (no pipeline)",
+    ] {
+        let point = points
+            .iter()
+            .find(|p| p.label == label)
+            .unwrap_or_else(|| panic!("missing point {label}"));
+        let m = spec.run_cell_breakdown(point, 1);
+
+        for w in ["clean", "attack"] {
+            assert!(
+                metric(&m, &format!("breakdown.{w}.commands")) > 0.0,
+                "{label}: no committed commands attributed in the {w} window"
+            );
+        }
+
+        let clean_e2e = window_e2e_mean(&m, "clean");
+        let attack_e2e = window_e2e_mean(&m, "attack");
+        let clean_hold = metric(&m, "breakdown.clean.hold.mean_ms");
+        let attack_hold = metric(&m, "breakdown.attack.hold.mean_ms");
+
+        // Outside the attack nothing is withheld: hold must be a rounding
+        // error next to the clean-phase commit latency.
+        assert!(
+            clean_hold < (clean_e2e * 0.05).max(2.0),
+            "{label}: clean-window hold should be near-zero, \
+             got {clean_hold:.1} ms of {clean_e2e:.1} ms e2e"
+        );
+
+        // During the attack the added latency IS the hold: the withheld
+        // dissemination shows up as `hold`, not smeared into other phases.
+        let added = attack_e2e - clean_e2e;
+        let added_hold = attack_hold - clean_hold;
+        assert!(
+            added > clean_e2e,
+            "{label}: the 600 ms hold must visibly spike the attack window, \
+             clean={clean_e2e:.1} ms attack={attack_e2e:.1} ms"
+        );
+        assert!(
+            added_hold > 0.5 * added,
+            "{label}: hold must account for the majority of added latency, \
+             added={added:.1} ms of which hold={added_hold:.1} ms"
+        );
+
+        // And hold is the single largest mover between the two windows.
+        for phase in PHASES {
+            if phase == "hold" {
+                continue;
+            }
+            let delta = metric(&m, &format!("breakdown.attack.{phase}.mean_ms"))
+                - metric(&m, &format!("breakdown.clean.{phase}.mean_ms"));
+            assert!(
+                delta < added_hold,
+                "{label}: phase {phase} moved more than hold did \
+                 ({delta:.1} ms vs {added_hold:.1} ms)"
+            );
+        }
+
+        // The whole-run rollup carries the same phases, quantiles and
+        // shares the sweep tables and BENCH json expose.
+        let share_sum: f64 = PHASES
+            .iter()
+            .map(|p| metric(&m, &format!("breakdown.{p}.share")))
+            .sum();
+        assert!(
+            (share_sum - 1.0).abs() < 1e-6,
+            "{label}: phase shares must partition the run, sum={share_sum}"
+        );
+
+        // Run-level hold p99: only the fixed leader suffers the full attack
+        // (the role-aware trees reconfigure the attacker away within
+        // seconds, so attacked commands are a sliver of their runs — which
+        // is the paper's point).
+        if label == "HotStuff-fixed" {
+            assert!(
+                metric(&m, "breakdown.hold.p99_ms") >= 500.0,
+                "{label}: the covert holds must surface in the run-level hold p99"
+            );
+        }
+    }
+}

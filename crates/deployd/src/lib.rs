@@ -21,6 +21,8 @@
 
 #![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 
+pub mod ops;
+
 use crypto::Digest;
 use hotstuff::{HotStuffConfig, HotStuffNode, Pacemaker};
 use kauri::{KauriBinsPolicy, KauriConfig, KauriNode, TreePolicy};
@@ -104,12 +106,17 @@ impl DeployConfig {
             .with_slo(Duration::from_secs(1));
         // Localhost ingress: ~1 ms from every client to the leader.
         let ingress = vec![1.0; self.clients];
-        Some(SharedTrafficQueue::generate(
+        let queue = SharedTrafficQueue::generate(
             &spec,
             &ingress,
             self.seed,
             SimTime::ZERO + self.run_for,
-        ))
+        );
+        // Same discipline as the simulation harnesses: the queue records its
+        // admission/dispatch counters and client spans into the run's
+        // registry, so live scrapes and knee attribution see the client path.
+        queue.set_telemetry(self.telemetry.clone());
+        Some(queue)
     }
 }
 
@@ -175,12 +182,57 @@ pub fn run_cluster(
     }
 }
 
-/// Sleep out the run in short slices, returning early if asked to stop.
-fn wait_out(run_for: Duration, should_stop: &dyn Fn() -> bool) {
-    let deadline =
-        std::time::Instant::now() + std::time::Duration::from_micros(run_for.as_micros());
+/// Sleep out the run in ~50 ms slices, returning early if asked to stop.
+///
+/// Each slice is also the cluster's *monitor beat*: the time-series sampler
+/// is ticked with wall-clock microseconds since launch (the real-clock
+/// counterpart of the simulator's virtual-second tick), and the live health
+/// gauges the ops endpoint derives `/healthz` from are refreshed —
+/// admission-queue depth vs bound, and how long the substrate's commit
+/// counters have been stale.
+fn wait_out(
+    run_for: Duration,
+    should_stop: &dyn Fn() -> bool,
+    telemetry: &Telemetry,
+    queue: Option<&SharedTrafficQueue>,
+    commits_metric: &str,
+) {
+    let started = std::time::Instant::now();
+    let deadline = started + std::time::Duration::from_micros(run_for.as_micros());
+    let mut last_commits = 0u64;
+    let mut last_progress = started;
     while std::time::Instant::now() < deadline && !should_stop() {
         std::thread::sleep(std::time::Duration::from_millis(50));
+        let now = std::time::Instant::now();
+        telemetry.tick_timeseries(started.elapsed().as_micros() as u64);
+        if let Some(q) = queue {
+            telemetry.gauge_set("deployd.queue.depth", None, q.depth() as f64);
+            telemetry.gauge_set("deployd.queue.capacity", None, q.capacity() as f64);
+        }
+        if telemetry.is_enabled() {
+            let mut commits = 0u64;
+            telemetry.with_registry(|reg| {
+                commits = reg
+                    .counters()
+                    .filter(|(k, _)| k.name == commits_metric)
+                    .map(|(_, v)| v)
+                    .sum();
+            });
+            if commits > last_commits {
+                last_commits = commits;
+                last_progress = now;
+            }
+            telemetry.gauge_set(
+                "deployd.health.commit_stale_ms",
+                None,
+                now.duration_since(last_progress).as_millis() as f64,
+            );
+            telemetry.gauge_set(
+                "deployd.uptime_secs",
+                None,
+                started.elapsed().as_secs_f64(),
+            );
+        }
     }
 }
 
@@ -209,11 +261,23 @@ fn run_hotstuff_cluster(
         })
         .collect();
 
+    // One-second telemetry windows, on the wall clock (the simulator uses the
+    // same cadence on virtual time, so the series line up side by side).
+    config.telemetry.install_timeseries(1_000_000);
     let started = std::time::Instant::now();
     let cluster = RealCluster::launch(nodes)?;
-    wait_out(config.run_for, should_stop);
+    wait_out(
+        config.run_for,
+        should_stop,
+        &config.telemetry,
+        queue.as_ref(),
+        "hotstuff.node.commits",
+    );
     let mut nodes = cluster.shutdown();
     let wall_secs = started.elapsed().as_secs_f64();
+    config
+        .telemetry
+        .tick_timeseries(started.elapsed().as_micros() as u64);
 
     let view_digests: Vec<Vec<(u64, Digest)>> =
         nodes.iter().map(|nd| nd.view_digests()).collect();
@@ -271,11 +335,21 @@ fn run_kauri_cluster(
         })
         .collect();
 
+    config.telemetry.install_timeseries(1_000_000);
     let started = std::time::Instant::now();
     let cluster = RealCluster::launch(nodes)?;
-    wait_out(config.run_for, should_stop);
+    wait_out(
+        config.run_for,
+        should_stop,
+        &config.telemetry,
+        queue.as_ref(),
+        "kauri.node.commits",
+    );
     let mut nodes = cluster.shutdown();
     let wall_secs = started.elapsed().as_secs_f64();
+    config
+        .telemetry
+        .tick_timeseries(started.elapsed().as_micros() as u64);
 
     let observer = (0..n)
         .max_by_key(|&i| nodes[i].stats.blocks())
@@ -305,40 +379,69 @@ pub struct KneePoint {
     pub goodput: u64,
     /// Mean end-to-end latency (ms).
     pub e2e_mean_ms: f64,
+    /// Median end-to-end latency (ms).
+    pub e2e_p50_ms: f64,
     /// p99 end-to-end latency (ms).
     pub e2e_p99_ms: f64,
+    /// Critical-path anatomy of this rate point's committed commands,
+    /// attributed from the per-rate trace.
+    pub breakdown: telemetry::LatencyBreakdown,
 }
 
 /// Sweep offered load and measure the throughput–latency knee on the real
 /// cluster: one short run per rate, the same shape as the simulated
 /// `sweep_load_latency` sweep. Stops early (returning the points measured so
 /// far) if `should_stop` reports true between runs.
+///
+/// Each rate runs under its own `Telemetry::tracing()` handle so the commit
+/// critical path can be attributed per point, and every measured point is
+/// recorded into `base.telemetry`'s registry as `deployd.knee.*` gauges
+/// (replica label = rate-point index) — a live `--metrics-addr` scrape sees
+/// the curve grow as the sweep walks up the rate axis.
 pub fn measure_knee(
     base: &DeployConfig,
     rates: &[f64],
     should_stop: &dyn Fn() -> bool,
 ) -> std::io::Result<Vec<KneePoint>> {
     let mut points = Vec::with_capacity(rates.len());
-    for &rate in rates {
+    for (idx, &rate) in rates.iter().enumerate() {
         if should_stop() {
             break;
         }
         let mut cfg = base.clone();
         cfg.rate = rate;
+        cfg.telemetry = Telemetry::tracing();
         let report = run_cluster(&cfg, should_stop)?;
         let tr = report
             .traffic
             .expect("knee sweep runs with a traffic queue");
-        points.push(KneePoint {
+        let breakdown = telemetry::LatencyBreakdown::from_paths(&cfg.telemetry.command_paths());
+        let point = KneePoint {
             offered_rate: rate,
             offered: tr.offered,
             committed: tr.committed,
             goodput: tr.goodput,
             e2e_mean_ms: tr.e2e_mean_ms,
+            e2e_p50_ms: tr.e2e_p50_ms,
             e2e_p99_ms: tr.e2e_p99_ms,
-        });
+            breakdown,
+        };
+        record_knee_point(&base.telemetry, idx, &point);
+        points.push(point);
     }
     Ok(points)
+}
+
+/// Publish one measured knee point into the long-lived registry the ops
+/// endpoint serves, labelled by rate-point index.
+fn record_knee_point(telemetry: &Telemetry, idx: usize, p: &KneePoint) {
+    let r = Some(idx);
+    telemetry.gauge_set("deployd.knee.offered_rate", r, p.offered_rate);
+    telemetry.gauge_set("deployd.knee.offered", r, p.offered as f64);
+    telemetry.gauge_set("deployd.knee.committed", r, p.committed as f64);
+    telemetry.gauge_set("deployd.knee.goodput", r, p.goodput as f64);
+    telemetry.gauge_set("deployd.knee.e2e_p50_ms", r, p.e2e_p50_ms);
+    telemetry.gauge_set("deployd.knee.e2e_p99_ms", r, p.e2e_p99_ms);
 }
 
 #[cfg(test)]

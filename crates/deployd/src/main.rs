@@ -66,19 +66,23 @@ struct Args {
     knee_rates: Vec<f64>,
     prometheus: Option<String>,
     trace: Option<String>,
+    metrics_addr: Option<String>,
 }
 
 const USAGE: &str = "usage: deployd [--substrate hotstuff|kauri] [-n N] [--secs S] \
 [--rate CMDS_PER_SEC] [--clients C] [--batch B] [--seed SEED] \
-[--knee R1,R2,...] [--prometheus FILE] [--trace FILE]\n\
+[--knee R1,R2,...] [--prometheus FILE] [--trace FILE] [--metrics-addr HOST:PORT]\n\
   --rate 0 runs the saturated workload (no open-loop queue)\n\
-  --knee sweeps offered load (one short run per rate) and prints the measured curve";
+  --knee sweeps offered load (one short run per rate) and prints the measured curve\n\
+  --metrics-addr serves live GET /metrics (Prometheus text) and GET /healthz \
+while the cluster runs";
 
 fn parse_args() -> Result<Args, String> {
     let mut config = DeployConfig::new(Substrate::HotStuff, 4);
     let mut knee_rates = Vec::new();
     let mut prometheus = None;
     let mut trace = None;
+    let mut metrics_addr = None;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -129,6 +133,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--prometheus" => prometheus = Some(value(&mut i, "--prometheus")?),
             "--trace" => trace = Some(value(&mut i, "--trace")?),
+            "--metrics-addr" => metrics_addr = Some(value(&mut i, "--metrics-addr")?),
             "-h" | "--help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -147,6 +152,7 @@ fn parse_args() -> Result<Args, String> {
         knee_rates,
         prometheus,
         trace,
+        metrics_addr,
     })
 }
 
@@ -170,6 +176,22 @@ fn main() -> ExitCode {
     term::install();
 
     let cfg = &args.config;
+    let ops = match &args.metrics_addr {
+        Some(addr) => match deployd::ops::serve(addr, cfg.telemetry.clone()) {
+            Ok(server) => {
+                println!(
+                    "serving live /metrics and /healthz on http://{}",
+                    server.local_addr()
+                );
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("deployd: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     println!(
         "deployd: {} × {} on 127.0.0.1, {:.1}s wall-clock, {}",
         cfg.n,
@@ -190,12 +212,28 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        println!("offered_rate,offered,committed,goodput,e2e_mean_ms,e2e_p99_ms");
+        println!("offered_rate,offered,committed,goodput,e2e_mean_ms,e2e_p50_ms,e2e_p99_ms");
         for p in &points {
             println!(
-                "{:.0},{},{},{},{:.1},{:.1}",
-                p.offered_rate, p.offered, p.committed, p.goodput, p.e2e_mean_ms, p.e2e_p99_ms
+                "{:.0},{},{},{},{:.1},{:.1},{:.1}",
+                p.offered_rate,
+                p.offered,
+                p.committed,
+                p.goodput,
+                p.e2e_mean_ms,
+                p.e2e_p50_ms,
+                p.e2e_p99_ms
             );
+        }
+        for p in &points {
+            if p.breakdown.count() == 0 {
+                continue;
+            }
+            println!("\n# latency anatomy at {:.0} cmd/s", p.offered_rate);
+            print!("{}", p.breakdown.render_table());
+        }
+        if let Some(server) = ops {
+            server.shutdown();
         }
         return ExitCode::SUCCESS;
     }
@@ -256,6 +294,9 @@ fn main() -> ExitCode {
             }
             None => eprintln!("deployd: trace sink inactive, no trace written"),
         }
+    }
+    if let Some(server) = ops {
+        server.shutdown();
     }
     ExitCode::SUCCESS
 }

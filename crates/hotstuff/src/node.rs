@@ -302,7 +302,7 @@ impl HotStuffNode {
                     // knows the batch id) for end-to-end accounting.
                     if let Some(queue) = &self.traffic {
                         if let Some(id) = self.batch_ids.remove(&(view - 2)) {
-                            queue.commit_batch(id, ctx.now);
+                            queue.commit_batch_in(id, ctx.now, view - 2);
                         }
                     }
                 }

@@ -977,7 +977,7 @@ impl KauriNode {
             // reconfiguration discards are retried by the client population
             // (see `abandon_uncommitted_views`).
             if let (Some(queue), Some(id)) = (&self.traffic, batch_id) {
-                queue.commit_batch(id, ctx.now);
+                queue.commit_batch_in(id, ctx.now, view);
             }
             self.propose_next(ctx);
         }

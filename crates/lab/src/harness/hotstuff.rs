@@ -40,6 +40,7 @@ pub fn run_hotstuff(
         .collect();
     let mut sim = Simulation::new(nodes, latency)
         .with_faults(faults)
+        .with_telemetry(config.telemetry.clone())
         .with_config(SimulationConfig {
             horizon: SimTime::ZERO + config.run_for,
             max_events: 500_000_000,

@@ -195,6 +195,7 @@ impl PbftHarness {
         let latency = Self::build_latency(config);
         let mut sim = Simulation::new(nodes, Box::new(latency))
             .with_faults(config.faults.clone())
+            .with_telemetry(config.telemetry.clone())
             .with_config(SimulationConfig {
                 horizon: SimTime::ZERO + config.run_for,
                 max_events: 500_000_000,

@@ -59,9 +59,9 @@ pub use results::{
 };
 pub use runner::{export_trace, run_and_report, run_sweep, LabArgs, SweepOptions};
 pub use scenario::{
-    mix_seed, sample_seeds, CandidateTimingScenario, LatencyWindow, OverprovisionScenario, Point,
-    ProposalSizeScenario, ProtocolScenario, ScenarioKind, ScenarioSpec, Substrate,
-    SuspicionAttackScenario, TracedCell, TreeSearchScenario,
+    append_breakdown_metrics, mix_seed, sample_seeds, CandidateTimingScenario, LatencyWindow,
+    OverprovisionScenario, Point, ProposalSizeScenario, ProtocolScenario, ScenarioKind,
+    ScenarioSpec, Substrate, SuspicionAttackScenario, TracedCell, TreeSearchScenario,
 };
 pub use topology::{Deployment, Topology};
 

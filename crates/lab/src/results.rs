@@ -305,6 +305,47 @@ impl ScenarioReport {
         }
         out
     }
+
+    /// Render the per-point critical-path breakdown tables (one block per
+    /// point carrying `breakdown.*` metrics, produced by `--breakdown`
+    /// sweeps). Values are means across seeds; `share` is each phase's
+    /// fraction of total e2e time.
+    pub fn render_breakdown_tables(&self) -> String {
+        const PHASES: [&str; 7] = [
+            "ingress", "admission", "hold", "dissem", "vote", "reply", "other",
+        ];
+        let mut out = String::new();
+        for p in &self.points {
+            if !p.metrics.keys().any(|k| k.starts_with("breakdown.")) {
+                continue;
+            }
+            let commands = p.metrics.get("breakdown.commands").map_or(0.0, |s| s.mean);
+            out.push_str(&format!(
+                "\n# latency anatomy: {} ({commands:.0} commands)\n",
+                p.label
+            ));
+            out.push_str(&format!(
+                "{:<10} {:>10} {:>10} {:>10} {:>7}\n",
+                "phase", "mean_ms", "p50_ms", "p99_ms", "share"
+            ));
+            for phase in PHASES {
+                let get = |suffix: &str| {
+                    p.metrics
+                        .get(&format!("breakdown.{phase}.{suffix}"))
+                        .map_or(0.0, |s| s.mean)
+                };
+                out.push_str(&format!(
+                    "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>6.1}%\n",
+                    phase,
+                    get("mean_ms"),
+                    get("p50_ms"),
+                    get("p99_ms"),
+                    get("share") * 100.0
+                ));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,12 @@ pub struct SweepOptions {
     /// Run one extra traced cell after the sweep and write its Chrome
     /// `trace_event` JSON here (plus a `.prom` metrics dump alongside).
     pub trace: Option<PathBuf>,
+    /// Run every cell with a trace sink and attribute each committed
+    /// command's e2e latency into phases: `breakdown.*` metrics join the
+    /// cells (and the BENCH json), and the report prints a per-point phase
+    /// table. Per-cell sinks are thread-independent, so the json stays
+    /// byte-identical across `--threads`.
+    pub breakdown: bool,
 }
 
 impl Default for SweepOptions {
@@ -35,6 +41,7 @@ impl Default for SweepOptions {
             threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
             out_dir: Some(PathBuf::from(".")),
             trace: None,
+            breakdown: false,
         }
     }
 }
@@ -46,12 +53,19 @@ impl SweepOptions {
             threads: 1,
             out_dir: None,
             trace: None,
+            breakdown: false,
         }
     }
 
     /// Override the worker count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enable per-cell critical-path breakdown attribution.
+    pub fn with_breakdown(mut self) -> Self {
+        self.breakdown = true;
         self
     }
 }
@@ -84,7 +98,11 @@ pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> ScenarioReport {
                 let k = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&cell_idx) = order.get(k) else { break };
                 let (pi, seed) = cells[cell_idx];
-                let metrics = spec.run_cell(&points[pi], seed);
+                let metrics = if opts.breakdown {
+                    spec.run_cell_breakdown(&points[pi], seed)
+                } else {
+                    spec.run_cell(&points[pi], seed)
+                };
                 *slots[cell_idx].lock().expect("result slot poisoned") =
                     Some(CellReport { seed, metrics });
             });
@@ -123,6 +141,9 @@ pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> ScenarioReport {
 pub fn run_and_report(spec: &ScenarioSpec, opts: &SweepOptions, table_metrics: &[&str]) -> ScenarioReport {
     let report = run_sweep(spec, opts);
     print!("{}", report.render_table(table_metrics));
+    if opts.breakdown {
+        print!("{}", report.render_breakdown_tables());
+    }
     if let Some(dir) = &opts.out_dir {
         match report.write_bench_json(dir) {
             Ok(path) => println!("# wrote {}", path.display()),
@@ -181,6 +202,9 @@ pub struct LabArgs {
     pub out_dir: Option<PathBuf>,
     /// `--trace out.json`: export one traced cell after the sweep.
     pub trace: Option<PathBuf>,
+    /// `--breakdown`: attribute per-phase latency in every cell and print
+    /// the per-point anatomy tables.
+    pub breakdown: bool,
 }
 
 impl LabArgs {
@@ -199,6 +223,7 @@ impl LabArgs {
             seeds: None,
             out_dir: Some(PathBuf::from(".")),
             trace: None,
+            breakdown: false,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -223,6 +248,7 @@ impl LabArgs {
                 "--trace" => {
                     out.trace = Some(PathBuf::from(it.next().expect("--trace needs a file path")))
                 }
+                "--breakdown" => out.breakdown = true,
                 other => {
                     if let Ok(v) = other.parse() {
                         out.positionals.push(v);
@@ -254,6 +280,7 @@ impl LabArgs {
             threads: self.threads,
             out_dir: self.out_dir.clone(),
             trace: self.trace.clone(),
+            breakdown: self.breakdown,
         }
     }
 }

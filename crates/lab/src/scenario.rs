@@ -307,6 +307,11 @@ impl ProtocolScenario {
     /// Run one cell with an explicit telemetry handle (used by
     /// [`ScenarioSpec::run_cell_traced`] to install a trace sink).
     pub fn run_cell_with(&self, point: &Point, seed: u64, telemetry: &Telemetry) -> CellMetrics {
+        // Windowed time-series sampling on a 1 s simulated-time cadence: the
+        // netsim engine ticks the sampler at virtual-second boundaries, so
+        // window contents depend only on the event sequence — identical
+        // across `--threads` and across traced/untraced runs.
+        telemetry.install_timeseries(1_000_000);
         let (substrate, topology, adversary) = (
             self.substrates[point.idx[0]],
             self.topologies[point.idx[1]],
@@ -581,7 +586,82 @@ impl ProtocolScenario {
                 .set(format!("{name}.p50"), merged.p50() as f64)
                 .set(format!("{name}.p99"), merged.p99() as f64);
         }
+        // Drain the closed time-series windows as `ts.*` cell series —
+        // per-window counter deltas, gauge values, and histogram increments
+        // over simulated time, landing in BENCH json next to the timelines.
+        if let Some(ts) = telemetry.timeseries_snapshot() {
+            for (name, points) in ts.series() {
+                metrics.set_series(name, points);
+            }
+        }
         metrics
+    }
+
+    /// Run one cell with a trace sink, attribute every committed command's
+    /// e2e latency from the captured spans, and append the critical-path
+    /// breakdown to the cell metrics (the `--breakdown` sweep mode).
+    ///
+    /// End-to-end latency only exists where clients do: a scenario running
+    /// the saturated workload (no traffic axis) gets the same default
+    /// open-loop load [`ScenarioSpec::run_cell_traced`] injects, so every
+    /// sweep has a commit path to attribute. Per-cell sinks are
+    /// thread-independent, so breakdown-bearing BENCH json stays
+    /// byte-identical across `--threads`.
+    pub fn run_cell_breakdown(&self, point: &Point, seed: u64) -> CellMetrics {
+        let telemetry = Telemetry::tracing();
+        let mut metrics = if self.traffics.is_empty() {
+            let mut loaded = self.clone();
+            loaded.traffics = vec![TrafficSpec::poisson(300.0)
+                .with_clients(16)
+                .with_batching(60, Duration::from_millis(40))];
+            let mut point = point.clone();
+            point.idx.push(0);
+            loaded.run_cell_with(&point, seed, &telemetry)
+        } else {
+            self.run_cell_with(point, seed, &telemetry)
+        };
+        let paths = telemetry.command_paths();
+        append_breakdown_metrics(&mut metrics, &paths, &self.windows);
+        metrics
+    }
+}
+
+/// Fold attributed [`CommandPath`]s into `breakdown.*` cell metrics: the
+/// whole-run per-phase quantiles and shares, plus per-[`LatencyWindow`]
+/// phase means (commands bucketed by commit instant) so an attack window's
+/// anatomy is directly comparable against the clean windows around it.
+pub fn append_breakdown_metrics(
+    metrics: &mut CellMetrics,
+    paths: &[telemetry::CommandPath],
+    windows: &[LatencyWindow],
+) {
+    use telemetry::{LatencyBreakdown, Phase};
+    let all = LatencyBreakdown::from_paths(paths.iter());
+    metrics.set("breakdown.commands", all.count() as f64);
+    for row in all.rows() {
+        metrics
+            .set(format!("breakdown.{}.mean_ms", row.phase), row.mean_ms)
+            .set(format!("breakdown.{}.p50_ms", row.phase), row.p50_ms)
+            .set(format!("breakdown.{}.p99_ms", row.phase), row.p99_ms)
+            .set(format!("breakdown.{}.share", row.phase), row.share);
+    }
+    for w in windows {
+        let wb = LatencyBreakdown::from_paths(
+            paths
+                .iter()
+                .filter(|p| p.committed_s >= w.from_s && p.committed_s < w.to_s),
+        );
+        metrics.set(format!("breakdown.{}.commands", w.label), wb.count() as f64);
+        metrics.set(
+            format!("breakdown.{}.e2e_p99_ms", w.label),
+            wb.e2e().p99() as f64 / 1e3,
+        );
+        for phase in Phase::ALL {
+            metrics.set(
+                format!("breakdown.{}.{}.mean_ms", w.label, phase.name()),
+                wb.phase(phase).mean() / 1e3,
+            );
+        }
     }
 }
 
@@ -967,6 +1047,18 @@ impl ScenarioSpec {
             ScenarioKind::TreeSearch(t) => t.run_cell(point.idx[0], point.idx[1], seed),
             ScenarioKind::ProposalSize(p) => p.run_cell(p.sizes[point.idx[0]]),
             ScenarioKind::Overprovision(o) => o.run_cell(point.idx[0], point.idx[1], seed),
+        }
+    }
+
+    /// Run one cell in breakdown mode: a trace sink is installed, the
+    /// committed commands' latency anatomy is attributed from the spans,
+    /// and `breakdown.*` metrics land in the cell next to everything
+    /// [`ScenarioSpec::run_cell`] produces. Analytic kinds (no commit path
+    /// to attribute) fall back to the plain cell.
+    pub fn run_cell_breakdown(&self, point: &Point, seed: u64) -> CellMetrics {
+        match &self.kind {
+            ScenarioKind::Protocol(p) => p.run_cell_breakdown(point, seed),
+            _ => self.run_cell(point, seed),
         }
     }
 

@@ -70,6 +70,10 @@ pub struct Simulation<N: Node, S: EventScheduler<N::Msg> = TimerWheel<<N as Node
     /// mistaken for a converged one.
     max_events_hit: bool,
     config: SimulationConfig,
+    /// Telemetry handle whose time-series sampler is ticked at simulated
+    /// second boundaries (the same boundaries the events timeline rolls
+    /// over on). Disabled by default — the tick is then a no-op branch.
+    telemetry: telemetry::Telemetry,
 }
 
 impl<N: Node> Simulation<N> {
@@ -103,7 +107,18 @@ impl<N: Node, S: EventScheduler<N::Msg>> Simulation<N, S> {
             events_timeline: Vec::new(),
             max_events_hit: false,
             config: SimulationConfig::default(),
+            telemetry: telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Install a telemetry handle to drive with simulated time: its
+    /// windowed time-series sampler (if installed) is ticked whenever the
+    /// simulation crosses a virtual-second boundary, so window contents are
+    /// a pure function of the event sequence — identical across worker
+    /// threads and merge orders.
+    pub fn with_telemetry(mut self, telemetry: telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Install a fault plan. Crash and recovery faults are scheduled as events.
@@ -205,6 +220,10 @@ impl<N: Node, S: EventScheduler<N::Msg>> Simulation<N, S> {
         if !telemetry.is_enabled() {
             return;
         }
+        // Close any window still open at the end of the run *before* the
+        // engine profile lands in the registry: engine metrics describe the
+        // whole run and must never be attributed to the final window.
+        telemetry.tick_timeseries(self.now.as_micros());
         let p = self.sched.profile();
         telemetry.counter_add("netsim.engine.scheduled", None, p.scheduled);
         telemetry.counter_add("netsim.engine.cancelled", None, p.cancelled);
@@ -311,6 +330,10 @@ impl<N: Node, S: EventScheduler<N::Msg>> Simulation<N, S> {
         let sec = (self.now.as_micros() / 1_000_000) as usize;
         if sec >= self.events_timeline.len() {
             self.events_timeline.resize(sec + 1, 0);
+            // First event in a fresh virtual second: close elapsed
+            // time-series windows against the registry as it stood before
+            // this event is processed.
+            self.telemetry.tick_timeseries(self.now.as_micros());
         }
         self.events_timeline[sec] += 1;
         let id = event.target;

@@ -452,7 +452,7 @@ impl ReplicaState {
             // proposer (the only replica that knows the batch id) reports
             // the commit so the queue can account end-to-end latency.
             if let Some(id) = self.traffic_batches.remove(&seq) {
-                queue.commit_batch(id, ctx.now);
+                queue.commit_batch_in(id, ctx.now, seq);
             }
         } else {
             // Reply to clients and remember executed requests.

@@ -174,6 +174,26 @@ impl LogLinearHistogram {
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.counts.iter().map(|(&idx, &c)| (bucket_low(idx), c))
     }
+
+    /// Exact sum of the recorded values (0 when empty). Together with
+    /// [`LogLinearHistogram::count`] this backs the Prometheus `_sum` /
+    /// `_count` pair, which must be exact rather than bucket-approximated.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Occupied buckets as cumulative `(upper_bound, cumulative_count)`
+    /// pairs, ascending — exactly the `le`-labelled series of a Prometheus
+    /// histogram (the final implicit bucket is `+Inf`, which the renderer
+    /// adds with the total count). Upper bounds are inclusive: every value
+    /// in bucket `idx` is `< bucket_low(idx + 1)`, hence `≤` the bound.
+    pub fn cumulative_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut cum = 0u64;
+        self.counts.iter().map(move |(&idx, &c)| {
+            cum += c;
+            (bucket_low(idx + 1), cum)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +257,25 @@ mod tests {
         assert_eq!(merged, all);
         assert_eq!(merged.p999(), all.p999());
         assert!((merged.mean() - all.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_cover_all_samples() {
+        let mut h = LogLinearHistogram::new();
+        for v in [3u64, 3, 17, 900, 900, 900, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.sum(), 3 + 3 + 17 + 900 * 3 + 1_000_000);
+        let buckets: Vec<(u64, u64)> = h.cumulative_buckets().collect();
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "bounds ascend");
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1), "counts accumulate");
+        assert_eq!(buckets.last().unwrap().1, h.count(), "last bucket holds everything");
+        // Every recorded value is ≤ its bucket's upper bound: the cumulative
+        // count at the first bound ≥ v must include v's bucket.
+        for v in [3u64, 17, 900, 1_000_000] {
+            let covered = buckets.iter().find(|&&(le, _)| le >= v).unwrap().1;
+            assert!(covered >= 1, "value {v} not covered");
+        }
     }
 
     #[test]

@@ -20,12 +20,16 @@
 
 #![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 
+mod critical_path;
 mod hist;
 mod metrics;
+mod timeseries;
 mod trace;
 
+pub use critical_path::{attribute, BreakdownRow, CommandPath, LatencyBreakdown, Phase};
 pub use hist::{LogLinearHistogram, SUB_BITS};
-pub use metrics::{MetricKey, Registry};
+pub use metrics::{escape_label_value, MetricKey, Registry};
+pub use timeseries::{Timeseries, TimeseriesSampler, WindowSample};
 pub use trace::{Stage, TraceEvent, TraceId, TraceSink, CLIENTS_PID};
 
 use std::sync::{Arc, Mutex};
@@ -34,6 +38,9 @@ use std::sync::{Arc, Mutex};
 struct Inner {
     registry: Mutex<Registry>,
     sink: Option<Mutex<TraceSink>>,
+    /// Windowed sampler, installed on demand. Lock order: sampler before
+    /// registry (the tick holds both).
+    sampler: Mutex<Option<TimeseriesSampler>>,
 }
 
 /// A cloneable telemetry handle. `None` inside means fully disabled; all
@@ -58,6 +65,7 @@ impl Telemetry {
             inner: Some(Arc::new(Inner {
                 registry: Mutex::new(Registry::new()),
                 sink: None,
+                sampler: Mutex::new(None),
             })),
         }
     }
@@ -68,6 +76,7 @@ impl Telemetry {
             inner: Some(Arc::new(Inner {
                 registry: Mutex::new(Registry::new()),
                 sink: Some(Mutex::new(TraceSink::new())),
+                sampler: Mutex::new(None),
             })),
         }
     }
@@ -190,6 +199,49 @@ impl Telemetry {
         Some(sink.lock().unwrap().chrome_trace_json(process_labels))
     }
 
+    /// Run `f` over the raw recorded trace events (critical-path attribution
+    /// reads them without cloning the sink). `None` when not tracing.
+    pub fn with_trace_events<R>(&self, f: impl FnOnce(&[TraceEvent]) -> R) -> Option<R> {
+        let i = self.inner.as_ref()?;
+        let sink = i.sink.as_ref()?;
+        Some(f(sink.lock().unwrap().events()))
+    }
+
+    /// Attribute every committed command's e2e latency from the captured
+    /// trace (empty when not tracing).
+    pub fn command_paths(&self) -> Vec<CommandPath> {
+        self.with_trace_events(attribute).unwrap_or_default()
+    }
+
+    /// Install (or replace) the windowed time-series sampler. Windows close
+    /// at subsequent [`Telemetry::tick_timeseries`] calls. No-op when the
+    /// handle is disabled.
+    pub fn install_timeseries(&self, window_us: u64) {
+        if let Some(i) = &self.inner {
+            *i.sampler.lock().unwrap() = Some(TimeseriesSampler::new(window_us));
+        }
+    }
+
+    /// Advance the sampler to `now_us`, closing every fully elapsed window.
+    /// Cheap when no boundary passed; a no-op when disabled or no sampler is
+    /// installed.
+    #[inline]
+    pub fn tick_timeseries(&self, now_us: u64) {
+        if let Some(i) = &self.inner {
+            let mut sampler = i.sampler.lock().unwrap();
+            if let Some(s) = sampler.as_mut() {
+                s.tick(now_us, &i.registry.lock().unwrap());
+            }
+        }
+    }
+
+    /// A snapshot of the windows closed so far (`None` when disabled or no
+    /// sampler is installed).
+    pub fn timeseries_snapshot(&self) -> Option<Timeseries> {
+        let i = self.inner.as_ref()?;
+        i.sampler.lock().unwrap().as_ref().map(|s| s.timeseries().clone())
+    }
+
     /// The registry rendered in Prometheus text format (empty when
     /// disabled).
     pub fn prometheus_text(&self) -> String {
@@ -241,6 +293,39 @@ mod tests {
         assert_eq!(t.registry_snapshot().counter("x.y.z", None), 1);
         let json = t.chrome_trace_json(&[(1, "replica 1".into())]).unwrap();
         assert!(json.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn sampler_ticks_through_the_handle() {
+        let t = Telemetry::recording();
+        assert_eq!(t.timeseries_snapshot(), None, "no sampler installed yet");
+        t.tick_timeseries(5_000_000); // no sampler: no-op
+        t.install_timeseries(1_000_000);
+        t.counter_add("x.ops", None, 3);
+        t.tick_timeseries(1_000_000);
+        t.counter_add("x.ops", None, 4);
+        t.tick_timeseries(2_000_000);
+        let ts = t.timeseries_snapshot().unwrap();
+        assert_eq!(ts.series()["ts.x.ops.delta"], vec![(1.0, 3.0), (2.0, 4.0)]);
+        // Disabled handles ignore the whole sampler API.
+        let d = Telemetry::disabled();
+        d.install_timeseries(1_000_000);
+        d.tick_timeseries(9_000_000);
+        assert_eq!(d.timeseries_snapshot(), None);
+    }
+
+    #[test]
+    fn command_paths_come_from_the_trace() {
+        let t = Telemetry::tracing();
+        t.span(Stage::ClientEmit, CLIENTS_PID, 0, 0, 1_000, vec![]);
+        t.span(Stage::Admission, CLIENTS_PID, 0, 1_000, 500, vec![]);
+        t.instant(Stage::Propose, 0, 3, 2_000, vec![]);
+        t.span(Stage::Reply, CLIENTS_PID, 0, 9_000, 400, vec![("view", 3.0)]);
+        let paths = t.command_paths();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].view, Some(3));
+        assert_eq!(paths[0].e2e_us, 9_000 + 400);
+        assert!(Telemetry::recording().command_paths().is_empty());
     }
 
     #[test]

@@ -34,12 +34,61 @@ impl MetricKey {
     /// `_total`) attaches to the name, and the replica label (if any) goes
     /// into the label set after it.
     fn prometheus(&self, suffix: &str) -> String {
+        self.prometheus_labelled(suffix, &[])
+    }
+
+    /// Like [`MetricKey::prometheus`], with `extra` labels appended after
+    /// the replica label. Label values go through the exposition-format
+    /// escaping rules.
+    fn prometheus_labelled(&self, suffix: &str, extra: &[(&str, &str)]) -> String {
         let base = self.name.replace('.', "_");
-        match self.replica {
-            Some(r) => format!("{base}{suffix}{{replica=\"{r}\"}}"),
-            None => format!("{base}{suffix}"),
+        let mut labels = Vec::new();
+        if let Some(r) = self.replica {
+            labels.push(format!("replica=\"{r}\""));
+        }
+        for (k, v) in extra {
+            labels.push(format!("{k}=\"{}\"", escape_label_value(v)));
+        }
+        if labels.is_empty() {
+            format!("{base}{suffix}")
+        } else {
+            format!("{base}{suffix}{{{}}}", labels.join(","))
         }
     }
+
+    /// The metric family name in exposition form (dots → underscores).
+    fn family(&self) -> String {
+        self.name.replace('.', "_")
+    }
+}
+
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double quote, and line feed must be backslash-escaped.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escape a `# HELP` text: backslash and line feed are escaped (quotes are
+/// legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 /// The registry of one run.
@@ -146,30 +195,61 @@ impl Registry {
         self.hists.iter()
     }
 
-    /// Render the registry in Prometheus text exposition format. Counters
-    /// become `<name>_total`, histograms expose `_count`, `_sum`-free
-    /// quantile gauges (`p50`/`p99`/`p999`), min and max — quantiles come
-    /// from the mergeable buckets, so a scrape never needs raw samples.
+    /// Render the registry in Prometheus text exposition format, one
+    /// `# HELP` / `# TYPE` header per metric family followed by its samples
+    /// in replica-label order. Counters become `<name>_total`, gauges render
+    /// plainly, and histograms expose the standard cumulative `le`-labelled
+    /// `_bucket` series (bounds are the log-linear bucket upper bounds, plus
+    /// the implicit `+Inf`) with exact `_sum` / `_count` — the mergeable
+    /// buckets mean a scrape never needs raw samples.
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
+        let header = |out: &mut String, family: &str, kind: &str, name: &str| {
+            out.push_str(&format!(
+                "# HELP {family} {}\n# TYPE {family} {kind}\n",
+                escape_help(&format!("{kind} {name} recorded by this run"))
+            ));
+        };
+        let mut last_family = String::new();
         for (k, v) in &self.counters {
+            let family = format!("{}_total", k.family());
+            if family != last_family {
+                header(&mut out, &family, "counter", &k.name);
+                last_family = family;
+            }
             out.push_str(&format!("{} {}\n", k.prometheus("_total"), v));
         }
+        last_family.clear();
         for (k, v) in &self.gauges {
+            let family = k.family();
+            if family != last_family {
+                header(&mut out, &family, "gauge", &k.name);
+                last_family = family;
+            }
             out.push_str(&format!("{} {}\n", k.prometheus(""), v));
         }
+        last_family.clear();
         for (k, h) in &self.hists {
-            let base = k.name.replace('.', "_");
-            let label = |q: &str| match k.replica {
-                Some(r) => format!("{base}{{replica=\"{r}\",quantile=\"{q}\"}}"),
-                None => format!("{base}{{quantile=\"{q}\"}}"),
-            };
+            let family = k.family();
+            if family != last_family {
+                header(&mut out, &family, "histogram", &k.name);
+                last_family = family;
+            }
+            for (le, cum) in h.cumulative_buckets() {
+                let bound = le.to_string();
+                out.push_str(&format!(
+                    "{} {}\n",
+                    k.prometheus_labelled("_bucket", &[("le", &bound)]),
+                    cum
+                ));
+            }
+            out.push_str(&format!(
+                "{} {}\n",
+                k.prometheus_labelled("_bucket", &[("le", "+Inf")]),
+                h.count()
+            ));
+            out.push_str(&format!("{} {}\n", k.prometheus("_sum"), h.sum()));
             out.push_str(&format!("{} {}\n", k.prometheus("_count"), h.count()));
-            out.push_str(&format!("{} {}\n", k.prometheus("_min"), h.min()));
-            out.push_str(&format!("{} {}\n", k.prometheus("_max"), h.max()));
-            out.push_str(&format!("{} {}\n", label("0.5"), h.p50()));
-            out.push_str(&format!("{} {}\n", label("0.99"), h.p99()));
-            out.push_str(&format!("{} {}\n", label("0.999"), h.p999()));
         }
         out
     }
@@ -208,7 +288,66 @@ mod tests {
         let z = text.find("z_last_total 1").expect("plain counter");
         assert!(a < z, "counters render in key order");
         assert!(text.contains("m_hist_us_count{replica=\"0\"} 1"));
-        assert!(text.contains("quantile=\"0.99\""));
+        assert!(text.contains("m_hist_us_bucket{replica=\"0\",le=\"+Inf\"} 1"));
+    }
+
+    /// Format-conformance pin: HELP/TYPE headers precede each family's
+    /// samples, histogram buckets are cumulative `le` series ending at
+    /// `+Inf` with exact `_sum`/`_count`, and label values are escaped.
+    #[test]
+    fn prometheus_text_conforms_to_exposition_format() {
+        let mut r = Registry::new();
+        r.counter_add("a.commits", Some(0), 4);
+        r.counter_add("a.commits", Some(1), 6);
+        r.gauge_set("a.depth", None, 7.5);
+        for v in [10u64, 20, 20, 5_000] {
+            r.observe("a.lat_us", Some(2), v);
+        }
+        let text = r.prometheus_text();
+        let lines: Vec<&str> = text.lines().collect();
+
+        // Exactly one HELP and one TYPE per family, before its samples.
+        for family in ["a_commits_total", "a_depth", "a_lat_us"] {
+            let help = lines
+                .iter()
+                .position(|l| l.starts_with(&format!("# HELP {family} ")))
+                .unwrap_or_else(|| panic!("no HELP for {family}"));
+            let ty = lines
+                .iter()
+                .position(|l| l.starts_with(&format!("# TYPE {family} ")))
+                .unwrap_or_else(|| panic!("no TYPE for {family}"));
+            let first_sample = lines
+                .iter()
+                .position(|l| !l.starts_with('#') && l.starts_with(family))
+                .unwrap_or_else(|| panic!("no samples for {family}"));
+            assert!(help < first_sample && ty < first_sample, "{family} headers lead");
+        }
+        assert!(text.contains("# TYPE a_commits_total counter"));
+        assert!(text.contains("# TYPE a_depth gauge"));
+        assert!(text.contains("# TYPE a_lat_us histogram"));
+        assert!(text.contains("a_commits_total{replica=\"0\"} 4"));
+        assert!(text.contains("a_commits_total{replica=\"1\"} 6"));
+
+        // Cumulative buckets: monotone counts, +Inf bucket equals _count,
+        // every bound ≥ the largest value below it.
+        let buckets: Vec<(f64, u64)> = lines
+            .iter()
+            .filter(|l| l.starts_with("a_lat_us_bucket"))
+            .map(|l| {
+                let le = l.split("le=\"").nth(1).unwrap().split('"').next().unwrap();
+                let le = if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap() };
+                (le, l.rsplit(' ').next().unwrap().parse().unwrap())
+            })
+            .collect();
+        assert!(buckets.len() >= 2);
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(buckets.last().unwrap().0, f64::INFINITY);
+        assert_eq!(buckets.last().unwrap().1, 4);
+        assert!(text.contains("a_lat_us_sum{replica=\"2\"} 5050"));
+        assert!(text.contains("a_lat_us_count{replica=\"2\"} 4"));
+
+        // Label-value escaping.
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
     }
 
     #[test]

@@ -46,6 +46,23 @@ pub enum Stage {
 }
 
 impl Stage {
+    /// Every instrumentation point, in commit-path order — the span-coverage
+    /// audits iterate this so a newly added stage is automatically expected
+    /// somewhere (or consciously excluded per substrate family).
+    pub const ALL: [Stage; 11] = [
+        Stage::ClientEmit,
+        Stage::IngressForward,
+        Stage::Admission,
+        Stage::Propose,
+        Stage::Forward,
+        Stage::Hold,
+        Stage::Vote,
+        Stage::Aggregate,
+        Stage::Commit,
+        Stage::Reply,
+        Stage::Reconfigure,
+    ];
+
     /// The `name` field of the exported trace event.
     pub fn name(&self) -> &'static str {
         match self {
@@ -244,22 +261,9 @@ mod tests {
 
     #[test]
     fn stage_names_are_unique() {
-        let all = [
-            Stage::ClientEmit,
-            Stage::IngressForward,
-            Stage::Admission,
-            Stage::Propose,
-            Stage::Forward,
-            Stage::Hold,
-            Stage::Vote,
-            Stage::Aggregate,
-            Stage::Commit,
-            Stage::Reply,
-            Stage::Reconfigure,
-        ];
-        let mut names: Vec<&str> = all.iter().map(|s| s.name()).collect();
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), all.len());
+        assert_eq!(names.len(), Stage::ALL.len());
     }
 }

@@ -1,10 +1,11 @@
 //! Property tests for the telemetry primitives: the merge operation on
 //! log-linear histograms must be order-independent (per-replica shards from
-//! parallel sweep workers combine to identical quantiles), and quantiles
-//! must stay within the bucket scheme's relative-error bound.
+//! parallel sweep workers combine to identical quantiles), quantiles must
+//! stay within the bucket scheme's relative-error bound, and windowed
+//! time-series shards must recombine byte-identically in any order.
 
 use proptest::prelude::*;
-use telemetry::{LogLinearHistogram, Registry, SUB_BITS};
+use telemetry::{LogLinearHistogram, Registry, TimeseriesSampler, SUB_BITS};
 
 fn shards_from(values: &[u64], shards: usize) -> Vec<LogLinearHistogram> {
     let mut out: Vec<LogLinearHistogram> = (0..shards).map(|_| LogLinearHistogram::new()).collect();
@@ -98,5 +99,62 @@ proptest! {
         ba.merge(&b);
         ba.merge(&a);
         prop_assert_eq!(ab.prometheus_text(), ba.prometheus_text());
+    }
+
+    /// Timeseries shards merged in any permutation render byte-identical
+    /// `series()` and timestamped Prometheus text — the property the lab's
+    /// `--threads` byte-identity guarantee rests on.
+    #[test]
+    fn timeseries_merge_is_order_independent(
+        events in prop::collection::vec((0u64..8_000_000, 0u64..500, 0u64..100_000), 1..200),
+        perm_seed in 0u64..1_000,
+    ) {
+        // Shard the (timestamp, counter delta, histogram value) events
+        // round-robin; each shard replays its slice in time order through
+        // its own registry + sampler, ticking at every event.
+        let mk = |chunk: &[(u64, u64, u64)]| {
+            let mut sorted = chunk.to_vec();
+            sorted.sort_unstable();
+            let mut reg = Registry::new();
+            let mut s = TimeseriesSampler::new(1_000_000);
+            for &(ts, delta, v) in &sorted {
+                s.tick(ts, &reg);
+                reg.counter_add("p.ops", None, delta);
+                reg.observe("p.lat_us", Some((v % 3) as usize), v);
+                reg.gauge_set("p.depth", None, (delta % 17) as f64);
+            }
+            s.tick(8_000_000, &reg);
+            s.finish()
+        };
+        let shards: Vec<telemetry::Timeseries> = (0..4)
+            .map(|i| mk(&events.iter().copied().skip(i).step_by(4).collect::<Vec<_>>()))
+            .collect();
+
+        let mut forward = telemetry::Timeseries::new(1_000_000);
+        for s in &shards {
+            forward.merge(s);
+        }
+
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        let mut s = perm_seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut permuted = telemetry::Timeseries::new(1_000_000);
+        for &i in &order {
+            permuted.merge(&shards[i]);
+        }
+
+        prop_assert_eq!(&forward, &permuted);
+        prop_assert_eq!(forward.series(), permuted.series());
+        prop_assert_eq!(forward.prometheus_text(), permuted.prometheus_text());
+
+        // Counter mass is conserved: window deltas sum to the total offered.
+        let total: u64 = events.iter().map(|&(_, d, _)| d).sum();
+        let windowed: f64 = forward.series().get("ts.p.ops.delta")
+            .map(|pts| pts.iter().map(|&(_, v)| v).sum())
+            .unwrap_or(0.0);
+        prop_assert_eq!(windowed as u64, total);
     }
 }

@@ -475,6 +475,19 @@ impl TrafficQueue {
     /// (ingress leg + forwarding hop + queueing + consensus + reply leg)
     /// against the SLO.
     pub fn commit_batch(&mut self, id: u64, committed: SimTime) {
+        self.commit_batch_impl(id, committed, None);
+    }
+
+    /// Like [`TrafficQueue::commit_batch`], additionally naming the
+    /// consensus view / sequence ordinal that committed the batch. The
+    /// `reply` trace span then carries a `view` argument, which is the link
+    /// critical-path attribution uses to join the client-side span chain to
+    /// the consensus-side spans of the committing proposal.
+    pub fn commit_batch_in(&mut self, id: u64, committed: SimTime, view: u64) {
+        self.commit_batch_impl(id, committed, Some(view));
+    }
+
+    fn commit_batch_impl(&mut self, id: u64, committed: SimTime, view: Option<u64>) {
         let Some(flight) = self.in_flight.remove(&id) else {
             return;
         };
@@ -484,13 +497,17 @@ impl TrafficQueue {
                 + Duration::from_millis_f64(a.reply_ms + forward_ms);
             self.stats.record_client_commit(e2e, committed);
             if self.telemetry.is_enabled() {
+                let args = match view {
+                    Some(v) => vec![("view", v as f64)],
+                    None => vec![],
+                };
                 self.telemetry.span(
                     Stage::Reply,
                     CLIENTS_PID,
                     i,
                     committed.as_micros(),
                     Duration::from_millis_f64(a.reply_ms).as_micros(),
-                    vec![],
+                    args,
                 );
                 self.telemetry
                     .observe("traffic.client.e2e_us", None, e2e.as_micros());
@@ -652,6 +669,11 @@ impl SharedTrafficQueue {
         self.lock().commit_batch(id, committed)
     }
 
+    /// See [`TrafficQueue::commit_batch_in`].
+    pub fn commit_batch_in(&self, id: u64, committed: SimTime, view: u64) {
+        self.lock().commit_batch_in(id, committed, view)
+    }
+
     /// See [`TrafficQueue::retry_batch`].
     pub fn retry_batch(&self, id: u64, now: SimTime) {
         self.lock().retry_batch(id, now)
@@ -660,6 +682,17 @@ impl SharedTrafficQueue {
     /// See [`TrafficQueue::has_flushable`].
     pub fn has_flushable(&self, now: SimTime) -> bool {
         self.lock().has_flushable(now)
+    }
+
+    /// See [`TrafficQueue::depth`] — the live waiting-queue depth, exposed
+    /// for health derivation (depth vs the admission bound).
+    pub fn depth(&self) -> usize {
+        self.lock().depth()
+    }
+
+    /// The queue's admission capacity (waiting-command bound).
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
     }
 
     /// See [`TrafficQueue::report`].
