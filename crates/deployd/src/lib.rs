@@ -18,6 +18,16 @@
 //! `Telemetry::tracing()` (plus a Perfetto/Chrome trace with wall-clock µs
 //! timestamps) in [`DeployConfig::telemetry`]; the substrates' existing
 //! instrumentation does the rest — deployd adds none of its own.
+//!
+//! Auditing: every run is watched by an [`audit::Auditor`]. The monitor beat
+//! polls the live registry (commit-digest gauge pairs, batch conservation
+//! with an in-flight slack of four batches) and publishes the rolling verdict
+//! as `audit.*` gauges and to the ops endpoint's `/audit` feed; after
+//! shutdown the exact per-replica checkpoint sequences are replayed through
+//! the oracles and the strict final [`audit::AuditReport`] lands in
+//! [`RealRunReport::audit`]. Configure [`DeployConfig::flight_dir`] to get a
+//! flight-recorder dump (Perfetto trace + oracle report) on the first live
+//! oracle violation and on a failed final verdict.
 
 #![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 
@@ -26,8 +36,8 @@ pub mod ops;
 use crypto::Digest;
 use hotstuff::{HotStuffConfig, HotStuffNode, Pacemaker};
 use kauri::{KauriBinsPolicy, KauriConfig, KauriNode, TreePolicy};
-use runtime::{Duration, RealCluster, SimTime};
 use rsm::{RunSummary, TrafficSpec};
+use runtime::{Duration, RealCluster, SimTime};
 use telemetry::Telemetry;
 use traffic::{SharedTrafficQueue, TrafficReport};
 
@@ -79,6 +89,11 @@ pub struct DeployConfig {
     pub seed: u64,
     /// Telemetry handle installed on every replica.
     pub telemetry: Telemetry,
+    /// Directory for flight-recorder dumps; `None` disables dumping.
+    pub flight_dir: Option<String>,
+    /// Live feed the ops endpoint serves as `GET /audit`, refreshed every
+    /// monitor beat with the auditor's rolling verdict.
+    pub audit_feed: Option<ops::AuditFeed>,
 }
 
 impl DeployConfig {
@@ -93,7 +108,30 @@ impl DeployConfig {
             batch_size: 100,
             seed: 7,
             telemetry: Telemetry::disabled(),
+            flight_dir: None,
+            audit_feed: None,
         }
+    }
+
+    fn auditor(&self) -> audit::Auditor {
+        // Live polls race the pipeline: a command can be counted admitted
+        // while its batch's commit/abandon counters are still being written
+        // under a different registry lock. A few batches of slack absorbs
+        // that; the post-shutdown check in `finish_audit` is strict.
+        audit::Auditor::new().with_conservation_slack(self.batch_size as u64 * 4)
+    }
+
+    /// The flight recorder this config's runs dump through, if
+    /// [`DeployConfig::flight_dir`] is set (also used by the binary's panic
+    /// hook and SIGTERM path, so all dumps land in one directory).
+    pub fn flight_recorder(&self) -> Option<audit::FlightRecorder> {
+        self.flight_dir.as_ref().map(|dir| {
+            audit::FlightRecorder::new(self.telemetry.clone(), dir.as_str()).with_process_labels(
+                (0..self.n)
+                    .map(|id| (id, format!("{}-{id}", self.substrate.name())))
+                    .collect(),
+            )
+        })
     }
 
     fn traffic_queue(&self) -> Option<SharedTrafficQueue> {
@@ -106,12 +144,8 @@ impl DeployConfig {
             .with_slo(Duration::from_secs(1));
         // Localhost ingress: ~1 ms from every client to the leader.
         let ingress = vec![1.0; self.clients];
-        let queue = SharedTrafficQueue::generate(
-            &spec,
-            &ingress,
-            self.seed,
-            SimTime::ZERO + self.run_for,
-        );
+        let queue =
+            SharedTrafficQueue::generate(&spec, &ingress, self.seed, SimTime::ZERO + self.run_for);
         // Same discipline as the simulation harnesses: the queue records its
         // admission/dispatch counters and client spans into the run's
         // registry, so live scrapes and knee attribution see the client path.
@@ -141,6 +175,10 @@ pub struct RealRunReport {
     /// HotStuff only: per-replica committed `(view, digest)` sequences, for
     /// agreement checks (empty for other substrates).
     pub view_digests: Vec<Vec<(u64, Digest)>>,
+    /// The run's final oracle verdicts: the exact per-replica checkpoint
+    /// sequences replayed through the consensus auditor after shutdown, plus
+    /// a strict (zero-slack) batch-conservation check.
+    pub audit: audit::AuditReport,
 }
 
 impl RealRunReport {
@@ -186,21 +224,28 @@ pub fn run_cluster(
 ///
 /// Each slice is also the cluster's *monitor beat*: the time-series sampler
 /// is ticked with wall-clock microseconds since launch (the real-clock
-/// counterpart of the simulator's virtual-second tick), and the live health
+/// counterpart of the simulator's virtual-second tick), the live health
 /// gauges the ops endpoint derives `/healthz` from are refreshed —
 /// admission-queue depth vs bound, and how long the substrate's commit
-/// counters have been stale.
+/// counters have been stale — and the consensus auditor polls the registry's
+/// commit-digest checkpoint gauges, publishing its rolling verdict as
+/// `audit.*` gauges and to the `/audit` feed. The first live oracle
+/// violation triggers one flight-recorder dump mid-run, so the evidence
+/// survives even if the process never reaches a clean shutdown.
 fn wait_out(
-    run_for: Duration,
+    config: &DeployConfig,
     should_stop: &dyn Fn() -> bool,
-    telemetry: &Telemetry,
     queue: Option<&SharedTrafficQueue>,
     commits_metric: &str,
+    auditor: &mut audit::Auditor,
+    recorder: Option<&audit::FlightRecorder>,
 ) {
+    let telemetry = &config.telemetry;
     let started = std::time::Instant::now();
-    let deadline = started + std::time::Duration::from_micros(run_for.as_micros());
+    let deadline = started + std::time::Duration::from_micros(config.run_for.as_micros());
     let mut last_commits = 0u64;
     let mut last_progress = started;
+    let mut dumped_live_violation = false;
     while std::time::Instant::now() < deadline && !should_stop() {
         std::thread::sleep(std::time::Duration::from_millis(50));
         let now = std::time::Instant::now();
@@ -227,13 +272,51 @@ fn wait_out(
                 None,
                 now.duration_since(last_progress).as_millis() as f64,
             );
-            telemetry.gauge_set(
-                "deployd.uptime_secs",
-                None,
-                started.elapsed().as_secs_f64(),
-            );
+            telemetry.gauge_set("deployd.uptime_secs", None, started.elapsed().as_secs_f64());
+
+            auditor.poll(&telemetry.registry_snapshot());
+            let live = auditor.report();
+            live.publish(telemetry);
+            if let Some(feed) = &config.audit_feed {
+                feed.publish(live.to_json());
+            }
+            if !live.ok() && !dumped_live_violation {
+                dumped_live_violation = true;
+                if let Some(rec) = recorder {
+                    let _ = rec.dump("live-oracle-violation", &live);
+                }
+            }
         }
     }
+}
+
+/// Replay nothing further: seal the auditor over the final registry (strict
+/// conservation), record whether the exact digest sequences agreed, publish
+/// the verdict everywhere it is served from, and dump the flight ring if the
+/// run failed its oracles.
+fn finish_audit(
+    config: &DeployConfig,
+    report: &mut RealRunReport,
+    auditor: audit::Auditor,
+    recorder: Option<&audit::FlightRecorder>,
+) {
+    let agree = report.digests_agree();
+    config.telemetry.gauge_set(
+        "deployd.health.digests_agree",
+        None,
+        if agree { 1.0 } else { 0.0 },
+    );
+    let verdict = auditor.finish(&config.telemetry.registry_snapshot());
+    verdict.publish(&config.telemetry);
+    if let Some(feed) = &config.audit_feed {
+        feed.publish(verdict.to_json());
+    }
+    if !verdict.ok() {
+        if let Some(rec) = recorder {
+            let _ = rec.dump("oracle-violation", &verdict);
+        }
+    }
+    report.audit = verdict;
 }
 
 fn commit_counters(telemetry: &Telemetry, prefix: &str, n: usize) -> Vec<u64> {
@@ -264,14 +347,17 @@ fn run_hotstuff_cluster(
     // One-second telemetry windows, on the wall clock (the simulator uses the
     // same cadence on virtual time, so the series line up side by side).
     config.telemetry.install_timeseries(1_000_000);
+    let mut auditor = config.auditor();
+    let recorder = config.flight_recorder();
     let started = std::time::Instant::now();
     let cluster = RealCluster::launch(nodes)?;
     wait_out(
-        config.run_for,
+        config,
         should_stop,
-        &config.telemetry,
         queue.as_ref(),
         "hotstuff.node.commits",
+        &mut auditor,
+        recorder.as_ref(),
     );
     let mut nodes = cluster.shutdown();
     let wall_secs = started.elapsed().as_secs_f64();
@@ -279,13 +365,25 @@ fn run_hotstuff_cluster(
         .telemetry
         .tick_timeseries(started.elapsed().as_micros() as u64);
 
-    let view_digests: Vec<Vec<(u64, Digest)>> =
-        nodes.iter().map(|nd| nd.view_digests()).collect();
+    let view_digests: Vec<Vec<(u64, Digest)>> = nodes.iter().map(|nd| nd.view_digests()).collect();
+    // Exact checkpoint replay: the gauge pairs the live poll sampled only
+    // show each replica's latest commit; the stored sequences cover every
+    // view, so post-shutdown the prefix-agreement oracle sees the full run.
+    for (replica, digests) in view_digests.iter().enumerate() {
+        for (view, digest) in digests {
+            auditor.record_checkpoint(
+                "hotstuff",
+                replica,
+                *view,
+                telemetry::fingerprint48(&digest.0),
+            );
+        }
+    }
     let observer = (0..config.n)
         .max_by_key(|&i| nodes[i].stats.blocks())
         .unwrap_or(0);
     let summary = nodes[observer].stats.summary((wall_secs.max(1.0)) as u64);
-    Ok(RealRunReport {
+    let mut report = RealRunReport {
         substrate: Substrate::HotStuff,
         n: config.n,
         wall_secs,
@@ -293,7 +391,10 @@ fn run_hotstuff_cluster(
         per_replica_commits: commit_counters(&config.telemetry, "hotstuff", config.n),
         traffic: queue.map(|q| q.report(wall_secs.max(1.0) as u64)),
         view_digests,
-    })
+        audit: audit::AuditReport::default(),
+    };
+    finish_audit(config, &mut report, auditor, recorder.as_ref());
+    Ok(report)
 }
 
 fn run_kauri_cluster(
@@ -336,14 +437,17 @@ fn run_kauri_cluster(
         .collect();
 
     config.telemetry.install_timeseries(1_000_000);
+    let mut auditor = config.auditor();
+    let recorder = config.flight_recorder();
     let started = std::time::Instant::now();
     let cluster = RealCluster::launch(nodes)?;
     wait_out(
-        config.run_for,
+        config,
         should_stop,
-        &config.telemetry,
         queue.as_ref(),
         "kauri.node.commits",
+        &mut auditor,
+        recorder.as_ref(),
     );
     let mut nodes = cluster.shutdown();
     let wall_secs = started.elapsed().as_secs_f64();
@@ -351,11 +455,29 @@ fn run_kauri_cluster(
         .telemetry
         .tick_timeseries(started.elapsed().as_micros() as u64);
 
-    let observer = (0..n)
-        .max_by_key(|&i| nodes[i].stats.blocks())
+    // Exact checkpoint replay: every adoption each replica chained, plus
+    // role-change provenance from the best-informed replica's config log.
+    for (id, node) in nodes.iter().enumerate() {
+        for &(epoch, chain) in node.config_checkpoints() {
+            auditor.record_checkpoint("kauri.config", id, epoch, chain);
+        }
+    }
+    let informed = (0..n)
+        .max_by_key(|&id| {
+            let log = nodes[id].config_log();
+            (log.len(), log.epoch(), std::cmp::Reverse(id))
+        })
         .unwrap_or(0);
+    let commands: Vec<_> = nodes[informed]
+        .config_log()
+        .commands_from(0)
+        .map(|(seq, cmd)| (seq, cmd.clone()))
+        .collect();
+    auditor.check_provenance(&commands);
+
+    let observer = (0..n).max_by_key(|&i| nodes[i].stats.blocks()).unwrap_or(0);
     let summary = nodes[observer].stats.summary(wall_secs.max(1.0) as u64);
-    Ok(RealRunReport {
+    let mut report = RealRunReport {
         substrate: Substrate::Kauri,
         n,
         wall_secs,
@@ -363,7 +485,10 @@ fn run_kauri_cluster(
         per_replica_commits: commit_counters(&config.telemetry, "kauri", n),
         traffic: queue.map(|q| q.report(wall_secs.max(1.0) as u64)),
         view_digests: Vec::new(),
-    })
+        audit: audit::AuditReport::default(),
+    };
+    finish_audit(config, &mut report, auditor, recorder.as_ref());
+    Ok(report)
 }
 
 /// One point of a measured throughput–latency curve.
@@ -476,6 +601,7 @@ mod tests {
             per_replica_commits: vec![1, 1],
             traffic: None,
             view_digests: vec![vec![(1, d(1)), (2, d(2))], vec![(1, d(1))]],
+            audit: audit::AuditReport::default(),
         };
         assert!(r.digests_agree(), "prefix agreement must pass");
         r.view_digests[1] = vec![(1, d(9))];

@@ -14,7 +14,10 @@
 //!
 //! SIGTERM / SIGINT end the run early with a clean shutdown (replicas are
 //! stopped, stats collected, artifacts written) — the same path a normal
-//! end-of-run takes.
+//! end-of-run takes. Either signal (and any panic) also flushes a
+//! flight-recorder dump into `--flight-dir`: the recent trace ring as
+//! Perfetto JSON plus the consensus auditor's verdict, so a postmortem
+//! starts from evidence, not logs.
 
 use deployd::{measure_knee, run_cluster, DeployConfig, Substrate};
 use runtime::Duration;
@@ -71,14 +74,18 @@ struct Args {
 
 const USAGE: &str = "usage: deployd [--substrate hotstuff|kauri] [-n N] [--secs S] \
 [--rate CMDS_PER_SEC] [--clients C] [--batch B] [--seed SEED] \
-[--knee R1,R2,...] [--prometheus FILE] [--trace FILE] [--metrics-addr HOST:PORT]\n\
+[--knee R1,R2,...] [--prometheus FILE] [--trace FILE] [--metrics-addr HOST:PORT] \
+[--flight-dir DIR]\n\
   --rate 0 runs the saturated workload (no open-loop queue)\n\
   --knee sweeps offered load (one short run per rate) and prints the measured curve\n\
-  --metrics-addr serves live GET /metrics (Prometheus text) and GET /healthz \
-while the cluster runs";
+  --metrics-addr serves live GET /metrics (Prometheus text), GET /healthz, and \
+GET /audit (the consensus auditor's verdict) while the cluster runs\n\
+  --flight-dir is where oracle violations, SIGTERM, and panics dump the flight \
+recording (default deployd-flight; 'none' disables)";
 
 fn parse_args() -> Result<Args, String> {
     let mut config = DeployConfig::new(Substrate::HotStuff, 4);
+    config.flight_dir = Some("deployd-flight".to_string());
     let mut knee_rates = Vec::new();
     let mut prometheus = None;
     let mut trace = None;
@@ -128,12 +135,20 @@ fn parse_args() -> Result<Args, String> {
                 let v = value(&mut i, "--knee")?;
                 knee_rates = v
                     .split(',')
-                    .map(|r| r.trim().parse::<f64>().map_err(|_| format!("bad rate {r:?}")))
+                    .map(|r| {
+                        r.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad rate {r:?}"))
+                    })
                     .collect::<Result<_, _>>()?;
             }
             "--prometheus" => prometheus = Some(value(&mut i, "--prometheus")?),
             "--trace" => trace = Some(value(&mut i, "--trace")?),
             "--metrics-addr" => metrics_addr = Some(value(&mut i, "--metrics-addr")?),
+            "--flight-dir" => {
+                let v = value(&mut i, "--flight-dir")?;
+                config.flight_dir = if v == "none" { None } else { Some(v) };
+            }
             "-h" | "--help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -142,10 +157,13 @@ fn parse_args() -> Result<Args, String> {
     if config.n == 0 {
         return Err("need at least one replica".to_string());
     }
+    // With --trace, keep the unbounded sink the artifact is cut from; without
+    // it, a bounded ring still records the recent past so a flight dump has a
+    // trace to flush (the ring's eviction counter lands in the dump).
     config.telemetry = if trace.is_some() {
         Telemetry::tracing()
     } else {
-        Telemetry::recording()
+        Telemetry::tracing_with_capacity(65_536)
     };
     Ok(Args {
         config,
@@ -166,7 +184,7 @@ fn write_artifact(path: &str, contents: &str) -> std::io::Result<()> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
@@ -174,22 +192,36 @@ fn main() -> ExitCode {
         }
     };
     term::install();
+    args.config.audit_feed = Some(deployd::ops::AuditFeed::default());
 
     let cfg = &args.config;
+    // A panicking run still leaves evidence: flush the flight ring (with
+    // whatever the auditor last published as audit.* gauges) before the
+    // default hook prints the backtrace and the process dies.
+    if let Some(rec) = cfg.flight_recorder() {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = rec.dump("panic", &audit::AuditReport::default());
+            default_hook(info);
+        }));
+    }
     let ops = match &args.metrics_addr {
-        Some(addr) => match deployd::ops::serve(addr, cfg.telemetry.clone()) {
-            Ok(server) => {
-                println!(
-                    "serving live /metrics and /healthz on http://{}",
-                    server.local_addr()
-                );
-                Some(server)
+        Some(addr) => {
+            let feed = cfg.audit_feed.clone().unwrap_or_default();
+            match deployd::ops::serve(addr, cfg.telemetry.clone(), feed) {
+                Ok(server) => {
+                    println!(
+                        "serving live /metrics, /healthz, and /audit on http://{}",
+                        server.local_addr()
+                    );
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("deployd: cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-            Err(e) => {
-                eprintln!("deployd: cannot bind {addr}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
+        }
         None => None,
     };
     println!(
@@ -247,7 +279,16 @@ fn main() -> ExitCode {
     };
 
     if term::requested() {
-        println!("deployd: termination signal — shut down cleanly after {:.1}s", report.wall_secs);
+        println!(
+            "deployd: termination signal — shut down cleanly after {:.1}s",
+            report.wall_secs
+        );
+        if let Some(rec) = cfg.flight_recorder() {
+            match rec.dump("sigterm", &report.audit) {
+                Ok(path) => println!("flight recording dumped to {}", path.display()),
+                Err(e) => eprintln!("deployd: flight dump failed: {e}"),
+            }
+        }
     }
     println!(
         "committed {} blocks / {} commands in {:.1}s ({:.0} op/s, mean consensus latency {:.1} ms)",
@@ -260,7 +301,11 @@ fn main() -> ExitCode {
     println!(
         "per-replica commits: {:?}{}",
         report.per_replica_commits,
-        if report.digests_agree() { "" } else { "  [DIVERGENT DIGESTS]" },
+        if report.digests_agree() {
+            ""
+        } else {
+            "  [DIVERGENT DIGESTS]"
+        },
     );
     if let Some(tr) = &report.traffic {
         println!(
@@ -268,11 +313,10 @@ fn main() -> ExitCode {
             tr.offered, tr.committed, tr.goodput, tr.e2e_mean_ms, tr.e2e_p99_ms
         );
     }
-    if !report.digests_agree() {
-        eprintln!("deployd: replicas disagree on committed view digests");
-        return ExitCode::FAILURE;
-    }
+    print!("{}", report.audit.render());
 
+    // Artifacts are written before any failure exit: a run that fails its
+    // oracles is exactly the one whose trace and metrics you want on disk.
     if let Some(path) = &args.prometheus {
         if let Err(e) = write_artifact(path, &cfg.telemetry.prometheus_text()) {
             eprintln!("deployd: writing {path}: {e}");
@@ -297,6 +341,19 @@ fn main() -> ExitCode {
     }
     if let Some(server) = ops {
         server.shutdown();
+    }
+
+    if !report.digests_agree() {
+        eprintln!("deployd: replicas disagree on committed view digests");
+        return ExitCode::FAILURE;
+    }
+    if !report.audit.ok() {
+        eprintln!(
+            "deployd: consensus auditor found {} violation(s); flight dump in {}",
+            report.audit.violation_count(),
+            cfg.flight_dir.as_deref().unwrap_or("(flight dir disabled)"),
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -1,7 +1,7 @@
 //! ops: a std-only live scrape endpoint for running clusters.
 //!
 //! `deployd --metrics-addr HOST:PORT` binds a tiny single-threaded HTTP
-//! listener next to the cluster. It serves exactly two paths:
+//! listener next to the cluster. It serves exactly three paths:
 //!
 //! * `GET /metrics` — the live registry in Prometheus text exposition
 //!   format, followed by the windowed time-series (timestamped samples, one
@@ -9,8 +9,14 @@
 //!   shutdown.
 //! * `GET /healthz` — derived health: commit staleness (how long since the
 //!   substrates' commit counters last moved), admission-queue depth vs its
-//!   bound, and the committed/admitted ratio. `200` when healthy, `503`
-//!   when degraded, body explains which check failed either way.
+//!   bound, the committed/admitted ratio, the online auditor's verdict
+//!   (`audit.ok`), and the last digest-divergence check. `200` when
+//!   healthy, `503` when degraded, body explains which check failed either
+//!   way.
+//! * `GET /audit` — the online consensus auditor's latest report as JSON:
+//!   per-oracle checked/violation counts and the human-readable role-change
+//!   provenance verdicts. Before the monitor's first beat it serves an
+//!   empty (clean, zero-polls) report.
 //!
 //! No HTTP library: the request grammar accepted is the one `curl` and
 //! Prometheus actually emit (`GET <path> HTTP/1.x`, headers ignored), and
@@ -20,9 +26,28 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use telemetry::{Registry, Telemetry};
+
+/// Shared slot the cluster's monitor beat publishes its latest audit-report
+/// JSON into; `GET /audit` serves it. Clone freely — clones share the slot.
+#[derive(Clone, Default)]
+pub struct AuditFeed {
+    latest: Arc<Mutex<Option<String>>>,
+}
+
+impl AuditFeed {
+    /// Replace the served report.
+    pub fn publish(&self, report_json: String) {
+        *self.latest.lock().unwrap() = Some(report_json);
+    }
+
+    /// The most recently published report, if any.
+    pub fn latest(&self) -> Option<String> {
+        self.latest.lock().unwrap().clone()
+    }
+}
 
 /// Commit counters stale longer than this mark the cluster unhealthy.
 const STALL_BOUND_MS: f64 = 5_000.0;
@@ -67,9 +92,10 @@ impl Drop for OpsServer {
     }
 }
 
-/// Bind `addr` and serve `/metrics` and `/healthz` from the given telemetry
-/// handle until [`OpsServer::shutdown`].
-pub fn serve(addr: &str, telemetry: Telemetry) -> std::io::Result<OpsServer> {
+/// Bind `addr` and serve `/metrics`, `/healthz` and `/audit` from the given
+/// telemetry handle until [`OpsServer::shutdown`]. `audit` is the slot the
+/// monitor beat publishes audit reports into.
+pub fn serve(addr: &str, telemetry: Telemetry, audit: AuditFeed) -> std::io::Result<OpsServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -82,7 +108,7 @@ pub fn serve(addr: &str, telemetry: Telemetry) -> std::io::Result<OpsServer> {
                     break;
                 }
                 if let Ok(mut stream) = conn {
-                    let _ = serve_one(&mut stream, &telemetry);
+                    let _ = serve_one(&mut stream, &telemetry, &audit);
                 }
             }
         })?;
@@ -94,15 +120,31 @@ pub fn serve(addr: &str, telemetry: Telemetry) -> std::io::Result<OpsServer> {
 }
 
 /// Read one request head, answer it, close.
-fn serve_one(stream: &mut TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
+fn serve_one(
+    stream: &mut TcpStream,
+    telemetry: &Telemetry,
+    audit: &AuditFeed,
+) -> std::io::Result<()> {
     let path = read_request_path(stream)?;
+    let mut content_type = "text/plain; version=0.0.4; charset=utf-8";
     let (status, body) = match path.as_str() {
         "/metrics" => (200, metrics_body(telemetry)),
         "/healthz" => {
             let (healthy, report) = health_report(&telemetry.registry_snapshot());
             (if healthy { 200 } else { 503 }, report)
         }
-        _ => (404, "not found; try /metrics or /healthz\n".to_string()),
+        "/audit" => {
+            content_type = "application/json";
+            // Before the first beat: an empty report, honestly zero-polled.
+            let body = audit
+                .latest()
+                .unwrap_or_else(|| ::audit::AuditReport::default().to_json());
+            (200, body)
+        }
+        _ => (
+            404,
+            "not found; try /metrics, /healthz or /audit\n".to_string(),
+        ),
     };
     let reason = match status {
         200 => "OK",
@@ -111,7 +153,7 @@ fn serve_one(stream: &mut TcpStream, telemetry: &Telemetry) -> std::io::Result<(
     };
     let head = format!(
         "HTTP/1.1 {status} {reason}\r\n\
-         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
          Connection: close\r\n\r\n",
         body.len()
@@ -160,9 +202,11 @@ fn metrics_body(telemetry: &Telemetry) -> String {
 /// Derive `(healthy, report)` from a registry snapshot.
 ///
 /// The inputs are the live gauges `wait_out`'s monitor beat maintains
-/// (`deployd.health.commit_stale_ms`, `deployd.queue.depth`/`.capacity`)
-/// plus the traffic counters the queue keeps; absent gauges read as healthy
-/// so the endpoint is truthful during startup and for rate-less runs.
+/// (`deployd.health.commit_stale_ms`, `deployd.queue.depth`/`.capacity`,
+/// the auditor's published `audit.ok`, the run's last
+/// `deployd.health.digests_agree` divergence check) plus the traffic
+/// counters the queue keeps; absent gauges read as healthy so the endpoint
+/// is truthful during startup and for rate-less runs.
 pub fn health_report(reg: &Registry) -> (bool, String) {
     let stale_ms = reg
         .gauge("deployd.health.commit_stale_ms", None)
@@ -174,6 +218,8 @@ pub fn health_report(reg: &Registry) -> (bool, String) {
         .histogram("traffic.client.e2e_us", None)
         .map(|h| h.count())
         .unwrap_or(0);
+    let audit_ok = reg.gauge("audit.ok", None);
+    let digests = reg.gauge("deployd.health.digests_agree", None);
 
     let commits_fresh = stale_ms < STALL_BOUND_MS;
     let queue_ok = capacity <= 0.0 || depth < QUEUE_FULL_FRACTION * capacity;
@@ -183,18 +229,33 @@ pub fn health_report(reg: &Registry) -> (bool, String) {
         committed as f64 / admitted as f64
     };
     let ratio_ok = admitted < RATIO_GRACE_ADMITTED || ratio >= MIN_COMMIT_RATIO;
+    // An oracle violation is a safety failure, not a performance wobble:
+    // any published verdict other than 1 marks the cluster unhealthy.
+    let oracles_ok = audit_ok.is_none_or(|v| v >= 1.0);
+    let digests_ok = digests.is_none_or(|v| v >= 1.0);
 
-    let healthy = commits_fresh && queue_ok && ratio_ok;
+    let healthy = commits_fresh && queue_ok && ratio_ok && oracles_ok && digests_ok;
     let mark = |ok: bool| if ok { "ok" } else { "FAIL" };
+    let gauge_word = |g: Option<f64>| match g {
+        None => "unchecked",
+        Some(v) if v >= 1.0 => "1",
+        Some(_) => "0",
+    };
     let report = format!(
         "status {}\n\
          commit_stale_ms {stale_ms:.0} {}\n\
          queue_depth {depth:.0}/{capacity:.0} {}\n\
-         committed_ratio {ratio:.3} ({committed}/{admitted}) {}\n",
+         committed_ratio {ratio:.3} ({committed}/{admitted}) {}\n\
+         audit_ok {} {}\n\
+         digests_agree {} {}\n",
         if healthy { "ok" } else { "degraded" },
         mark(commits_fresh),
         mark(queue_ok),
         mark(ratio_ok),
+        gauge_word(audit_ok),
+        mark(oracles_ok),
+        gauge_word(digests),
+        mark(digests_ok),
     );
     (healthy, report)
 }
@@ -227,7 +288,7 @@ mod tests {
         telemetry.install_timeseries(1_000_000);
         telemetry.counter_add("hotstuff.node.commits", Some(0), 42);
         telemetry.tick_timeseries(1_500_000);
-        let server = serve("127.0.0.1:0", telemetry.clone()).expect("bind");
+        let server = serve("127.0.0.1:0", telemetry.clone(), AuditFeed::default()).expect("bind");
         let (status, body) = get(server.local_addr(), "/metrics");
         assert_eq!(status, 200);
         assert!(
@@ -252,18 +313,60 @@ mod tests {
     #[test]
     fn healthz_reflects_derived_health() {
         let telemetry = Telemetry::recording();
-        let server = serve("127.0.0.1:0", telemetry.clone()).expect("bind");
+        let server = serve("127.0.0.1:0", telemetry.clone(), AuditFeed::default()).expect("bind");
 
         // Startup: no gauges yet — healthy by grace.
         let (status, body) = get(server.local_addr(), "/healthz");
         assert_eq!(status, 200, "startup must be healthy:\n{body}");
         assert!(body.starts_with("status ok"));
+        assert!(body.contains("audit_ok unchecked ok"), "{body}");
 
         // Stalled commits flip it to 503.
         telemetry.gauge_set("deployd.health.commit_stale_ms", None, 60_000.0);
         let (status, body) = get(server.local_addr(), "/healthz");
         assert_eq!(status, 503);
         assert!(body.contains("commit_stale_ms 60000 FAIL"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_degrades_on_oracle_violation_and_divergence() {
+        let telemetry = Telemetry::recording();
+        let server = serve("127.0.0.1:0", telemetry.clone(), AuditFeed::default()).expect("bind");
+
+        telemetry.gauge_set("audit.ok", None, 0.0);
+        let (status, body) = get(server.local_addr(), "/healthz");
+        assert_eq!(status, 503, "oracle violation must 503:\n{body}");
+        assert!(body.contains("audit_ok 0 FAIL"), "{body}");
+
+        telemetry.gauge_set("audit.ok", None, 1.0);
+        let (status, body) = get(server.local_addr(), "/healthz");
+        assert_eq!(status, 200, "clean verdict restores health:\n{body}");
+
+        telemetry.gauge_set("deployd.health.digests_agree", None, 0.0);
+        let (status, body) = get(server.local_addr(), "/healthz");
+        assert_eq!(status, 503, "digest divergence must 503:\n{body}");
+        assert!(body.contains("digests_agree 0 FAIL"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn audit_endpoint_serves_latest_report() {
+        let telemetry = Telemetry::recording();
+        let feed = AuditFeed::default();
+        let server = serve("127.0.0.1:0", telemetry, feed.clone()).expect("bind");
+
+        // Before any poll: an empty default report, still valid JSON.
+        let (status, body) = get(server.local_addr(), "/audit");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\":true"), "{body}");
+        assert!(body.contains("\"polls\":0"), "{body}");
+
+        let report = ::audit::AuditReport::default();
+        feed.publish(report.to_json());
+        let (status, body) = get(server.local_addr(), "/audit");
+        assert_eq!(status, 200);
+        assert_eq!(body.trim_end(), report.to_json().trim_end());
         server.shutdown();
     }
 
@@ -281,7 +384,10 @@ mod tests {
             reg.observe("traffic.client.e2e_us", None, 50_000);
         }
         let (healthy, report) = health_report(&reg);
-        assert!(!healthy, "committing 10% of admitted is shedding:\n{report}");
+        assert!(
+            !healthy,
+            "committing 10% of admitted is shedding:\n{report}"
+        );
         assert!(report.contains("committed_ratio 0.100"));
 
         let mut reg = Registry::default();

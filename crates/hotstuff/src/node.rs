@@ -20,9 +20,11 @@
 
 use crate::pacemaker::Pacemaker;
 use crypto::{Digest, Hashable};
+use rsm::{
+    misbehavior, Block, BlockSource, CommitStats, DelayStage, MisbehaviorPlan, SystemConfig,
+};
 use runtime::{Context, Duration, Node, NodeId, SimTime, TimerId};
 use serde::{Deserialize, Serialize};
-use rsm::{misbehavior, Block, BlockSource, CommitStats, DelayStage, MisbehaviorPlan, SystemConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use telemetry::{Stage, Telemetry};
 use traffic::SharedTrafficQueue;
@@ -267,11 +269,22 @@ impl HotStuffNode {
 
         // Three-chain commit: views v-2, v-1, v contiguous → commit v-2.
         if view >= 2 {
-            let ready = self.views.contains_key(&(view - 1)) && self.views.contains_key(&(view - 2));
+            let ready =
+                self.views.contains_key(&(view - 1)) && self.views.contains_key(&(view - 2));
             if ready {
                 let entry = self.views.get_mut(&(view - 2)).expect("checked");
                 if !entry.committed {
                     entry.committed = true;
+                    // Agreement checkpoint for the online auditor: this
+                    // replica's digest for the committed view, as a gauge
+                    // pair set under one registry lock so a poll never sees
+                    // a seq from one commit and a digest from another.
+                    let fp = telemetry::fingerprint48(&entry.digest.0) as f64;
+                    let id = self.id;
+                    self.telemetry.with_registry(|reg| {
+                        reg.gauge_set("hotstuff.node.commit_seq", Some(id), (view - 2) as f64);
+                        reg.gauge_set("hotstuff.node.commit_digest", Some(id), fp);
+                    });
                     // Empty chain-flush blocks (open-loop idle) carry no
                     // commands and are not commits worth recording.
                     if entry.commands > 0 {
@@ -286,11 +299,8 @@ impl HotStuffNode {
                             ctx.now.since(ts).as_micros(),
                             vec![("commands", commands as f64)],
                         );
-                        self.telemetry.counter_add(
-                            "hotstuff.node.commits",
-                            Some(self.id),
-                            1,
-                        );
+                        self.telemetry
+                            .counter_add("hotstuff.node.commits", Some(self.id), 1);
                         self.telemetry.observe(
                             "hotstuff.node.commit_us",
                             Some(self.id),
@@ -343,7 +353,12 @@ impl Node for HotStuffNode {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Context<HotStuffMessage>, _from: NodeId, msg: HotStuffMessage) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<HotStuffMessage>,
+        _from: NodeId,
+        msg: HotStuffMessage,
+    ) {
         match msg {
             HotStuffMessage::Proposal {
                 view,

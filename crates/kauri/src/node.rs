@@ -45,9 +45,11 @@ use crate::policy::TreePolicy;
 use crate::tree::Tree;
 use configlog::{ConfigCommand, ConfigLog, PhaseFilter, SuspicionPair};
 use crypto::{Digest, Hashable};
+use rsm::{
+    misbehavior, Block, BlockSource, CommitStats, DelayStage, MisbehaviorPlan, SystemConfig,
+};
 use runtime::{Context, Duration, Node, NodeId, RateCounter, SimTime, TimerId};
 use serde::{Deserialize, Serialize};
-use rsm::{misbehavior, Block, BlockSource, CommitStats, DelayStage, MisbehaviorPlan, SystemConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use telemetry::{Stage, Telemetry};
@@ -212,6 +214,13 @@ pub struct KauriNode {
     seen_pairs: BTreeSet<(usize, usize, u64, bool)>,
     /// (accuser, round) pairs this replica already reciprocated.
     reciprocated: BTreeSet<(usize, u64)>,
+    /// Rolling 48-bit fingerprint over the adoption history (epoch + tree
+    /// per committed adoption) — the agreement checkpoint this replica
+    /// publishes for the online auditor.
+    config_chain: u64,
+    /// Every `(epoch, chain head)` published, oldest first — the exact
+    /// adoption history the end-of-run auditor compares across replicas.
+    config_checkpoints: Vec<(u64, u64)>,
     /// Fast path: the last wire prefix fully applied (pointer identity).
     last_wire: Option<Arc<Vec<(u64, TreeCommand)>>>,
     /// Causal filter over committed pairs: a pair raised directly under the
@@ -293,6 +302,8 @@ impl KauriNode {
             outbox: Vec::new(),
             seen_pairs: BTreeSet::new(),
             reciprocated: BTreeSet::new(),
+            config_chain: 0,
+            config_checkpoints: Vec::new(),
             last_wire: None,
             pair_filter: PhaseFilter::new(),
             aggregates: BTreeMap::new(),
@@ -354,7 +365,12 @@ impl KauriNode {
     /// active: the scripted root/intermediate withholds the payloads it is
     /// supposed to disseminate while its votes and aggregates (as a
     /// follower) flow normally — the protocol-level delay attack.
-    fn send_down(&mut self, ctx: &mut Context<KauriMessage>, targets: Vec<usize>, msg: KauriMessage) {
+    fn send_down(
+        &mut self,
+        ctx: &mut Context<KauriMessage>,
+        targets: Vec<usize>,
+        msg: KauriMessage,
+    ) {
         let hold = misbehavior::hold_at(&self.delays, ctx.now);
         if hold.is_zero() {
             ctx.multicast(&targets, msg);
@@ -448,6 +464,7 @@ impl KauriNode {
                     .expect("epoch above current always adopts")
                     .clone();
                 self.policy.on_adopted_epoch(adopted.epoch);
+                self.publish_config_checkpoint(&adopted);
                 // The causal filter resets at every *committed* adoption —
                 // a log-ordered event, identical at every replica — so the
                 // filter stays a pure function of the committed prefix
@@ -533,6 +550,42 @@ impl KauriNode {
                 None
             }
         }
+    }
+
+    /// Fold a committed adoption into the config chain and publish the
+    /// `(epoch, chain head)` checkpoint the online auditor compares across
+    /// replicas. Both gauges are set under one registry lock so a live poll
+    /// can never pair one adoption's epoch with another's chain head.
+    fn publish_config_checkpoint(&mut self, adopted: &configlog::AdoptedConfig<Tree>) {
+        let mut bytes = Vec::with_capacity(
+            8 * (2 + adopted.config.intermediates.len()) + 16 * adopted.config.children.len(),
+        );
+        bytes.extend_from_slice(&adopted.epoch.to_le_bytes());
+        bytes.extend_from_slice(&(adopted.config.root as u64).to_le_bytes());
+        for &i in &adopted.config.intermediates {
+            bytes.extend_from_slice(&(i as u64).to_le_bytes());
+        }
+        for (&parent, kids) in &adopted.config.children {
+            bytes.extend_from_slice(&(parent as u64).to_le_bytes());
+            for &k in kids {
+                bytes.extend_from_slice(&(k as u64).to_le_bytes());
+            }
+        }
+        self.config_chain = telemetry::chain48(self.config_chain, &bytes);
+        self.config_checkpoints
+            .push((adopted.epoch, self.config_chain));
+        let (id, epoch, chain) = (self.id, adopted.epoch as f64, self.config_chain as f64);
+        self.telemetry.with_registry(|reg| {
+            reg.gauge_set("kauri.node.config_epoch", Some(id), epoch);
+            reg.gauge_set("kauri.node.config_digest", Some(id), chain);
+        });
+    }
+
+    /// Every `(epoch, chain head)` adoption checkpoint this replica
+    /// published, oldest first. Feed these to the auditor's `kauri.config`
+    /// surface at end of run.
+    pub fn config_checkpoints(&self) -> &[(u64, u64)] {
+        &self.config_checkpoints
     }
 
     /// Apply every unseen entry of a proposal's committed prefix, flush any
@@ -794,7 +847,13 @@ impl KauriNode {
             if let Some(parent) = tree.parent(self.id) {
                 self.telemetry
                     .instant(Stage::Vote, self.id, view, ctx.now.as_micros(), vec![]);
-                ctx.send(parent, KauriMessage::Vote { view, voter: self.id });
+                ctx.send(
+                    parent,
+                    KauriMessage::Vote {
+                        view,
+                        voter: self.id,
+                    },
+                );
             }
             self.maybe_declare_stale_failure(ctx);
             return;
@@ -865,7 +924,12 @@ impl KauriNode {
         }
     }
 
-    fn maybe_forward_aggregate(&mut self, ctx: &mut Context<KauriMessage>, view: u64, timeout: bool) {
+    fn maybe_forward_aggregate(
+        &mut self,
+        ctx: &mut Context<KauriMessage>,
+        view: u64,
+        timeout: bool,
+    ) {
         let (forwarded, votes, view_tree) = match self.aggregates.get(&view) {
             Some(a) => (a.forwarded, a.votes.clone(), a.tree.clone()),
             None => return,
@@ -970,8 +1034,11 @@ impl KauriNode {
             );
             self.telemetry
                 .counter_add("kauri.node.commits", Some(self.id), 1);
-            self.telemetry
-                .observe("kauri.node.commit_us", Some(self.id), ctx.now.since(ts).as_micros());
+            self.telemetry.observe(
+                "kauri.node.commit_us",
+                Some(self.id),
+                ctx.now.since(ts).as_micros(),
+            );
             // The proposing root reports the committed batch back to the
             // traffic queue for end-to-end accounting. Batches in views a
             // reconfiguration discards are retried by the client population
@@ -1038,11 +1105,7 @@ impl KauriNode {
         if self.attacking(ctx.now) {
             return;
         }
-        let failed = self
-            .views
-            .get(&view)
-            .map(|s| !s.committed)
-            .unwrap_or(false);
+        let failed = self.views.get(&view).map(|s| !s.committed).unwrap_or(false);
         if failed {
             let missing: Vec<usize> = self
                 .views

@@ -17,6 +17,9 @@ pub struct HotStuffReport {
     pub latency_timeline: Vec<(f64, f64)>,
     /// Number of views driven during the run.
     pub views: u64,
+    /// Per-replica `(view, digest fingerprint)` commit history — the exact
+    /// agreement checkpoints the post-run auditor compares across replicas.
+    pub commit_checkpoints: Vec<Vec<(u64, u64)>>,
     /// Simulator events processed during the run (engine-throughput metric).
     pub events: u64,
 }
@@ -48,26 +51,42 @@ pub fn run_hotstuff(
     sim.run();
     sim.record_engine_metrics(&config.telemetry);
     let views = sim.node(0).highest_proposed().max(
-        sim.nodes().map(|nd| nd.view_count() as u64).max().unwrap_or(0),
+        sim.nodes()
+            .map(|nd| nd.view_count() as u64)
+            .max()
+            .unwrap_or(0),
     );
     // Observe at a replica that is not the scripted attacker: a delaying
     // leader commits its own views early (it processes its proposal before
     // holding the broadcast), which would hide the very latency the attack
     // inflates everywhere else.
     let observer = (0..n)
-        .find(|&i| {
-            sim.node(i).stats.blocks() > 0 && config.misbehavior.stages_for(i).is_empty()
-        })
+        .find(|&i| sim.node(i).stats.blocks() > 0 && config.misbehavior.stages_for(i).is_empty())
         .unwrap_or(0);
-    let latency_timeline = sim.node(observer).stats.latency_timeline().points().to_vec();
+    let latency_timeline = sim
+        .node(observer)
+        .stats
+        .latency_timeline()
+        .points()
+        .to_vec();
     let summary = sim
         .node_mut(observer)
         .stats
         .summary(config.run_for.as_micros() / 1_000_000);
+    let commit_checkpoints = sim
+        .nodes()
+        .map(|nd| {
+            nd.view_digests()
+                .iter()
+                .map(|(view, digest)| (*view, telemetry::fingerprint48(&digest.0)))
+                .collect()
+        })
+        .collect();
     HotStuffReport {
         summary,
         latency_timeline,
         views,
+        commit_checkpoints,
         events: sim.events_processed(),
     }
 }
@@ -108,7 +127,10 @@ mod tests {
         let report = run_hotstuff(&cfg, uniform(4, 25), FaultPlan::none());
         let tl = &report.latency_timeline;
         assert_eq!(tl.len() as u64, report.summary.committed_blocks);
-        assert!(tl.windows(2).all(|w| w[0].0 <= w[1].0), "commit times must be monotone");
+        assert!(
+            tl.windows(2).all(|w| w[0].0 <= w[1].0),
+            "commit times must be monotone"
+        );
         // On a quiet run, the timeline's mean matches the summary's mean.
         let mean = tl.iter().map(|&(_, v)| v).sum::<f64>() / tl.len() as f64;
         assert!(
@@ -137,8 +159,9 @@ mod tests {
         };
         let clean = mk(false);
         let attacked = mk(true);
-        let window_mean =
-            |r: &HotStuffReport, from: f64, to: f64| rsm::timeline_mean(&r.latency_timeline, from, to);
+        let window_mean = |r: &HotStuffReport, from: f64, to: f64| {
+            rsm::timeline_mean(&r.latency_timeline, from, to)
+        };
         // During the stage every commit pays the 500 ms hold (several times
         // over, since the three-chain stretches across held views)…
         let clean_mid = window_mean(&clean, 12.0, 22.0);
@@ -163,12 +186,8 @@ mod tests {
         let spec = rsm::TrafficSpec::poisson(200.0)
             .with_clients(4)
             .with_batching(100, Duration::from_millis(40));
-        let queue = SharedTrafficQueue::generate(
-            &spec,
-            &[1.0, 2.0, 5.0, 10.0],
-            99,
-            SimTime::from_secs(20),
-        );
+        let queue =
+            SharedTrafficQueue::generate(&spec, &[1.0, 2.0, 5.0, 10.0], 99, SimTime::from_secs(20));
         let mut cfg = HotStuffConfig {
             run_for: Duration::from_secs(22),
             ..HotStuffConfig::new(4, Pacemaker::Fixed { leader: 0 })
@@ -176,7 +195,11 @@ mod tests {
         cfg.traffic = Some(queue.clone());
         let report = run_hotstuff(&cfg, uniform(4, 10), FaultPlan::none());
         let tr = queue.report(20);
-        assert!(tr.offered > 3_000, "~4000 arrivals over 20 s, got {}", tr.offered);
+        assert!(
+            tr.offered > 3_000,
+            "~4000 arrivals over 20 s, got {}",
+            tr.offered
+        );
         assert_eq!(tr.rejected, 0, "no backpressure below saturation");
         // All but the last in-flight views' worth of commands commit.
         assert!(
@@ -208,8 +231,7 @@ mod tests {
             .with_clients(4)
             .with_batching(100, Duration::from_millis(40))
             .with_slo(Duration::from_secs(1));
-        let queue =
-            SharedTrafficQueue::generate(&spec, &[1.0; 4], 13, SimTime::from_secs(16));
+        let queue = SharedTrafficQueue::generate(&spec, &[1.0; 4], 13, SimTime::from_secs(16));
         let mut cfg = HotStuffConfig {
             run_for: Duration::from_secs(18),
             ..HotStuffConfig::new(4, Pacemaker::Fixed { leader: 0 })
@@ -217,7 +239,11 @@ mod tests {
         cfg.traffic = Some(queue.clone());
         run_hotstuff(&cfg, uniform(4, 10), FaultPlan::none());
         let tr = queue.report(16);
-        assert!(tr.offered > 2_000, "four bursts of ~800, got {}", tr.offered);
+        assert!(
+            tr.offered > 2_000,
+            "four bursts of ~800, got {}",
+            tr.offered
+        );
         assert!(
             tr.committed >= tr.offered - 120,
             "committed {} of {}",
@@ -240,8 +266,7 @@ mod tests {
         let spec = rsm::TrafficSpec::poisson(500.0)
             .with_clients(4)
             .with_batching(50, Duration::from_millis(30));
-        let queue =
-            SharedTrafficQueue::generate(&spec, &[1.0; 4], 3, SimTime::from_secs(10));
+        let queue = SharedTrafficQueue::generate(&spec, &[1.0; 4], 3, SimTime::from_secs(10));
         let mut cfg = HotStuffConfig {
             run_for: Duration::from_secs(12),
             ..HotStuffConfig::new(4, Pacemaker::RoundRobin)
@@ -274,7 +299,9 @@ mod tests {
                 run_for: Duration::from_secs(15),
                 ..HotStuffConfig::new(4, Pacemaker::Fixed { leader: 0 })
             };
-            run_hotstuff(&cfg, uniform(4, ms), FaultPlan::none()).summary.throughput_ops
+            run_hotstuff(&cfg, uniform(4, ms), FaultPlan::none())
+                .summary
+                .throughput_ops
         };
         assert!(mk(10) > mk(80) * 2.0);
     }

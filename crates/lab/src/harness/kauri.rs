@@ -3,7 +3,7 @@
 //! latency model, and aggregates per-root commit statistics into one report
 //! (throughput timelines, reconfigurations, committed pair evidence).
 
-use configlog::SuspicionPair;
+use configlog::{ConfigCommand, SuspicionPair};
 use kauri::{KauriConfig, KauriNode, Tree, TreePolicy};
 use netsim::{FaultPlan, LatencyModel, SimTime, Simulation, SimulationConfig};
 use rsm::RunSummary;
@@ -29,6 +29,13 @@ pub struct KauriReport {
     /// Replicas replica 0's policy excludes from internal positions at the
     /// end of the run.
     pub excluded: Vec<usize>,
+    /// Per-replica `(epoch, chain head)` adoption history — the exact
+    /// agreement checkpoints the post-run auditor compares across replicas.
+    pub config_checkpoints: Vec<Vec<(u64, u64)>>,
+    /// The observer's committed configuration commands in log order — the
+    /// provenance oracle's input (identical across replicas when the
+    /// adoption oracle holds).
+    pub config_commands: Vec<(u64, ConfigCommand<Tree>)>,
     /// Simulator events processed during the run (engine-throughput metric).
     pub events: u64,
 }
@@ -101,11 +108,13 @@ pub fn run_kauri(
         }
         reconfigurations = reconfigurations.max(node.reconfig_times.len());
     }
+    let config_checkpoints: Vec<Vec<(u64, u64)>> = (0..n)
+        .map(|id| sim.node_mut(id).config_checkpoints().to_vec())
+        .collect();
     // Each commit is recorded once (at the root that proposed the view);
     // merge the per-root timelines into global commit order. The sort key is
     // total because commit times and latencies are finite by construction.
-    latency_timeline
-        .sort_by(|a, b| a.partial_cmp(b).expect("finite timeline points"));
+    latency_timeline.sort_by(|a, b| a.partial_cmp(b).expect("finite timeline points"));
     let mean_latency_ms = if total_blocks > 0 {
         latency_weighted / total_blocks as f64
     } else {
@@ -144,6 +153,10 @@ pub fn run_kauri(
     let final_tree = log.current().config.clone();
     let adopted_epochs = log.epochs().filter(|a| a.epoch > 0).count();
     let committed_pairs = log.pairs().to_vec();
+    let config_commands = log
+        .commands_from(0)
+        .map(|(seq, cmd)| (seq, cmd.clone()))
+        .collect();
     let excluded = observer.policy().excluded();
     KauriReport {
         summary,
@@ -154,6 +167,8 @@ pub fn run_kauri(
         adopted_epochs,
         committed_pairs,
         excluded,
+        config_checkpoints,
+        config_commands,
         events,
     }
 }
@@ -180,7 +195,11 @@ mod tests {
         let report = run_kauri(&cfg, uniform(13, 20), FaultPlan::none(), |_| {
             Box::new(KauriBinsPolicy::new(13, 3, 42))
         });
-        assert!(report.summary.committed_blocks > 50, "{}", report.summary.committed_blocks);
+        assert!(
+            report.summary.committed_blocks > 50,
+            "{}",
+            report.summary.committed_blocks
+        );
         assert!(report.summary.throughput_ops > 1_000.0);
         assert_eq!(report.reconfigurations, 0, "no faults, no reconfiguration");
         // Clean run: no reconfiguration, so the genesis tree never needs a
@@ -220,7 +239,10 @@ mod tests {
         });
         let tl = &report.latency_timeline;
         assert_eq!(tl.len() as u64, report.summary.committed_blocks);
-        assert!(tl.windows(2).all(|w| w[0].0 <= w[1].0), "commit times must be monotone");
+        assert!(
+            tl.windows(2).all(|w| w[0].0 <= w[1].0),
+            "commit times must be monotone"
+        );
         // On a quiet run the timeline's mean matches the aggregated mean.
         let mean = tl.iter().map(|&(_, v)| v).sum::<f64>() / tl.len() as f64;
         assert!(
@@ -254,7 +276,10 @@ mod tests {
         // staleness evidence is reciprocal pairs, not root blame: the pairs
         // accuse the delayer's downstream-visible hops, with the attacker
         // (here the root itself) as the accused of every phase-1 pair.
-        assert!(report.adopted_epochs >= 1, "adoption must flow through the log");
+        assert!(
+            report.adopted_epochs >= 1,
+            "adoption must flow through the log"
+        );
         assert!(
             !report.committed_pairs.is_empty(),
             "staleness must leave committed pair evidence"
@@ -321,7 +346,10 @@ mod tests {
         };
         let clean = run(false);
         let attacked = run(true);
-        assert_eq!(attacked.reconfigurations, 0, "sub-timeout holds stay covert");
+        assert_eq!(
+            attacked.reconfigurations, 0,
+            "sub-timeout holds stay covert"
+        );
         let mean_in =
             |r: &KauriReport, from: f64, to: f64| rsm::timeline_mean(&r.latency_timeline, from, to);
         let clean_mid = mean_in(&clean, 5.0, 15.0);
@@ -378,12 +406,8 @@ mod tests {
         let spec = rsm::TrafficSpec::poisson(300.0)
             .with_clients(4)
             .with_batching(60, Duration::from_millis(40));
-        let queue = traffic::SharedTrafficQueue::generate(
-            &spec,
-            &[1.0; 4],
-            5,
-            SimTime::from_secs(40),
-        );
+        let queue =
+            traffic::SharedTrafficQueue::generate(&spec, &[1.0; 4], 5, SimTime::from_secs(40));
         let mut cfg = small_config(n, 40);
         cfg.traffic = Some(queue.clone());
         let mut faults = FaultPlan::none();
@@ -419,12 +443,8 @@ mod tests {
         let spec = rsm::TrafficSpec::poisson(200.0)
             .with_clients(4)
             .with_batching(50, Duration::from_millis(40));
-        let queue = traffic::SharedTrafficQueue::generate(
-            &spec,
-            &[1.0; 4],
-            5,
-            SimTime::from_secs(35),
-        );
+        let queue =
+            traffic::SharedTrafficQueue::generate(&spec, &[1.0; 4], 5, SimTime::from_secs(35));
         let mut cfg = small_config(n, 50);
         cfg.traffic = Some(queue.clone());
         let mut faults = FaultPlan::none();
@@ -461,12 +481,8 @@ mod tests {
             })
             .with_clients(4)
             .with_batching(60, Duration::from_millis(40));
-        let queue = traffic::SharedTrafficQueue::generate(
-            &spec,
-            &[1.0; 4],
-            5,
-            SimTime::from_secs(38),
-        );
+        let queue =
+            traffic::SharedTrafficQueue::generate(&spec, &[1.0; 4], 5, SimTime::from_secs(38));
         let mut cfg = small_config(n, 40);
         cfg.traffic = Some(queue.clone());
         let report = run_kauri(&cfg, uniform(n, 20), FaultPlan::none(), |_| {
@@ -477,7 +493,11 @@ mod tests {
             "a burst gap with no flushable work must not strike the root"
         );
         let tr = queue.report(40);
-        assert!(tr.offered > 1_000, "bursts offered load, got {}", tr.offered);
+        assert!(
+            tr.offered > 1_000,
+            "bursts offered load, got {}",
+            tr.offered
+        );
         assert!(
             tr.committed >= tr.offered - 200,
             "bursty offered load must commit: {} of {}",
@@ -504,7 +524,11 @@ mod tests {
         assert!(report.summary.committed_blocks > 20);
         // …and throughput exists in the second half of the run.
         let late: u64 = report.throughput_timeline[20..].iter().sum();
-        assert!(late > 0, "no progress after the crash: {:?}", report.throughput_timeline);
+        assert!(
+            late > 0,
+            "no progress after the crash: {:?}",
+            report.throughput_timeline
+        );
     }
 
     #[test]
@@ -523,10 +547,17 @@ mod tests {
         let report = run_kauri(&cfg, uniform(13, 20), faults, |_| {
             Box::new(KauriBinsPolicy::new(13, 3, 7))
         });
-        assert!(report.reconfigurations >= 1, "quorum loss must fail the tree");
+        assert!(
+            report.reconfigurations >= 1,
+            "quorum loss must fail the tree"
+        );
         assert!(report.adopted_epochs >= 1, "the successor tree must commit");
         let late: u64 = report.throughput_timeline[15..].iter().sum();
-        assert!(late > 0, "no progress after the crash: {:?}", report.throughput_timeline);
+        assert!(
+            late > 0,
+            "no progress after the crash: {:?}",
+            report.throughput_timeline
+        );
         for victim in [v1, v2] {
             assert!(
                 report
@@ -555,9 +586,16 @@ mod tests {
         let report = run_kauri(&cfg, uniform(13, 20), faults, |_| {
             Box::new(KauriBinsPolicy::new(13, 3, 9))
         });
-        assert!(report.reconfigurations >= 1, "replicas must move to a new tree");
+        assert!(
+            report.reconfigurations >= 1,
+            "replicas must move to a new tree"
+        );
         let late: u64 = report.throughput_timeline[25..].iter().sum();
-        assert!(late > 0, "no progress after root crash: {:?}", report.throughput_timeline);
+        assert!(
+            late > 0,
+            "no progress after root crash: {:?}",
+            report.throughput_timeline
+        );
         // The successor tree reached every replica as committed log content.
         assert!(report.adopted_epochs >= 1);
         assert_ne!(report.final_tree.root, root, "the crashed root cannot lead");

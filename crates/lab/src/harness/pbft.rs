@@ -87,7 +87,11 @@ impl PbftHarnessConfig {
         };
         match &mut self.behaviors[replica] {
             ReplicaBehavior::DelayPropose { stages } => stages.push(stage),
-            b => *b = ReplicaBehavior::DelayPropose { stages: vec![stage] },
+            b => {
+                *b = ReplicaBehavior::DelayPropose {
+                    stages: vec![stage],
+                }
+            }
         }
         self
     }
@@ -118,6 +122,9 @@ pub struct PbftRunReport {
     pub reconfigurations: Vec<(f64, usize)>,
     /// Name of the policy that produced the run.
     pub policy_name: &'static str,
+    /// Per-replica `(seq, digest fingerprint)` commit history — the exact
+    /// agreement checkpoints the post-run auditor compares across replicas.
+    pub commit_checkpoints: Vec<Vec<(u64, u64)>>,
     /// Simulator events processed during the run (engine-throughput metric).
     pub events: u64,
 }
@@ -208,9 +215,11 @@ impl PbftHarness {
         let mut client_completed = Vec::new();
         let mut replica_summary = None;
         let mut reconfigurations = Vec::new();
+        let mut commit_checkpoints = Vec::new();
         for id in 0..sim.len() {
             match sim.node_mut(id) {
                 PbftNode::Replica(r) => {
+                    commit_checkpoints.push(r.commit_checkpoints().to_vec());
                     if id == 1 {
                         reconfigurations = r
                             .reconfigs
@@ -220,7 +229,8 @@ impl PbftHarness {
                     }
                     if replica_summary.is_none() && config.behaviors[id] == ReplicaBehavior::Correct
                     {
-                        replica_summary = Some(r.stats.summary(config.run_for.as_micros() / 1_000_000));
+                        replica_summary =
+                            Some(r.stats.summary(config.run_for.as_micros() / 1_000_000));
                     }
                 }
                 PbftNode::Client(c) => {
@@ -236,6 +246,7 @@ impl PbftHarness {
             replica_summary: replica_summary.expect("at least one correct replica"),
             reconfigurations,
             policy_name,
+            commit_checkpoints,
             events: sim.events_processed(),
         }
     }
@@ -263,8 +274,8 @@ mod tests {
 
     #[test]
     fn static_run_commits_requests() {
-        let config = PbftHarnessConfig::new(4, 1, 2, skewed_matrix(4))
-            .run_for(Duration::from_secs(20));
+        let config =
+            PbftHarnessConfig::new(4, 1, 2, skewed_matrix(4)).run_for(Duration::from_secs(20));
         let report = PbftHarness::run(&config, "bft-smart", |_| Box::new(StaticPolicy));
         assert!(report.replica_summary.committed_blocks > 10);
         assert!(report.client_completed.iter().all(|&c| c > 5));
@@ -274,8 +285,8 @@ mod tests {
 
     #[test]
     fn aware_reconfigures_away_from_slow_leader() {
-        let config = PbftHarnessConfig::new(4, 1, 2, skewed_matrix(4))
-            .run_for(Duration::from_secs(60));
+        let config =
+            PbftHarnessConfig::new(4, 1, 2, skewed_matrix(4)).run_for(Duration::from_secs(60));
         let report = PbftHarness::run(&config, "aware", |_| {
             Box::new(AwarePolicy::new(4, 1, SimTime::from_secs(15)))
         });
@@ -354,7 +365,10 @@ mod tests {
         // Rounds keep rolling (heartbeats between batches), and committed
         // traffic blocks are demand-sized.
         assert!(report.replica_summary.committed_blocks > 20);
-        assert!(report.client_completed.is_empty(), "no client nodes in traffic mode");
+        assert!(
+            report.client_completed.is_empty(),
+            "no client nodes in traffic mode"
+        );
         // e2e covers ingress + queueing + consensus + reply: well above the
         // bare consensus latency, bounded by the batching delay + rounds.
         assert!(tr.e2e_mean_ms > report.replica_summary.mean_latency_ms);
@@ -364,19 +378,15 @@ mod tests {
     #[should_panic(expected = "clients = 0")]
     fn traffic_mode_rejects_simulated_clients() {
         let spec = rsm::TrafficSpec::poisson(100.0).with_clients(2);
-        let queue = traffic::SharedTrafficQueue::generate(
-            &spec,
-            &[1.0, 1.0],
-            0,
-            SimTime::from_secs(1),
-        );
+        let queue =
+            traffic::SharedTrafficQueue::generate(&spec, &[1.0, 1.0], 0, SimTime::from_secs(1));
         let _ = PbftHarnessConfig::new(4, 1, 2, skewed_matrix(4)).with_traffic(queue);
     }
 
     #[test]
     fn delay_attack_inflates_latency_for_static_policy() {
-        let base = PbftHarnessConfig::new(4, 1, 2, skewed_matrix(4))
-            .run_for(Duration::from_secs(40));
+        let base =
+            PbftHarnessConfig::new(4, 1, 2, skewed_matrix(4)).run_for(Duration::from_secs(40));
         let clean = PbftHarness::run(&base, "bft-smart", |_| Box::new(StaticPolicy));
 
         let attacked_cfg = PbftHarnessConfig::new(4, 1, 2, skewed_matrix(4))

@@ -38,7 +38,9 @@ pub struct SweepOptions {
 impl Default for SweepOptions {
     fn default() -> Self {
         SweepOptions {
-            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
             out_dir: Some(PathBuf::from(".")),
             trace: None,
             breakdown: false,
@@ -90,7 +92,11 @@ pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> ScenarioReport {
     let next = AtomicUsize::new(0);
     // Wall-clock-timed scenarios must not share cores between cells: the
     // contention would inflate the measured times themselves.
-    let cap = if spec.wall_clock_timed() { 1 } else { cells.len().max(1) };
+    let cap = if spec.wall_clock_timed() {
+        1
+    } else {
+        cells.len().max(1)
+    };
     let workers = opts.threads.clamp(1, cap);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -98,10 +104,23 @@ pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> ScenarioReport {
                 let k = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&cell_idx) = order.get(k) else { break };
                 let (pi, seed) = cells[cell_idx];
-                let metrics = if opts.breakdown {
-                    spec.run_cell_breakdown(&points[pi], seed)
-                } else {
-                    spec.run_cell(&points[pi], seed)
+                // The cell's telemetry handle lives out here so a panicking
+                // cell can still be flight-dumped: whatever the cell recorded
+                // up to the failure goes to disk before the panic resumes.
+                let telemetry = telemetry::Telemetry::recording();
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if opts.breakdown {
+                        spec.run_cell_breakdown(&points[pi], seed)
+                    } else {
+                        spec.run_cell_with(&points[pi], seed, &telemetry)
+                    }
+                }));
+                let metrics = match run {
+                    Ok(metrics) => metrics,
+                    Err(payload) => {
+                        dump_failed_cell(&telemetry, opts, &points[pi].label, seed);
+                        std::panic::resume_unwind(payload);
+                    }
                 };
                 *slots[cell_idx].lock().expect("result slot poisoned") =
                     Some(CellReport { seed, metrics });
@@ -134,11 +153,38 @@ pub fn run_sweep(spec: &ScenarioSpec, opts: &SweepOptions) -> ScenarioReport {
     }
 }
 
+/// Flight-dump the telemetry of a failed (panicked) sweep cell into
+/// `<out_dir>/flight/` (falling back to the system temp dir when the sweep
+/// writes no JSON), so the postmortem evidence survives the aborting run.
+// Sanctioned CLI output: the dump notice must reach the terminal even as the
+// sweep aborts.
+#[allow(clippy::print_stderr)]
+fn dump_failed_cell(telemetry: &telemetry::Telemetry, opts: &SweepOptions, label: &str, seed: u64) {
+    let report = audit::Auditor::new().finish(&telemetry.registry_snapshot());
+    let dir = opts
+        .out_dir
+        .clone()
+        .unwrap_or_else(std::env::temp_dir)
+        .join("flight");
+    let recorder = audit::FlightRecorder::new(telemetry.clone(), &dir);
+    match recorder.dump(&format!("cell-{label}-seed-{seed}"), &report) {
+        Ok(path) => eprintln!(
+            "# cell [{label} seed {seed}] failed; flight dump at {}",
+            path.display()
+        ),
+        Err(e) => eprintln!("# cell [{label} seed {seed}] failed; flight dump also failed: {e}"),
+    }
+}
+
 /// Run the sweep, print a metric table, and write `BENCH_<scenario>.json`.
 /// This is the whole body of a figure binary.
 // Sanctioned CLI output: this function *is* the figure binary's stdout.
 #[allow(clippy::print_stdout, clippy::print_stderr)]
-pub fn run_and_report(spec: &ScenarioSpec, opts: &SweepOptions, table_metrics: &[&str]) -> ScenarioReport {
+pub fn run_and_report(
+    spec: &ScenarioSpec,
+    opts: &SweepOptions,
+    table_metrics: &[&str],
+) -> ScenarioReport {
     let report = run_sweep(spec, opts);
     print!("{}", report.render_table(table_metrics));
     if opts.breakdown {
@@ -324,16 +370,28 @@ mod tests {
     #[test]
     fn args_parse_flags_and_positionals() {
         let args = LabArgs::from_iter(
-            ["30", "--threads", "4", "21", "--seeds", "8", "--out", "/tmp/x"]
-                .into_iter()
-                .map(String::from),
+            [
+                "30",
+                "--threads",
+                "4",
+                "21",
+                "--seeds",
+                "8",
+                "--out",
+                "/tmp/x",
+            ]
+            .into_iter()
+            .map(String::from),
         );
         assert_eq!(args.pos_or(1, 0), 30);
         assert_eq!(args.pos_or(2, 0), 21);
         assert_eq!(args.pos_or(3, 99), 99);
         assert_eq!(args.threads, 4);
         assert_eq!(args.seeds_or(&[7]), vec![0, 1, 2, 3, 4, 5, 6, 7]);
-        assert_eq!(args.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(
+            args.out_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/x"))
+        );
         let none = LabArgs::from_iter(["--no-json".to_string()]);
         assert!(none.out_dir.is_none());
         assert_eq!(none.seeds_or(&[7]), vec![7]);

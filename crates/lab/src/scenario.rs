@@ -97,14 +97,20 @@ impl Substrate {
 
     /// True for the PBFT-family substrates (client-driven, reconfig policies).
     pub fn is_pbft(&self) -> bool {
-        matches!(self, Substrate::BftSmart | Substrate::Aware | Substrate::OptiAware)
+        matches!(
+            self,
+            Substrate::BftSmart | Substrate::Aware | Substrate::OptiAware
+        )
     }
 
     /// True for the tree-overlay substrates.
     pub fn is_tree(&self) -> bool {
         matches!(
             self,
-            Substrate::Kauri | Substrate::KauriSa | Substrate::OptiTree | Substrate::OptiTreeNoPipeline
+            Substrate::Kauri
+                | Substrate::KauriSa
+                | Substrate::OptiTree
+                | Substrate::OptiTreeNoPipeline
         )
     }
 
@@ -149,7 +155,9 @@ impl Substrate {
     pub(crate) fn tree_policy(&self, n: usize, rtt: Vec<f64>, seed: u64) -> Box<dyn TreePolicy> {
         let system = SystemConfig::new(n);
         match self {
-            Substrate::Kauri => Box::new(KauriBinsPolicy::new(n, system.tree_branch_factor(), seed)),
+            Substrate::Kauri => {
+                Box::new(KauriBinsPolicy::new(n, system.tree_branch_factor(), seed))
+            }
             Substrate::KauriSa => Box::new(KauriSaPolicy::new(system, rtt, seed)),
             Substrate::OptiTree | Substrate::OptiTreeNoPipeline => {
                 Box::new(OptiTreePolicy::new(system, rtt, seed))
@@ -297,15 +305,10 @@ impl ProtocolScenario {
         out
     }
 
-    fn run_cell(&self, point: &Point, seed: u64) -> CellMetrics {
-        // Every cell records metrics (the recording tier is always on), so
-        // installing a trace sink on top can never change the registry — the
-        // foundation of the traced-vs-untraced BENCH byte-identity guarantee.
-        self.run_cell_with(point, seed, &Telemetry::recording())
-    }
-
-    /// Run one cell with an explicit telemetry handle (used by
-    /// [`ScenarioSpec::run_cell_traced`] to install a trace sink).
+    /// Run one cell with an explicit telemetry handle. Every cell records
+    /// metrics (the recording tier is always on), so installing a trace sink
+    /// on top can never change the registry — the foundation of the
+    /// traced-vs-untraced BENCH byte-identity guarantee.
     pub fn run_cell_with(&self, point: &Point, seed: u64, telemetry: &Telemetry) -> CellMetrics {
         // Windowed time-series sampling on a 1 s simulated-time cadence: the
         // netsim engine ticks the sampler at virtual-second boundaries, so
@@ -355,6 +358,12 @@ impl ProtocolScenario {
         });
 
         let mut metrics = CellMetrics::new();
+        // The post-cell consensus auditor: each branch feeds it the exact
+        // per-replica checkpoint histories its harness collected; after the
+        // branch it balances conservation against the registry and lands its
+        // verdict in the cell as `audit.*` gauges (deterministic inputs, so
+        // BENCH json stays byte-identical across `--threads`).
+        let mut auditor = audit::Auditor::new();
         // Every branch produces a latency-window closure, so `LatencyWindow`
         // metrics work uniformly across substrates: the PBFT family reports
         // client-observed latency (its clients are part of the simulation),
@@ -382,6 +391,11 @@ impl ProtocolScenario {
             let report = PbftHarness::run(&cfg, substrate.label(), |id| {
                 substrate.pbft_policy(id, n, f, optimize_after)
             });
+            for (replica, cps) in report.commit_checkpoints.iter().enumerate() {
+                for &(seq, fp) in cps {
+                    auditor.record_checkpoint("pbft", replica, seq, fp);
+                }
+            }
             let s = &report.replica_summary;
             metrics
                 .set("throughput_ops", s.throughput_ops)
@@ -390,7 +404,10 @@ impl ProtocolScenario {
                 .set("p50_ms", s.p50_latency_ms)
                 .set("p99_ms", s.p99_latency_ms)
                 .set("blocks", s.committed_blocks as f64)
-                .set("client_ops", report.client_completed.iter().sum::<u64>() as f64)
+                .set(
+                    "client_ops",
+                    report.client_completed.iter().sum::<u64>() as f64,
+                )
                 .set("reconfigurations", report.reconfigurations.len() as f64);
             Box::new(move |from, to| report.mean_client_latency(from, to))
         } else if substrate.is_tree() {
@@ -421,6 +438,12 @@ impl ProtocolScenario {
                 compiled.faults.clone(),
                 move |_| substrate.tree_policy(n, rtt_for_policy.clone(), policy_seed),
             );
+            for (replica, cps) in report.config_checkpoints.iter().enumerate() {
+                for &(epoch, chain) in cps {
+                    auditor.record_checkpoint("kauri.config", replica, epoch, chain);
+                }
+            }
+            auditor.check_provenance(&report.config_commands);
             let s = &report.summary;
             metrics
                 .set("throughput_ops", s.throughput_ops)
@@ -450,17 +473,22 @@ impl ProtocolScenario {
                 );
             if let Some(atk) = compiled.delay_attacks.first() {
                 metrics
-                    .set("attacker_excluded", yes_no(report.excluded.contains(&atk.replica)))
+                    .set(
+                        "attacker_excluded",
+                        yes_no(report.excluded.contains(&atk.replica)),
+                    )
                     .set(
                         "attacker_internal_final",
                         yes_no(report.final_tree.internal_nodes().contains(&atk.replica)),
                     )
                     .set(
                         "pairs_accuse_attacker",
-                        yes_no(report
-                            .committed_pairs
-                            .iter()
-                            .any(|p| !p.reciprocal && p.accused == atk.replica)),
+                        yes_no(
+                            report
+                                .committed_pairs
+                                .iter()
+                                .any(|p| !p.reciprocal && p.accused == atk.replica),
+                        ),
                     );
             }
             metrics.set_series(
@@ -494,6 +522,11 @@ impl ProtocolScenario {
                 Box::new(MatrixLatency::from_rtt_millis(n, &rtt)),
                 compiled.faults.clone(),
             );
+            for (replica, cps) in report.commit_checkpoints.iter().enumerate() {
+                for &(view, fp) in cps {
+                    auditor.record_checkpoint("hotstuff", replica, view, fp);
+                }
+            }
             let s = &report.summary;
             metrics
                 .set("throughput_ops", s.throughput_ops)
@@ -549,6 +582,12 @@ impl ProtocolScenario {
                 metrics.set(format!("lat_{}_ms", w.label), window_mean(w.from_s, w.to_s));
             }
         }
+        // Finish the audit before draining the registry: the final strict
+        // conservation pass runs against the settled registry, and the
+        // published `audit.*` gauges land in the drain below like any other
+        // metric (surfacing the verdict in BENCH json).
+        let audit_report = auditor.finish(&telemetry.registry_snapshot());
+        audit_report.publish(telemetry);
         // Drain the telemetry registry into the cell: counters summed and
         // gauges maxed across replicas, histograms merged (the log-linear
         // buckets make the merge order-independent). All values are
@@ -723,7 +762,11 @@ pub struct SuspicionAttackScenario {
 
 impl SuspicionAttackScenario {
     fn variants() -> [AttackVariant; 3] {
-        [AttackVariant::Kauri, AttackVariant::KauriSa, AttackVariant::OptiTree]
+        [
+            AttackVariant::Kauri,
+            AttackVariant::KauriSa,
+            AttackVariant::OptiTree,
+        ]
     }
 
     fn run_cell(&self, variant_idx: usize, seed: u64) -> CellMetrics {
@@ -951,14 +994,11 @@ impl ScenarioSpec {
         let name = name.into();
         assert!(!seeds.is_empty(), "scenario needs at least one seed");
         assert!(
-            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
             "scenario name must be filesystem-safe: {name:?}"
         );
-        ScenarioSpec {
-            name,
-            seeds,
-            kind,
-        }
+        ScenarioSpec { name, seeds, kind }
     }
 
     /// Expand the parameter grid.
@@ -1002,11 +1042,11 @@ impl ScenarioSpec {
         match &self.kind {
             ScenarioKind::Protocol(p) => p.points(),
             ScenarioKind::CandidateTiming(c) => simple(&c.sizes, "n", |n| format!("n={n}")),
-            ScenarioKind::SuspicionAttack(_) => simple(
-                &SuspicionAttackScenario::variants(),
-                "variant",
-                |v| format!("{v:?}"),
-            ),
+            ScenarioKind::SuspicionAttack(_) => {
+                simple(&SuspicionAttackScenario::variants(), "variant", |v| {
+                    format!("{v:?}")
+                })
+            }
             ScenarioKind::TreeSearch(t) => grid(
                 &t.sizes,
                 &t.search_secs,
@@ -1040,8 +1080,16 @@ impl ScenarioSpec {
 
     /// Run one cell: pure in (spec, point, seed).
     pub fn run_cell(&self, point: &Point, seed: u64) -> CellMetrics {
+        self.run_cell_with(point, seed, &Telemetry::recording())
+    }
+
+    /// Run one cell against an explicit telemetry handle. The sweep runner
+    /// owns the handle so a panicking cell can still be flight-dumped with
+    /// everything it recorded. Analytic kinds carry no instrumentation and
+    /// ignore the handle.
+    pub fn run_cell_with(&self, point: &Point, seed: u64, telemetry: &Telemetry) -> CellMetrics {
         match &self.kind {
-            ScenarioKind::Protocol(p) => p.run_cell(point, seed),
+            ScenarioKind::Protocol(p) => p.run_cell_with(point, seed, telemetry),
             ScenarioKind::CandidateTiming(c) => c.run_cell(c.sizes[point.idx[0]], seed),
             ScenarioKind::SuspicionAttack(a) => a.run_cell(point.idx[0], seed),
             ScenarioKind::TreeSearch(t) => t.run_cell(point.idx[0], point.idx[1], seed),
@@ -1160,7 +1208,10 @@ mod tests {
             vec![0],
             ScenarioKind::Protocol(ProtocolScenario::new(
                 vec![Substrate::BftSmart, Substrate::Aware],
-                vec![Topology::of(Deployment::Europe21), Topology::of(Deployment::Global73)],
+                vec![
+                    Topology::of(Deployment::Europe21),
+                    Topology::of(Deployment::Global73),
+                ],
             )),
         );
         let points = spec.points();
@@ -1221,7 +1272,11 @@ mod tests {
     #[test]
     fn traffic_cells_commit_offered_load_on_every_substrate_family() {
         let scenario = ProtocolScenario::new(
-            vec![Substrate::BftSmart, Substrate::HotStuffFixed, Substrate::Kauri],
+            vec![
+                Substrate::BftSmart,
+                Substrate::HotStuffFixed,
+                Substrate::Kauri,
+            ],
             vec![Topology::with_n(Deployment::Europe21, 7)],
         )
         .with_traffic_axis(vec![rsm::TrafficSpec::poisson(300.0)
@@ -1362,7 +1417,11 @@ mod tests {
             },
         )])
         .run_for(Duration::from_secs(15));
-        let spec = ScenarioSpec::new("unit_trace_cover", vec![0], ScenarioKind::Protocol(scenario));
+        let spec = ScenarioSpec::new(
+            "unit_trace_cover",
+            vec![0],
+            ScenarioKind::Protocol(scenario),
+        );
         let traced = spec.run_cell_traced().expect("protocol scenario traces");
         for stage in [
             "client_emit",
@@ -1384,7 +1443,10 @@ mod tests {
         }
         assert!(traced.chrome_json.contains("\"traceEvents\""));
         assert!(traced.prometheus.contains("netsim_engine_scheduled"));
-        assert!(traced.metrics.values.contains_key("netsim.engine.scheduled"));
+        assert!(traced
+            .metrics
+            .values
+            .contains_key("netsim.engine.scheduled"));
     }
 
     #[test]

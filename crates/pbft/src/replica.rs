@@ -13,8 +13,8 @@ use crate::messages::{PbftMessage, Phase};
 use crate::policy::{PbftRoundRecord, ReconfigPolicy};
 use crate::weights::WeightConfig;
 use crypto::{Digest, Hashable};
-use runtime::{Context, Duration, FaultWindow, Node, NodeId, SimTime, TimeSeries, TimerId};
 use rsm::{Block, Command, CommitStats};
+use runtime::{Context, Duration, FaultWindow, Node, NodeId, SimTime, TimeSeries, TimerId};
 use std::collections::{BTreeMap, BTreeSet};
 use telemetry::{Stage, Telemetry};
 use traffic::SharedTrafficQueue;
@@ -112,6 +112,10 @@ pub struct ReplicaState {
     traffic: Option<SharedTrafficQueue>,
     /// Traffic batch ids by proposed sequence number (proposer side).
     traffic_batches: BTreeMap<u64, u64>,
+    /// `(seq, digest fingerprint)` per commit, in local commit order — the
+    /// exact agreement-checkpoint history the end-of-run auditor consumes
+    /// (the live gauges only expose the latest pair).
+    commit_checkpoints: Vec<(u64, u64)>,
     /// Telemetry handle (disabled by default).
     telemetry: Telemetry,
     /// Statistics: consensus latency and throughput.
@@ -153,6 +157,7 @@ impl ReplicaState {
             probe_rtts: vec![f64::INFINITY; n],
             traffic: None,
             traffic_batches: BTreeMap::new(),
+            commit_checkpoints: Vec::new(),
             telemetry: Telemetry::disabled(),
             stats: CommitStats::new(),
             reconfigs: Vec::new(),
@@ -176,6 +181,12 @@ impl ReplicaState {
     /// The currently active configuration.
     pub fn config(&self) -> &WeightConfig {
         &self.config
+    }
+
+    /// Every `(seq, digest fingerprint)` this replica committed, in local
+    /// commit order. Feed these to the auditor's `pbft` surface.
+    pub fn commit_checkpoints(&self) -> &[(u64, u64)] {
+        &self.commit_checkpoints
     }
 
     fn is_leader(&self) -> bool {
@@ -215,7 +226,13 @@ impl ReplicaState {
             let take = self.pending_requests.len().min(self.batch_cap);
             self.pending_requests.drain(..take).collect()
         };
-        let block = Block::new(Digest::ZERO, self.next_seq, self.next_seq, self.id, commands);
+        let block = Block::new(
+            Digest::ZERO,
+            self.next_seq,
+            self.next_seq,
+            self.id,
+            commands,
+        );
         let measurements = std::mem::take(&mut self.pending_measurements);
 
         if let ReplicaBehavior::DelayPropose { stages } = &self.behavior {
@@ -264,7 +281,15 @@ impl ReplicaState {
         let replicas: Vec<NodeId> = (0..self.n).filter(|&r| r != self.id).collect();
         ctx.multicast(&replicas, msg);
         // Process our own proposal locally.
-        self.handle_propose(ctx, self.id, seq, epoch, block, ctx.now.as_micros(), measurements);
+        self.handle_propose(
+            ctx,
+            self.id,
+            seq,
+            epoch,
+            block,
+            ctx.now.as_micros(),
+            measurements,
+        );
     }
 
     #[allow(clippy::too_many_arguments)] // mirrors the Propose message fields
@@ -423,6 +448,16 @@ impl ReplicaState {
     fn commit(&mut self, ctx: &mut Context<PbftMessage>, seq: u64) {
         let instance = self.instances.remove(&seq).expect("instance exists");
         self.last_committed_seq = seq;
+        // Agreement checkpoint for the online auditor: any two replicas
+        // committing the same seq must publish the same digest. Set under
+        // one registry lock so seq and digest can never be read torn.
+        let fp = telemetry::fingerprint48(&instance.digest.0);
+        self.commit_checkpoints.push((seq, fp));
+        let id = self.id;
+        self.telemetry.with_registry(|reg| {
+            reg.gauge_set("pbft.replica.commit_seq", Some(id), seq as f64);
+            reg.gauge_set("pbft.replica.commit_digest", Some(id), fp as f64);
+        });
         // Keep the proposal counter in sync even at replicas that never led,
         // so a replica that later gains the leader role proposes the right
         // sequence number.
@@ -650,7 +685,10 @@ impl Node for PbftNode {
             PbftNode::Replica(r) => match msg {
                 PbftMessage::Request { cmd } => {
                     if !r.committed_requests.contains(&(cmd.client, cmd.seq))
-                        && !r.pending_requests.iter().any(|c| c.client == cmd.client && c.seq == cmd.seq)
+                        && !r
+                            .pending_requests
+                            .iter()
+                            .any(|c| c.client == cmd.client && c.seq == cmd.seq)
                     {
                         r.pending_requests.push(cmd);
                         if r.is_leader() {
@@ -665,7 +703,9 @@ impl Node for PbftNode {
                     timestamp_us,
                     measurements,
                 } => r.handle_propose(ctx, from, seq, epoch, block, timestamp_us, measurements),
-                PbftMessage::Write { seq, digest, voter } => r.handle_write(ctx, voter, seq, digest),
+                PbftMessage::Write { seq, digest, voter } => {
+                    r.handle_write(ctx, voter, seq, digest)
+                }
                 PbftMessage::Accept { seq, digest, voter } => {
                     r.handle_accept(ctx, voter, seq, digest)
                 }
@@ -698,7 +738,11 @@ impl Node for PbftNode {
                 PbftMessage::Reply { .. } => {}
             },
             PbftNode::Client(c) => {
-                if let PbftMessage::Reply { client_seq, replica } = msg {
+                if let PbftMessage::Reply {
+                    client_seq,
+                    replica,
+                } = msg
+                {
                     c.on_reply(ctx, client_seq, replica);
                 }
             }

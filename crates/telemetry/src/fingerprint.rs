@@ -1,0 +1,57 @@
+//! Compact fingerprints for cross-replica agreement checking.
+//!
+//! Replicas publish their latest committed digest (or config-adoption chain
+//! head) as a *gauge*, so the audit layer can compare replicas through the
+//! registry alone — no substrate-specific plumbing. Gauges are `f64`, whose
+//! mantissa holds 52 bits exactly; fingerprints are folded to 48 bits so the
+//! round-trip through a gauge is lossless.
+
+/// Mask keeping a fingerprint exactly representable in an `f64` gauge.
+pub const FINGERPRINT_BITS: u64 = (1 << 48) - 1;
+
+/// A 48-bit fingerprint of `bytes` (FNV-1a with a finalising mix).
+pub fn fingerprint48(bytes: &[u8]) -> u64 {
+    chain48(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Extend a fingerprint chain: fold `bytes` into `prev`, producing the
+/// 48-bit head of the grown chain. Two replicas reach the same head at the
+/// same chain length iff they folded the same byte sequences in the same
+/// order — the incremental prefix-agreement check.
+pub fn chain48(prev: u64, bytes: &[u8]) -> u64 {
+    let mut h = prev ^ 0x9e37_79b9_7f4a_7c15;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // SplitMix64 finaliser: avalanche so the 48-bit truncation keeps
+    // collision odds near 2^-48 even for near-identical inputs.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h & FINGERPRINT_BITS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_fit_a_gauge_exactly() {
+        let fp = fingerprint48(b"some committed digest");
+        assert!(fp <= FINGERPRINT_BITS);
+        assert_eq!(fp as f64 as u64, fp, "lossless through f64");
+    }
+
+    #[test]
+    fn chains_diverge_on_content_and_order() {
+        let a = chain48(chain48(0, b"x"), b"y");
+        let b = chain48(chain48(0, b"y"), b"x");
+        let c = chain48(chain48(0, b"x"), b"y");
+        assert_eq!(a, c, "deterministic");
+        assert_ne!(a, b, "order-sensitive");
+        assert_ne!(a, chain48(a, b"z"), "growth moves the head");
+    }
+}

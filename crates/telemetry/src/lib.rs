@@ -21,12 +21,14 @@
 #![cfg_attr(not(test), deny(clippy::print_stdout, clippy::print_stderr))]
 
 mod critical_path;
+mod fingerprint;
 mod hist;
 mod metrics;
 mod timeseries;
 mod trace;
 
 pub use critical_path::{attribute, BreakdownRow, CommandPath, LatencyBreakdown, Phase};
+pub use fingerprint::{chain48, fingerprint48, FINGERPRINT_BITS};
 pub use hist::{LogLinearHistogram, SUB_BITS};
 pub use metrics::{escape_label_value, MetricKey, Registry};
 pub use timeseries::{Timeseries, TimeseriesSampler, WindowSample};
@@ -70,12 +72,27 @@ impl Telemetry {
         }
     }
 
-    /// Registry plus trace capture.
+    /// Registry plus trace capture (unbounded sink — the sim-sweep default,
+    /// so Perfetto exports carry every span).
     pub fn tracing() -> Self {
         Telemetry {
             inner: Some(Arc::new(Inner {
                 registry: Mutex::new(Registry::new()),
                 sink: Some(Mutex::new(TraceSink::new())),
+                sampler: Mutex::new(None),
+            })),
+        }
+    }
+
+    /// Registry plus a ring-buffered trace sink retaining the most recent
+    /// `capacity` events — the flight-recorder mode for long real-clock
+    /// runs, where an unbounded sink would grow without limit. Evictions
+    /// are counted in the `telemetry.trace.evicted` counter.
+    pub fn tracing_with_capacity(capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                registry: Mutex::new(Registry::new()),
+                sink: Some(Mutex::new(TraceSink::with_capacity(capacity))),
                 sampler: Mutex::new(None),
             })),
         }
@@ -138,7 +155,7 @@ impl Telemetry {
     ) {
         if let Some(i) = &self.inner {
             if let Some(sink) = &i.sink {
-                sink.lock().unwrap().record(TraceEvent {
+                let dropped = sink.lock().unwrap().record(TraceEvent {
                     stage,
                     pid,
                     tid,
@@ -146,6 +163,15 @@ impl Telemetry {
                     dur_us,
                     args,
                 });
+                // Ring eviction is visible in the registry; lock order is
+                // sink before registry (never the reverse anywhere).
+                if dropped > 0 {
+                    i.registry.lock().unwrap().counter_add(
+                        "telemetry.trace.evicted",
+                        None,
+                        dropped,
+                    );
+                }
             }
         }
     }
@@ -239,7 +265,11 @@ impl Telemetry {
     /// sampler is installed).
     pub fn timeseries_snapshot(&self) -> Option<Timeseries> {
         let i = self.inner.as_ref()?;
-        i.sampler.lock().unwrap().as_ref().map(|s| s.timeseries().clone())
+        i.sampler
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|s| s.timeseries().clone())
     }
 
     /// The registry rendered in Prometheus text format (empty when
@@ -315,12 +345,47 @@ mod tests {
     }
 
     #[test]
+    fn capacity_handle_counts_evictions_in_the_registry() {
+        let t = Telemetry::tracing_with_capacity(2);
+        for tid in 0..5 {
+            t.instant(Stage::Vote, 0, tid, tid * 10, vec![]);
+        }
+        assert_eq!(t.stage_counts()["vote"], 2, "ring retains capacity events");
+        assert_eq!(
+            t.registry_snapshot()
+                .counter("telemetry.trace.evicted", None),
+            3
+        );
+        // Retained events are the most recent ones.
+        let tids = t.with_trace_events(|evs| evs.iter().map(|e| e.tid).collect::<Vec<_>>());
+        assert_eq!(tids, Some(vec![3, 4]));
+        // Unbounded tracing never touches the eviction counter.
+        let unbounded = Telemetry::tracing();
+        for tid in 0..5 {
+            unbounded.instant(Stage::Vote, 0, tid, tid * 10, vec![]);
+        }
+        assert_eq!(
+            unbounded
+                .registry_snapshot()
+                .counter("telemetry.trace.evicted", None),
+            0
+        );
+    }
+
+    #[test]
     fn command_paths_come_from_the_trace() {
         let t = Telemetry::tracing();
         t.span(Stage::ClientEmit, CLIENTS_PID, 0, 0, 1_000, vec![]);
         t.span(Stage::Admission, CLIENTS_PID, 0, 1_000, 500, vec![]);
         t.instant(Stage::Propose, 0, 3, 2_000, vec![]);
-        t.span(Stage::Reply, CLIENTS_PID, 0, 9_000, 400, vec![("view", 3.0)]);
+        t.span(
+            Stage::Reply,
+            CLIENTS_PID,
+            0,
+            9_000,
+            400,
+            vec![("view", 3.0)],
+        );
         let paths = t.command_paths();
         assert_eq!(paths.len(), 1);
         assert_eq!(paths[0].view, Some(3));

@@ -86,8 +86,13 @@ impl Stage {
             Stage::ClientEmit | Stage::IngressForward | Stage::Admission | Stage::Reply => {
                 "traffic"
             }
-            Stage::Propose | Stage::Forward | Stage::Hold | Stage::Vote | Stage::Aggregate
-            | Stage::Commit | Stage::Reconfigure => "consensus",
+            Stage::Propose
+            | Stage::Forward
+            | Stage::Hold
+            | Stage::Vote
+            | Stage::Aggregate
+            | Stage::Commit
+            | Stage::Reconfigure => "consensus",
         }
     }
 }
@@ -115,9 +120,19 @@ pub struct TraceEvent {
 }
 
 /// The per-run sink trace events are recorded into.
+///
+/// By default the sink grows without bound — sim sweeps are short and the
+/// Perfetto export must carry every span. Long real-clock runs install a
+/// ring capacity instead ([`TraceSink::with_capacity`]): once full, each
+/// new event evicts the oldest, so the sink always holds the most recent
+/// `capacity` events (a flight recorder, not an archive).
 #[derive(Debug, Default)]
 pub struct TraceSink {
-    events: Vec<TraceEvent>,
+    events: std::collections::VecDeque<TraceEvent>,
+    /// `None` = unbounded (the sim-sweep default).
+    capacity: Option<usize>,
+    /// Events dropped from the front of the ring since creation.
+    evicted: u64,
 }
 
 fn fmt_f64(v: f64) -> String {
@@ -129,24 +144,54 @@ fn fmt_f64(v: f64) -> String {
 }
 
 impl TraceSink {
-    /// An empty sink.
+    /// An empty, unbounded sink.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Record one event.
-    pub fn record(&mut self, ev: TraceEvent) {
-        self.events.push(ev);
+    /// An empty ring sink that retains at most `capacity` events, evicting
+    /// the oldest first. `capacity == 0` is treated as unbounded.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceSink {
+            events: std::collections::VecDeque::new(),
+            capacity: (capacity > 0).then_some(capacity),
+            evicted: 0,
+        }
     }
 
-    /// Number of recorded events.
+    /// Record one event, evicting the oldest when a ring capacity is set
+    /// and full. Returns how many events were evicted to make room.
+    pub fn record(&mut self, ev: TraceEvent) -> u64 {
+        let mut dropped = 0;
+        if let Some(cap) = self.capacity {
+            while self.events.len() >= cap {
+                self.events.pop_front();
+                self.evicted += 1;
+                dropped += 1;
+            }
+        }
+        self.events.push_back(ev);
+        dropped
+    }
+
+    /// Number of retained events (excludes evicted ones).
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// True when nothing was recorded.
+    /// True when nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// The ring capacity, if one was set.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Events evicted from the ring since creation (0 when unbounded).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
     }
 
     /// Events recorded per stage name — the coverage check CI runs against
@@ -159,9 +204,10 @@ impl TraceSink {
         out
     }
 
-    /// The recorded events, in recording order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// The retained events, in recording order (oldest first).
+    pub fn events(&mut self) -> &[TraceEvent] {
+        self.events.make_contiguous();
+        self.events.as_slices().0
     }
 
     /// Export as Chrome `trace_event` JSON (the object form, with
@@ -204,7 +250,10 @@ impl TraceSink {
             if e.dur_us == 0 {
                 push(format!("{{{common},\"ph\":\"i\",\"s\":\"t\"}}"), &mut first);
             } else {
-                push(format!("{{{common},\"ph\":\"X\",\"dur\":{}}}", e.dur_us), &mut first);
+                push(
+                    format!("{{{common},\"ph\":\"X\",\"dur\":{}}}", e.dur_us),
+                    &mut first,
+                );
             }
         }
         out.push_str("]}");
@@ -243,10 +292,7 @@ mod tests {
         };
         assert_eq!(events.len(), 4, "2 metadata + 2 events");
         let commit = &events[2];
-        assert_eq!(
-            commit.get("ph"),
-            Some(&serde::Value::Str("X".to_string()))
-        );
+        assert_eq!(commit.get("ph"), Some(&serde::Value::Str("X".to_string())));
         match commit.get("dur").expect("dur field") {
             serde::Value::Num(n) => assert_eq!(n.as_i64(), Some(2500)),
             other => panic!("dur is {}", other.kind()),
@@ -257,6 +303,54 @@ mod tests {
         );
         assert_eq!(sink.stage_counts()["commit"], 1);
         assert_eq!(sink.stage_counts()["vote"], 1);
+    }
+
+    #[test]
+    fn ring_capacity_evicts_oldest_first() {
+        let mut sink = TraceSink::with_capacity(3);
+        assert_eq!(sink.capacity(), Some(3));
+        let ev = |tid: u64| TraceEvent {
+            stage: Stage::Vote,
+            pid: 0,
+            tid,
+            ts_us: tid * 10,
+            dur_us: 0,
+            args: vec![],
+        };
+        for tid in 0..5 {
+            let dropped = sink.record(ev(tid));
+            assert_eq!(dropped, u64::from(tid >= 3), "one eviction per overflow");
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.evicted(), 2);
+        // Oldest (tid 0, 1) evicted; survivors keep recording order.
+        let tids: Vec<u64> = sink.events().iter().map(|e| e.tid).collect();
+        assert_eq!(tids, vec![2, 3, 4]);
+        // The export carries only retained events.
+        let json = sink.chrome_trace_json(&[]);
+        assert!(!json.contains("\"ts\":0,"));
+        assert!(json.contains("\"ts\":40,"));
+    }
+
+    #[test]
+    fn unbounded_sink_never_evicts() {
+        let mut sink = TraceSink::new();
+        assert_eq!(sink.capacity(), None);
+        for tid in 0..100 {
+            assert_eq!(
+                sink.record(TraceEvent {
+                    stage: Stage::Commit,
+                    pid: 0,
+                    tid,
+                    ts_us: tid,
+                    dur_us: 1,
+                    args: vec![],
+                }),
+                0
+            );
+        }
+        assert_eq!(sink.len(), 100);
+        assert_eq!(sink.evicted(), 0);
     }
 
     #[test]

@@ -20,10 +20,10 @@
 //! exactly as a leader-side ingress proxy would.
 
 use crate::sampler::ArrivalSampler;
-use runtime::{Duration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rsm::{BatchingPolicy, Command, CommitStats, TrafficSpec};
+use runtime::{Duration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use telemetry::{Stage, Telemetry, CLIENTS_PID};
@@ -93,7 +93,10 @@ impl ForwardingModel {
     /// (row-major `n × n`, ms round-trip — halved into one-way hops).
     pub fn from_rtt(nearest: Vec<usize>, rtt_ms: &[f64], n: usize) -> Self {
         assert_eq!(rtt_ms.len(), n * n, "rtt matrix must be n×n");
-        assert!(nearest.iter().all(|&r| r < n), "ingress replica out of range");
+        assert!(
+            nearest.iter().all(|&r| r < n),
+            "ingress replica out of range"
+        );
         ForwardingModel {
             nearest,
             hop_ms: rtt_ms.iter().map(|&rtt| rtt / 2.0).collect(),
@@ -225,7 +228,10 @@ impl TrafficQueue {
     /// (`ingress_ms[c]` = client `c`'s one-way latency to its nearest
     /// replica, see [`crate::placement::client_ingress_ms`]).
     pub fn generate(spec: &TrafficSpec, ingress_ms: &[f64], seed: u64, horizon: SimTime) -> Self {
-        assert!(!ingress_ms.is_empty(), "traffic needs at least one placed client");
+        assert!(
+            !ingress_ms.is_empty(),
+            "traffic needs at least one placed client"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sampler = ArrivalSampler::new(spec.arrivals);
         let horizon_s = horizon.as_secs_f64();
@@ -281,15 +287,32 @@ impl TrafficQueue {
         {
             if self.waiting.len() >= self.capacity {
                 self.rejected += 1;
-                self.telemetry.counter_add("traffic.queue.rejected", None, 1);
+                self.telemetry
+                    .counter_add("traffic.queue.rejected", None, 1);
             } else {
                 self.waiting.push_back(self.cursor as u64);
                 self.admitted += 1;
-                self.telemetry.counter_add("traffic.queue.admitted", None, 1);
+                self.telemetry
+                    .counter_add("traffic.queue.admitted", None, 1);
             }
             self.cursor += 1;
         }
         self.max_depth = self.max_depth.max(self.waiting.len());
+        self.publish_conservation_gauges();
+    }
+
+    /// Publish the live conservation terms the audit oracle balances:
+    /// `admitted = committed + abandoned + waiting + in_flight` (retried
+    /// commands re-enter `waiting` without re-counting as admitted, so the
+    /// retry flow cancels out of the identity).
+    fn publish_conservation_gauges(&self) {
+        if self.telemetry.is_enabled() {
+            let in_flight: usize = self.in_flight.values().map(|f| f.idxs.len()).sum();
+            self.telemetry
+                .gauge_set("traffic.queue.waiting", None, self.waiting.len() as f64);
+            self.telemetry
+                .gauge_set("traffic.queue.in_flight", None, in_flight as f64);
+        }
     }
 
     /// Ask for a batch as of `now`: flushes when the waiting queue holds a
@@ -312,7 +335,10 @@ impl TrafficQueue {
 
     fn dispatch(&mut self, now: SimTime, proposer: Option<usize>) -> Option<TrafficBatch> {
         self.admit(now);
-        let oldest = self.waiting.front().map(|&i| self.arrivals[i as usize].ingress)?;
+        let oldest = self
+            .waiting
+            .front()
+            .map(|&i| self.arrivals[i as usize].ingress)?;
         let full = self.waiting.len() >= self.batching.max_batch;
         let timed_out = now >= oldest + self.batching.max_delay;
         if !full && !timed_out {
@@ -389,6 +415,7 @@ impl TrafficQueue {
         );
         self.depth_timeline
             .push((now.as_secs_f64(), self.waiting.len() as f64));
+        self.publish_conservation_gauges();
         Some(TrafficBatch { id, commands })
     }
 
@@ -430,7 +457,10 @@ impl TrafficQueue {
     /// window must not look like a crashed root.
     pub fn has_flushable(&mut self, now: SimTime) -> bool {
         self.admit(now);
-        let Some(oldest) = self.waiting.front().map(|&i| self.arrivals[i as usize].ingress)
+        let Some(oldest) = self
+            .waiting
+            .front()
+            .map(|&i| self.arrivals[i as usize].ingress)
         else {
             return false;
         };
@@ -449,6 +479,7 @@ impl TrafficQueue {
             return;
         };
         let mut requeue = Vec::new();
+        let mut dropped = 0;
         for i in flight.idxs {
             let tries = self.retries.entry(i).or_insert(0);
             if *tries < self.max_retries {
@@ -456,11 +487,16 @@ impl TrafficQueue {
                 requeue.push(i);
             } else {
                 self.abandoned += 1;
+                dropped += 1;
             }
         }
         self.retried += requeue.len() as u64;
         self.telemetry
             .counter_add("traffic.queue.retried", None, requeue.len() as u64);
+        if dropped > 0 {
+            self.telemetry
+                .counter_add("traffic.queue.abandoned", None, dropped);
+        }
         // Front of the queue, original order preserved: retried commands are
         // older than anything still waiting. Capacity is not re-checked —
         // these commands were already admitted once.
@@ -468,6 +504,7 @@ impl TrafficQueue {
             self.waiting.push_front(i);
         }
         self.max_depth = self.max_depth.max(self.waiting.len());
+        self.publish_conservation_gauges();
     }
 
     /// Report that the block carrying batch `id` committed at `committed`:
@@ -493,8 +530,7 @@ impl TrafficQueue {
         };
         for (&i, &forward_ms) in flight.idxs.iter().zip(&flight.forward_ms) {
             let a = self.arrivals[i as usize];
-            let e2e = committed.since(a.send)
-                + Duration::from_millis_f64(a.reply_ms + forward_ms);
+            let e2e = committed.since(a.send) + Duration::from_millis_f64(a.reply_ms + forward_ms);
             self.stats.record_client_commit(e2e, committed);
             if self.telemetry.is_enabled() {
                 let args = match view {
@@ -513,11 +549,9 @@ impl TrafficQueue {
                     .observe("traffic.client.e2e_us", None, e2e.as_micros());
             }
         }
-        self.telemetry.counter_add(
-            "traffic.client.committed",
-            None,
-            flight.idxs.len() as u64,
-        );
+        self.telemetry
+            .counter_add("traffic.client.committed", None, flight.idxs.len() as u64);
+        self.publish_conservation_gauges();
     }
 
     /// Requests admitted so far.
@@ -543,6 +577,12 @@ impl TrafficQueue {
     /// Current waiting-queue depth.
     pub fn depth(&self) -> usize {
         self.waiting.len()
+    }
+
+    /// Commands inside batches handed out but not yet committed, retried,
+    /// or abandoned — the in-flight term of the conservation identity.
+    pub fn in_flight_commands(&self) -> u64 {
+        self.in_flight.values().map(|f| f.idxs.len() as u64).sum()
     }
 
     /// The end-to-end statistics collected so far.
@@ -753,8 +793,13 @@ mod tests {
             Duration::from_secs(10),
             steady(3, 10),
         );
-        assert!(q.try_batch(SimTime::from_millis(30)).is_none(), "no flush before the delay");
-        let b = q.try_batch(SimTime::from_millis(55)).expect("timeout flush");
+        assert!(
+            q.try_batch(SimTime::from_millis(30)).is_none(),
+            "no flush before the delay"
+        );
+        let b = q
+            .try_batch(SimTime::from_millis(55))
+            .expect("timeout flush");
         assert_eq!(b.commands.len(), 3, "partial batch on timeout");
     }
 
@@ -778,7 +823,10 @@ mod tests {
         // The rejected commands never appear in later batches.
         let b2 = q.try_batch(SimTime::from_millis(2)).expect("drain");
         assert_eq!(b2.commands.len(), 10);
-        assert!(q.try_batch(SimTime::from_secs(1)).is_none(), "queue drained");
+        assert!(
+            q.try_batch(SimTime::from_secs(1)).is_none(),
+            "queue drained"
+        );
     }
 
     #[test]
@@ -807,12 +855,8 @@ mod tests {
 
     #[test]
     fn next_ready_at_is_strictly_in_the_future() {
-        let mut q = TrafficQueue::from_schedule(
-            policy(5, 50),
-            100,
-            Duration::from_secs(10),
-            steady(3, 10),
-        );
+        let mut q =
+            TrafficQueue::from_schedule(policy(5, 50), 100, Duration::from_secs(10), steady(3, 10));
         let now = SimTime::from_secs(2);
         // Timeout long passed: the prediction clamps to just after `now`.
         let at = q.next_ready_at(now).expect("stale timeout");
@@ -890,7 +934,9 @@ mod tests {
         // Proposed by the ingress replica itself: no forwarding charge.
         // e2e = (100 − 0) commit delta + 10 reply = 110 ms.
         let mut near = mk();
-        let b = near.try_batch_at(SimTime::from_millis(10), 0).expect("near");
+        let b = near
+            .try_batch_at(SimTime::from_millis(10), 0)
+            .expect("near");
         near.commit_batch(b.id, SimTime::from_millis(100));
         assert!((near.report(1).e2e_mean_ms - 110.0).abs() < 1e-6);
 
@@ -920,15 +966,13 @@ mod tests {
             ingress_ms: 0.0,
         }];
         let tel = Telemetry::tracing();
-        let mut q = TrafficQueue::from_schedule(
-            policy(1, 100),
-            10,
-            Duration::from_secs(1),
-            schedule,
-        )
-        .with_forwarding(ForwardingModel::from_rtt(vec![0], &rtt, 2))
-        .with_telemetry(tel.clone());
-        let b = q.try_batch_at(SimTime::from_millis(10), 1).expect("far batch");
+        let mut q =
+            TrafficQueue::from_schedule(policy(1, 100), 10, Duration::from_secs(1), schedule)
+                .with_forwarding(ForwardingModel::from_rtt(vec![0], &rtt, 2))
+                .with_telemetry(tel.clone());
+        let b = q
+            .try_batch_at(SimTime::from_millis(10), 1)
+            .expect("far batch");
         q.commit_batch(b.id, SimTime::from_millis(100));
         // Charged: 100 ms commit delta + 40 ms forward + 0 reply = 140 ms.
         assert!((q.report(1).e2e_mean_ms - 140.0).abs() < 1e-6);
@@ -936,14 +980,18 @@ mod tests {
         // ingress replica's track.
         let json = tel.chrome_trace_json(&[]).expect("tracing handle");
         assert!(json.contains("\"name\":\"ingress_forward\""));
-        assert!(json.contains("\"dur\":40000"), "span is the charged hop: {json}");
+        assert!(
+            json.contains("\"dur\":40000"),
+            "span is the charged hop: {json}"
+        );
         assert_eq!(tel.stage_counts()["ingress_forward"], 1);
         assert_eq!(tel.stage_counts()["client_emit"], 1);
         assert_eq!(tel.stage_counts()["admission"], 1);
         assert_eq!(tel.stage_counts()["reply"], 1);
         // The registry saw the e2e observation too.
         assert_eq!(
-            tel.registry_snapshot().counter("traffic.client.committed", None),
+            tel.registry_snapshot()
+                .counter("traffic.client.committed", None),
             1
         );
     }
@@ -980,19 +1028,19 @@ mod tests {
             client: 0,
             ingress_ms: 0.0,
         }];
-        let mut q = TrafficQueue::from_schedule(
-            policy(1, 100),
-            10,
-            Duration::from_secs(10),
-            schedule,
-        )
-        .with_forwarding(ForwardingModel::from_rtt(vec![0], &rtt, 2));
+        let mut q =
+            TrafficQueue::from_schedule(policy(1, 100), 10, Duration::from_secs(10), schedule)
+                .with_forwarding(ForwardingModel::from_rtt(vec![0], &rtt, 2));
         // Dispatched by the far proposer, lost, re-dispatched by the near
         // one: the commit charges the *new* proposer's hop (zero), not the
         // lost flight's.
-        let b1 = q.try_batch_at(SimTime::from_millis(1), 1).expect("far flight");
+        let b1 = q
+            .try_batch_at(SimTime::from_millis(1), 1)
+            .expect("far flight");
         q.retry_batch(b1.id, SimTime::from_millis(200));
-        let b2 = q.try_batch_at(SimTime::from_millis(201), 0).expect("re-dispatch");
+        let b2 = q
+            .try_batch_at(SimTime::from_millis(201), 0)
+            .expect("re-dispatch");
         q.commit_batch(b2.id, SimTime::from_millis(300));
         // e2e = 300 ms commit delta + 0 reply + 0 forward.
         assert!((q.report(1).e2e_mean_ms - 300.0).abs() < 1e-6);
@@ -1084,14 +1132,48 @@ mod tests {
     }
 
     #[test]
-    fn has_flushable_tracks_try_batch_without_draining() {
+    fn conservation_terms_balance_in_the_registry() {
+        // admitted = committed + abandoned + waiting + in_flight, readable
+        // from the registry alone — the identity the audit oracle checks.
+        let tel = Telemetry::recording();
         let mut q = TrafficQueue::from_schedule(
-            policy(5, 50),
+            policy(2, 1000),
             100,
             Duration::from_secs(10),
-            steady(3, 10),
+            steady(6, 1),
+        )
+        .with_max_retries(0)
+        .with_telemetry(tel.clone());
+        let b1 = q.try_batch(SimTime::from_millis(10)).expect("pair 1");
+        q.commit_batch(b1.id, SimTime::from_millis(50));
+        let b2 = q.try_batch(SimTime::from_millis(60)).expect("pair 2");
+        q.retry_batch(b2.id, SimTime::from_millis(70)); // budget 0 → abandoned
+        let _b3 = q
+            .try_batch(SimTime::from_millis(80))
+            .expect("pair 3 in flight");
+        let reg = tel.registry_snapshot();
+        let admitted = reg.counter("traffic.queue.admitted", None);
+        let committed = reg.counter("traffic.client.committed", None);
+        let abandoned = reg.counter("traffic.queue.abandoned", None);
+        let waiting = reg.gauge("traffic.queue.waiting", None).unwrap_or(0.0) as u64;
+        let in_flight = reg.gauge("traffic.queue.in_flight", None).unwrap_or(0.0) as u64;
+        assert_eq!(admitted, 6);
+        assert_eq!(committed, 2);
+        assert_eq!(abandoned, 2);
+        assert_eq!(waiting, 0);
+        assert_eq!(in_flight, 2);
+        assert_eq!(in_flight, q.in_flight_commands());
+        assert_eq!(admitted, committed + abandoned + waiting + in_flight);
+    }
+
+    #[test]
+    fn has_flushable_tracks_try_batch_without_draining() {
+        let mut q =
+            TrafficQueue::from_schedule(policy(5, 50), 100, Duration::from_secs(10), steady(3, 10));
+        assert!(
+            !q.has_flushable(SimTime::from_millis(5)),
+            "partial and fresh"
         );
-        assert!(!q.has_flushable(SimTime::from_millis(5)), "partial and fresh");
         assert!(q.has_flushable(SimTime::from_millis(55)), "timeout path");
         assert!(q.try_batch(SimTime::from_millis(55)).is_some());
         // Drained and schedule exhausted: never flushable again — the idle
